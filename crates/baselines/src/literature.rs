@@ -1,0 +1,189 @@
+//! The published comparison rows, verbatim from the paper's Tables I and
+//! II. These are the "reported literature" columns the benchmark harness
+//! prints next to our measured results — exactly how the paper itself
+//! presents them.
+
+use canids_can::time::SimTime;
+
+/// One accuracy row of Table I (percentages).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccuracyRow {
+    /// Model name as printed in the paper.
+    pub model: &'static str,
+    /// Precision in percent.
+    pub precision: f64,
+    /// Recall in percent.
+    pub recall: f64,
+    /// F1 score in percent.
+    pub f1: f64,
+    /// False-negative rate in percent (not reported by every paper).
+    pub fnr: Option<f64>,
+}
+
+/// Table I, DoS section (literature rows, ours excluded).
+pub fn table1_dos() -> Vec<AccuracyRow> {
+    vec![
+        AccuracyRow { model: "DCNN [4]", precision: 100.0, recall: 99.89, f1: 99.95, fnr: Some(0.13) },
+        AccuracyRow { model: "MLIDS [3]", precision: 99.9, recall: 100.0, f1: 99.9, fnr: None },
+        AccuracyRow { model: "NovelADS [10]", precision: 99.97, recall: 99.91, f1: 99.94, fnr: None },
+        AccuracyRow { model: "TCAN-IDS [11]", precision: 100.0, recall: 99.97, f1: 99.98, fnr: None },
+        AccuracyRow { model: "GRU [2]", precision: 99.93, recall: 99.91, f1: 99.92, fnr: None },
+    ]
+}
+
+/// Table I, Fuzzy section (literature rows, ours excluded).
+pub fn table1_fuzzy() -> Vec<AccuracyRow> {
+    vec![
+        AccuracyRow { model: "DCNN [4]", precision: 99.95, recall: 99.65, f1: 99.80, fnr: Some(0.5) },
+        AccuracyRow { model: "MLIDS [3]", precision: 99.9, recall: 99.9, f1: 99.9, fnr: None },
+        AccuracyRow { model: "NovelADS [10]", precision: 99.99, recall: 100.0, f1: 100.0, fnr: None },
+        AccuracyRow { model: "TCAN-IDS [11]", precision: 99.96, recall: 99.89, f1: 99.22, fnr: None },
+        AccuracyRow { model: "GRU [2]", precision: 99.32, recall: 99.13, f1: 99.22, fnr: None },
+    ]
+}
+
+/// The paper's own Table I rows for the 4-bit QMLP (reference targets for
+/// our measured reproduction).
+pub fn table1_qmlp_paper() -> (AccuracyRow, AccuracyRow) {
+    (
+        AccuracyRow { model: "4-bit-QMLP (paper)", precision: 99.99, recall: 99.99, f1: 99.99, fnr: Some(0.01) },
+        AccuracyRow { model: "4-bit-QMLP (paper)", precision: 99.68, recall: 99.93, f1: 99.80, fnr: Some(0.07) },
+    )
+}
+
+/// One latency row of Table II.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRow {
+    /// Model name as printed in the paper.
+    pub model: &'static str,
+    /// Published latency per invocation.
+    pub latency: SimTime,
+    /// Frames covered by that latency.
+    pub frames: u32,
+    /// Platform string as printed.
+    pub platform: &'static str,
+}
+
+impl LatencyRow {
+    /// Latency normalised per CAN frame.
+    pub fn per_frame(&self) -> SimTime {
+        SimTime::from_nanos(self.latency.as_nanos() / u64::from(self.frames.max(1)))
+    }
+}
+
+/// Table II, literature rows (ours excluded).
+pub fn table2_rows() -> Vec<LatencyRow> {
+    vec![
+        LatencyRow { model: "GRU [2]", latency: SimTime::from_millis(890), frames: 5_000, platform: "Jetson Xavier NX" },
+        LatencyRow { model: "MLIDS [3]", latency: SimTime::from_millis(275), frames: 1, platform: "GTX Titan X" },
+        LatencyRow { model: "NovelADS [10]", latency: SimTime::from_micros(128_700), frames: 100, platform: "Jetson Nano" },
+        LatencyRow { model: "DCNN [4]", latency: SimTime::from_millis(5), frames: 29, platform: "Tesla K80" },
+        LatencyRow { model: "TCAN-IDS [11]", latency: SimTime::from_micros(3_400), frames: 64, platform: "Jetson AGX" },
+        LatencyRow { model: "MTH-IDS [9]", latency: SimTime::from_micros(574), frames: 1, platform: "Raspberry Pi 3" },
+    ]
+}
+
+/// The paper's own Table II row (reference target).
+pub fn table2_qmlp_paper() -> LatencyRow {
+    LatencyRow {
+        model: "4-bit-QMLP (paper)",
+        latency: SimTime::from_micros(120),
+        frames: 1,
+        platform: "Zynq Ultrascale+",
+    }
+}
+
+/// The paper's in-text headline numbers (reference targets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PaperHeadlines {
+    /// Per-message processing latency.
+    pub latency: SimTime,
+    /// Messages per second at highest payload capacity.
+    pub throughput_fps: f64,
+    /// Board power during inference.
+    pub power_w: f64,
+    /// Energy per inference.
+    pub energy_mj: f64,
+    /// Resource share of the device.
+    pub resource_fraction: f64,
+    /// A6000 GPU reference energy per inference.
+    pub gpu_energy_j: f64,
+}
+
+/// The in-text results of Section II.
+pub fn paper_headlines() -> PaperHeadlines {
+    PaperHeadlines {
+        latency: SimTime::from_micros(120),
+        throughput_fps: 8_300.0,
+        power_w: 2.09,
+        energy_mj: 0.25,
+        resource_fraction: 0.04,
+        gpu_energy_j: 9.12,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn per_frame_normalisation() {
+        let dcnn = table2_rows()[3];
+        assert_eq!(dcnn.frames, 29);
+        let per_frame = dcnn.per_frame();
+        assert!((per_frame.as_micros_f64() - 5_000.0 / 29.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn qmlp_has_lowest_detection_delay() {
+        // The paper's point: a block IDS cannot produce a verdict before
+        // its whole invocation completes (and the block acquisition time
+        // is not even counted), so the detection delay is the invocation
+        // latency — and the QMLP's 0.12 ms beats every row.
+        let ours = table2_qmlp_paper().latency;
+        for row in table2_rows() {
+            assert!(ours < row.latency, "{} beats the QMLP?", row.model);
+        }
+    }
+
+    #[test]
+    fn mth_is_fastest_per_frame_literature_ids() {
+        // Among the per-message IDSs (frames == 1), MTH-IDS leads the
+        // literature; the paper quotes a 4.8x improvement over it.
+        let per_frame: Vec<_> = table2_rows()
+            .into_iter()
+            .filter(|r| r.frames == 1)
+            .collect();
+        let mth = per_frame
+            .iter()
+            .find(|r| r.model.starts_with("MTH"))
+            .copied()
+            .unwrap();
+        for row in &per_frame {
+            assert!(mth.latency <= row.latency, "{}", row.model);
+        }
+        let speedup =
+            mth.latency.as_secs_f64() / table2_qmlp_paper().latency.as_secs_f64();
+        assert!((4.0..5.5).contains(&speedup), "speedup {speedup} vs paper 4.8x");
+    }
+
+    #[test]
+    fn accuracy_rows_complete() {
+        assert_eq!(table1_dos().len(), 5);
+        assert_eq!(table1_fuzzy().len(), 5);
+        for row in table1_dos().into_iter().chain(table1_fuzzy()) {
+            assert!(row.precision > 99.0 && row.precision <= 100.0);
+            assert!(row.recall > 99.0 && row.recall <= 100.0);
+        }
+    }
+
+    #[test]
+    fn headlines_are_self_consistent() {
+        let h = paper_headlines();
+        // energy ≈ power × latency.
+        let derived_mj = h.power_w * h.latency.as_secs_f64() * 1e3;
+        assert!((derived_mj - h.energy_mj).abs() < 0.01, "{derived_mj}");
+        // throughput ≈ 1 / latency.
+        assert!(h.throughput_fps * h.latency.as_secs_f64() <= 1.05);
+    }
+}

@@ -1,0 +1,421 @@
+//! Minimal neural-network forward kernels for the baseline
+//! reimplementations: 2-D convolution, GRU/LSTM cells, global pooling and
+//! scaled-dot-product attention. These carry the baselines' *structure*
+//! (shapes and MAC counts drive the latency models); weights are seeded
+//! pseudo-random unless a caller trains/sets them.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A `channels × height × width` activation volume.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Volume {
+    /// Channel count.
+    pub channels: usize,
+    /// Height.
+    pub height: usize,
+    /// Width.
+    pub width: usize,
+    /// Row-major data, channel-major.
+    pub data: Vec<f32>,
+}
+
+impl Volume {
+    /// Zero-filled volume.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Volume {
+            channels,
+            height,
+            width,
+            data: vec![0.0; channels * height * width],
+        }
+    }
+
+    /// Value accessor.
+    pub fn at(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.height + y) * self.width + x]
+    }
+
+    /// Mutable value accessor.
+    pub fn at_mut(&mut self, c: usize, y: usize, x: usize) -> &mut f32 {
+        &mut self.data[(c * self.height + y) * self.width + x]
+    }
+}
+
+/// A 2-D convolution layer (stride 1, same padding) with ReLU.
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    weights: Vec<f32>,
+    bias: Vec<f32>,
+}
+
+impl Conv2d {
+    /// Creates a layer with seeded He-initialised weights.
+    pub fn new(in_channels: usize, out_channels: usize, kernel: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fan_in = (in_channels * kernel * kernel) as f32;
+        let bound = (2.0 / fan_in).sqrt();
+        Conv2d {
+            in_channels,
+            out_channels,
+            kernel,
+            weights: (0..in_channels * out_channels * kernel * kernel)
+                .map(|_| rng.gen_range(-bound..=bound))
+                .collect(),
+            bias: vec![0.0; out_channels],
+        }
+    }
+
+    /// MACs for one forward pass over an `h × w` input.
+    pub fn macs(&self, h: usize, w: usize) -> u64 {
+        (self.in_channels * self.out_channels * self.kernel * self.kernel * h * w) as u64
+    }
+
+    /// Forward pass with ReLU.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the input channel count differs from the layer's.
+    pub fn forward(&self, input: &Volume) -> Volume {
+        assert_eq!(input.channels, self.in_channels, "channel mismatch");
+        let (h, w) = (input.height, input.width);
+        let pad = self.kernel / 2;
+        let mut out = Volume::zeros(self.out_channels, h, w);
+        for oc in 0..self.out_channels {
+            for y in 0..h {
+                for x in 0..w {
+                    let mut acc = self.bias[oc];
+                    for ic in 0..self.in_channels {
+                        for ky in 0..self.kernel {
+                            for kx in 0..self.kernel {
+                                let iy = y as isize + ky as isize - pad as isize;
+                                let ix = x as isize + kx as isize - pad as isize;
+                                if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                    continue;
+                                }
+                                let wv = self.weights[((oc * self.in_channels + ic)
+                                    * self.kernel
+                                    + ky)
+                                    * self.kernel
+                                    + kx];
+                                acc += wv * input.at(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    *out.at_mut(oc, y, x) = acc.max(0.0);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// 2×2 max pooling (stride 2).
+pub fn max_pool2(input: &Volume) -> Volume {
+    let h = input.height / 2;
+    let w = input.width / 2;
+    let mut out = Volume::zeros(input.channels, h.max(1), w.max(1));
+    for c in 0..input.channels {
+        for y in 0..h.max(1) {
+            for x in 0..w.max(1) {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        let iy = (y * 2 + dy).min(input.height - 1);
+                        let ix = (x * 2 + dx).min(input.width - 1);
+                        m = m.max(input.at(c, iy, ix));
+                    }
+                }
+                *out.at_mut(c, y, x) = m;
+            }
+        }
+    }
+    out
+}
+
+/// Global average pooling to a per-channel vector.
+pub fn global_avg_pool(input: &Volume) -> Vec<f32> {
+    let n = (input.height * input.width) as f32;
+    (0..input.channels)
+        .map(|c| {
+            let mut s = 0.0;
+            for y in 0..input.height {
+                for x in 0..input.width {
+                    s += input.at(c, y, x);
+                }
+            }
+            s / n
+        })
+        .collect()
+}
+
+/// A gated recurrent unit cell.
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    /// Input size.
+    pub input: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    w: Vec<f32>, // 3 * hidden × (input + hidden + 1)
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl GruCell {
+    /// Creates a seeded cell.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 3 * hidden * (input + hidden + 1);
+        let bound = (1.0 / (input + hidden) as f32).sqrt();
+        GruCell {
+            input,
+            hidden,
+            w: (0..n).map(|_| rng.gen_range(-bound..=bound)).collect(),
+        }
+    }
+
+    /// MACs per time step.
+    pub fn macs(&self) -> u64 {
+        (3 * self.hidden * (self.input + self.hidden)) as u64
+    }
+
+    fn gate(&self, g: usize, j: usize, x: &[f32], h: &[f32]) -> f32 {
+        let row = &self.w[(g * self.hidden + j) * (self.input + self.hidden + 1)..];
+        let mut acc = row[self.input + self.hidden]; // bias
+        for (k, &xv) in x.iter().enumerate() {
+            acc += row[k] * xv;
+        }
+        for (k, &hv) in h.iter().enumerate() {
+            acc += row[self.input + k] * hv;
+        }
+        acc
+    }
+
+    /// One step: `h' = GRU(x, h)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn step(&self, x: &[f32], h: &[f32]) -> Vec<f32> {
+        assert_eq!(x.len(), self.input, "input size mismatch");
+        assert_eq!(h.len(), self.hidden, "hidden size mismatch");
+        let mut out = vec![0.0; self.hidden];
+        for (j, o) in out.iter_mut().enumerate() {
+            let z = sigmoid(self.gate(0, j, x, h));
+            let r = sigmoid(self.gate(1, j, x, h));
+            let rh: Vec<f32> = h.iter().map(|&v| v * r).collect();
+            let n = self.gate(2, j, x, &rh).tanh();
+            *o = (1.0 - z) * n + z * h[j];
+        }
+        out
+    }
+}
+
+/// A long short-term memory cell.
+#[derive(Debug, Clone)]
+pub struct LstmCell {
+    /// Input size.
+    pub input: usize,
+    /// Hidden size.
+    pub hidden: usize,
+    w: Vec<f32>, // 4 * hidden × (input + hidden + 1)
+}
+
+impl LstmCell {
+    /// Creates a seeded cell.
+    pub fn new(input: usize, hidden: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 4 * hidden * (input + hidden + 1);
+        let bound = (1.0 / (input + hidden) as f32).sqrt();
+        LstmCell {
+            input,
+            hidden,
+            w: (0..n).map(|_| rng.gen_range(-bound..=bound)).collect(),
+        }
+    }
+
+    /// MACs per time step.
+    pub fn macs(&self) -> u64 {
+        (4 * self.hidden * (self.input + self.hidden)) as u64
+    }
+
+    fn gate(&self, g: usize, j: usize, x: &[f32], h: &[f32]) -> f32 {
+        let row = &self.w[(g * self.hidden + j) * (self.input + self.hidden + 1)..];
+        let mut acc = row[self.input + self.hidden];
+        for (k, &xv) in x.iter().enumerate() {
+            acc += row[k] * xv;
+        }
+        for (k, &hv) in h.iter().enumerate() {
+            acc += row[self.input + k] * hv;
+        }
+        acc
+    }
+
+    /// One step: `(h', c') = LSTM(x, h, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch.
+    pub fn step(&self, x: &[f32], h: &[f32], c: &[f32]) -> (Vec<f32>, Vec<f32>) {
+        assert_eq!(x.len(), self.input, "input size mismatch");
+        assert_eq!(h.len(), self.hidden, "hidden size mismatch");
+        let mut h2 = vec![0.0; self.hidden];
+        let mut c2 = vec![0.0; self.hidden];
+        for j in 0..self.hidden {
+            let i = sigmoid(self.gate(0, j, x, h));
+            let f = sigmoid(self.gate(1, j, x, h));
+            let g = self.gate(2, j, x, h).tanh();
+            let o = sigmoid(self.gate(3, j, x, h));
+            c2[j] = f * c[j] + i * g;
+            h2[j] = o * c2[j].tanh();
+        }
+        (h2, c2)
+    }
+}
+
+/// Scaled dot-product self-attention over a `seq × dim` matrix
+/// (single head). Returns the attended sequence.
+pub fn self_attention(seq: &[Vec<f32>]) -> Vec<Vec<f32>> {
+    let n = seq.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let d = seq[0].len() as f32;
+    let mut out = Vec::with_capacity(n);
+    for q in seq {
+        let mut scores: Vec<f32> = seq
+            .iter()
+            .map(|k| {
+                q.iter().zip(k).map(|(a, b)| a * b).sum::<f32>() / d.sqrt()
+            })
+            .collect();
+        let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
+        let mut denom = 0.0;
+        for s in &mut scores {
+            *s = (*s - m).exp();
+            denom += *s;
+        }
+        let mut row = vec![0.0; seq[0].len()];
+        for (w, v) in scores.iter().zip(seq) {
+            for (r, &vv) in row.iter_mut().zip(v) {
+                *r += w / denom * vv;
+            }
+        }
+        out.push(row);
+    }
+    out
+}
+
+/// MACs of single-head self-attention over `seq × dim`.
+pub fn attention_macs(seq: usize, dim: usize) -> u64 {
+    // QK^T (seq²·dim) + weighted sum (seq²·dim).
+    (2 * seq * seq * dim) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_shapes_and_macs() {
+        let conv = Conv2d::new(1, 8, 3, 1);
+        let input = Volume::zeros(1, 29, 29);
+        let out = conv.forward(&input);
+        assert_eq!((out.channels, out.height, out.width), (8, 29, 29));
+        assert_eq!(conv.macs(29, 29), (1 * 8 * 9 * 29 * 29) as u64);
+    }
+
+    #[test]
+    fn conv_identity_kernel_behaviour() {
+        // All-zero input stays zero (bias 0, ReLU).
+        let conv = Conv2d::new(2, 3, 3, 2);
+        let out = conv.forward(&Volume::zeros(2, 8, 8));
+        assert!(out.data.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn conv_relu_is_nonnegative() {
+        let conv = Conv2d::new(1, 4, 3, 3);
+        let mut input = Volume::zeros(1, 6, 6);
+        for (i, v) in input.data.iter_mut().enumerate() {
+            *v = (i as f32 * 0.7).sin();
+        }
+        let out = conv.forward(&input);
+        assert!(out.data.iter().all(|&v| v >= 0.0));
+        assert!(out.data.iter().any(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn max_pool_halves_dimensions() {
+        let mut input = Volume::zeros(1, 4, 4);
+        *input.at_mut(0, 0, 0) = 5.0;
+        *input.at_mut(0, 3, 3) = 7.0;
+        let out = max_pool2(&input);
+        assert_eq!((out.height, out.width), (2, 2));
+        assert_eq!(out.at(0, 0, 0), 5.0);
+        assert_eq!(out.at(0, 1, 1), 7.0);
+    }
+
+    #[test]
+    fn global_pool_averages() {
+        let mut input = Volume::zeros(2, 2, 2);
+        for v in &mut input.data[0..4] {
+            *v = 2.0;
+        }
+        let pooled = global_avg_pool(&input);
+        assert_eq!(pooled, vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn gru_step_bounded_and_stateful() {
+        let cell = GruCell::new(8, 16, 4);
+        let x = vec![0.5; 8];
+        let h0 = vec![0.0; 16];
+        let h1 = cell.step(&x, &h0);
+        let h2 = cell.step(&x, &h1);
+        assert_eq!(h1.len(), 16);
+        assert_ne!(h1, h2, "state must evolve");
+        assert!(h1.iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        assert_eq!(cell.macs(), 3 * 16 * (8 + 16));
+    }
+
+    #[test]
+    fn lstm_step_bounded_and_stateful() {
+        let cell = LstmCell::new(8, 16, 5);
+        let x = vec![0.5; 8];
+        let (h1, c1) = cell.step(&x, &vec![0.0; 16], &vec![0.0; 16]);
+        let (h2, _) = cell.step(&x, &h1, &c1);
+        assert_ne!(h1, h2);
+        assert!(h1.iter().all(|v| v.abs() <= 1.0 + 1e-5));
+        assert_eq!(cell.macs(), 4 * 16 * (8 + 16));
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let seq = vec![vec![1.0, 0.0], vec![0.0, 1.0], vec![0.5, 0.5]];
+        let out = self_attention(&seq);
+        assert_eq!(out.len(), 3);
+        for row in &out {
+            // Convex combination of inputs whose coordinates sum to 1.
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5, "sum {s}");
+        }
+        assert_eq!(attention_macs(3, 2), 2 * 9 * 2);
+        assert!(self_attention(&[]).is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = Conv2d::new(1, 2, 3, 9).forward(&Volume::zeros(1, 4, 4));
+        let b = Conv2d::new(1, 2, 3, 9).forward(&Volume::zeros(1, 4, 4));
+        assert_eq!(a, b);
+    }
+}

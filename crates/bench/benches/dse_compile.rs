@@ -1,0 +1,42 @@
+//! Criterion bench for the DSE engine: export, folding and full IP
+//! compilation of the paper topology.
+
+use canids_bench::untrained_model;
+use canids_dataflow::folding::{auto_fold, FoldingGoal};
+use canids_dataflow::graph::DataflowGraph;
+use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
+use canids_qnn::mlp::{MlpConfig, QuantMlp};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_dse(c: &mut Criterion) {
+    let mlp = QuantMlp::new(MlpConfig::paper_4bit()).unwrap();
+    let model = untrained_model();
+    let graph = DataflowGraph::from_integer_mlp(&model).unwrap();
+
+    let mut group = c.benchmark_group("dse_compile");
+    group.bench_function("integer_export", |b| b.iter(|| mlp.export().unwrap()));
+    group.bench_function("auto_fold_target_fps", |b| {
+        b.iter(|| {
+            auto_fold(
+                black_box(&graph),
+                FoldingGoal::TargetFps {
+                    fps: 100_000.0,
+                    clock_hz: 200_000_000,
+                },
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("full_ip_compile", |b| {
+        b.iter(|| AcceleratorIp::compile(black_box(&model), CompileConfig::default()).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_dse
+}
+criterion_main!(benches);

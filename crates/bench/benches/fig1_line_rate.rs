@@ -1,0 +1,45 @@
+//! Criterion bench for the Fig. 1 / throughput substrate: frame encoding
+//! and saturated-bus simulation speed.
+
+use canids_can::bits::encode_frame;
+use canids_can::bus::{Bus, BusConfig};
+use canids_can::frame::{CanFrame, CanId};
+use canids_can::node::CanController;
+use canids_can::time::SimTime;
+use canids_can::timing::{max_frame_rate, Bitrate};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_fig1(c: &mut Criterion) {
+    let frame = CanFrame::new(CanId::standard(0x2C0).unwrap(), &[0xA5; 8]).unwrap();
+
+    let mut group = c.benchmark_group("fig1_line_rate");
+    group.bench_function("encode_frame", |b| {
+        b.iter(|| encode_frame(black_box(&frame)))
+    });
+    group.bench_function("analytic_line_rate", |b| {
+        b.iter(|| max_frame_rate(black_box(Bitrate::HIGH_SPEED_1M), 8).unwrap())
+    });
+    group.bench_function("saturated_bus_10ms", |b| {
+        b.iter(|| {
+            let mut bus = Bus::new(BusConfig {
+                bitrate: Bitrate::HIGH_SPEED_1M,
+                ..BusConfig::default()
+            });
+            let tx = bus.add_node(CanController::default());
+            let frames: Vec<(SimTime, CanFrame)> =
+                (0..200).map(|_| (SimTime::ZERO, frame)).collect();
+            bus.attach_source(tx, Box::new(frames.into_iter()));
+            bus.run_until(SimTime::from_millis(10));
+            black_box(bus.stats().frames_delivered)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig1
+}
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benches of the substrate kernels: CRC-15, bit
+//! stuffing, QAT matmul and the decision-tree baseline.
+
+use canids_baselines::mth::DecisionTree;
+use canids_can::bits::{destuff, stuff};
+use canids_can::crc::crc15;
+use canids_qnn::tensor::{linear_forward, Matrix};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_substrates(c: &mut Criterion) {
+    let bits: Vec<bool> = (0..98).map(|i| (i * 7) % 3 == 0).collect();
+    let stuffed = stuff(&bits);
+
+    let mut group = c.benchmark_group("substrates");
+    group.bench_function("crc15_98bits", |b| b.iter(|| crc15(black_box(&bits))));
+    group.bench_function("stuff_98bits", |b| b.iter(|| stuff(black_box(&bits))));
+    group.bench_function("destuff", |b| b.iter(|| destuff(black_box(&stuffed)).unwrap()));
+
+    // The QAT hot loop: batch-64 forward through the first paper layer.
+    let x = Matrix::zeros(64, 75);
+    let w = Matrix::zeros(64, 75);
+    let bias = vec![0.0f32; 64];
+    group.bench_function("linear_forward_64x75x64", |b| {
+        b.iter(|| linear_forward(black_box(&x), black_box(&w), black_box(&bias)))
+    });
+
+    // Decision-tree predict (the MTH-IDS baseline's hot path).
+    let xs: Vec<Vec<f32>> = (0..512)
+        .map(|i| vec![(i % 7) as f32, (i % 5) as f32, (i % 3) as f32])
+        .collect();
+    let ys: Vec<usize> = (0..512).map(|i| usize::from(i % 7 > 3)).collect();
+    let tree = DecisionTree::fit(&xs, &ys, 8);
+    group.bench_function("decision_tree_predict", |b| {
+        b.iter(|| tree.predict(black_box(&[3.0, 2.0, 1.0])))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_substrates
+}
+criterion_main!(benches);

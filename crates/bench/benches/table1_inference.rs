@@ -1,0 +1,41 @@
+//! Criterion bench for Table I's engine: per-frame inference through the
+//! integer model and the cycle-accurate accelerator simulator.
+
+use canids_bench::{untrained_ip, untrained_model};
+use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
+use canids_can::frame::{CanFrame, CanId};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let model = untrained_model();
+    let ip = untrained_ip();
+    let sim = ip.simulator();
+    let encoder = IdBitsPayloadBits::default();
+    let frame = CanFrame::new(
+        CanId::standard(0x316).unwrap(),
+        &[0x05, 0x21, 0x68, 0x09, 0x21, 0x21, 0x00, 0x6F],
+    )
+    .unwrap();
+    let bits = encoder.encode(&frame);
+    let x: Vec<u32> = bits.iter().map(|&b| u32::from(b >= 0.5)).collect();
+
+    let mut group = c.benchmark_group("table1");
+    group.bench_function("feature_encode", |b| {
+        b.iter(|| encoder.encode(black_box(&frame)))
+    });
+    group.bench_function("integer_mlp_infer", |b| {
+        b.iter(|| model.infer(black_box(&x)))
+    });
+    group.bench_function("cycle_accurate_sim_frame", |b| {
+        b.iter(|| sim.run(black_box(std::slice::from_ref(&x))))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_table1
+}
+criterion_main!(benches);

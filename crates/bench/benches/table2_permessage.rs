@@ -1,0 +1,26 @@
+//! Criterion bench for Table II's engine: the full simulated per-message
+//! driver path (pack → MMIO → poll → read) on the ZCU104 board model.
+
+use canids_bench::untrained_ip;
+use canids_soc::board::{BoardConfig, Zcu104Board};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let mut board = Zcu104Board::new(BoardConfig::default());
+    let idx = board.attach_accelerator(untrained_ip()).unwrap();
+    let bits: Vec<f32> = (0..75).map(|i| f32::from(i % 2 == 0)).collect();
+
+    let mut group = c.benchmark_group("table2");
+    group.bench_function("driver_infer_call", |b| {
+        b.iter(|| board.infer(idx, black_box(&bits)).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_table2
+}
+criterion_main!(benches);

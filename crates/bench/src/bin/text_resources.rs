@@ -1,0 +1,97 @@
+//! Regenerates the in-text resource result: "the single model deployed
+//! consumes less than 4% of resources on the device, allowing multiple
+//! models to be executed simultaneously".
+//!
+//! ```sh
+//! cargo run --release -p canids-bench --bin text_resources
+//! ```
+
+use canids_bench::untrained_ip;
+use canids_core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let ip = untrained_ip();
+    let usage = ip.resources();
+    let util = ip.utilization(Device::ZCU104);
+
+    let mut table = Table::new(
+        "E5 — resource utilisation on the ZCU104 (XCZU7EV)",
+        &["Resource", "Used", "Available", "Share"],
+    );
+    table.push_row(&[
+        "LUT".to_owned(),
+        usage.lut.to_string(),
+        Device::ZCU104.luts.to_string(),
+        format!("{:.2}%", util.lut * 100.0),
+    ]);
+    table.push_row(&[
+        "FF".to_owned(),
+        usage.ff.to_string(),
+        Device::ZCU104.ffs.to_string(),
+        format!("{:.2}%", util.ff * 100.0),
+    ]);
+    table.push_row(&[
+        "BRAM36".to_owned(),
+        usage.bram36.to_string(),
+        Device::ZCU104.bram36.to_string(),
+        format!("{:.2}%", util.bram36 * 100.0),
+    ]);
+    table.push_row(&[
+        "DSP".to_owned(),
+        usage.dsp.to_string(),
+        Device::ZCU104.dsps.to_string(),
+        format!("{:.2}%", util.dsp * 100.0),
+    ]);
+    println!("{table}");
+
+    println!(
+        "peak share {:.2}% (paper: <4%)",
+        util.max_fraction() * 100.0
+    );
+    println!(
+        "device headroom: {} copies of this IP would fit",
+        Device::ZCU104.fit_count(usage)
+    );
+
+    // Folding ablation: resource/latency trade-off around the deployment point.
+    let mut ablation = Table::new(
+        "Folding ablation (paper topology, 200 MHz)",
+        &["Goal", "LUT", "II cycles", "Latency us", "Peak fps"],
+    );
+    use canids_dataflow::folding::FoldingGoal;
+    for (name, goal) in [
+        ("min-resource", FoldingGoal::MinResource),
+        (
+            "100k fps",
+            FoldingGoal::TargetFps {
+                fps: 100_000.0,
+                clock_hz: 200_000_000,
+            },
+        ),
+        (
+            "1M fps (deployed)",
+            FoldingGoal::TargetFps {
+                fps: 1_000_000.0,
+                clock_hz: 200_000_000,
+            },
+        ),
+        ("max-parallel", FoldingGoal::MaxParallel),
+    ] {
+        let ip = AcceleratorIp::compile(
+            &canids_bench::untrained_model(),
+            CompileConfig {
+                goal,
+                ..CompileConfig::default()
+            },
+        )?;
+        ablation.push_row(&[
+            name.to_owned(),
+            ip.resources().lut.to_string(),
+            ip.initiation_interval().to_string(),
+            format!("{:.2}", ip.latency_secs() * 1e6),
+            format!("{:.0}", ip.peak_throughput_fps()),
+        ]);
+    }
+    println!("{ablation}");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Shared helpers for the benchmark harness: paper-scale pipeline
+//! configurations and quick model constructors used by both the
+//! table-generator binaries and the Criterion benches.
+
+use canids_core::pipeline::PipelineConfig;
+use canids_can::time::SimTime;
+use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
+use canids_qnn::export::IntegerMlp;
+use canids_qnn::mlp::{MlpConfig, QuantMlp};
+
+/// The capture length used by the table binaries (long enough for
+/// paper-band metrics, short enough to regenerate in seconds).
+pub fn harness_duration() -> SimTime {
+    SimTime::from_secs(12)
+}
+
+/// Paper-scale DoS pipeline configuration for the harness.
+pub fn harness_dos() -> PipelineConfig {
+    PipelineConfig {
+        capture_duration: harness_duration(),
+        ..PipelineConfig::dos()
+    }
+}
+
+/// Paper-scale Fuzzy pipeline configuration for the harness.
+pub fn harness_fuzzy() -> PipelineConfig {
+    PipelineConfig {
+        capture_duration: harness_duration(),
+        ..PipelineConfig::fuzzy()
+    }
+}
+
+/// An untrained (weights-seeded) integer model with the paper topology —
+/// sufficient for latency/resource benches, which do not depend on
+/// weight values.
+pub fn untrained_model() -> IntegerMlp {
+    QuantMlp::new(MlpConfig::paper_4bit())
+        .expect("paper topology is valid")
+        .export()
+        .expect("export of a fresh model succeeds")
+}
+
+/// A compiled IP of the paper topology.
+pub fn untrained_ip() -> AcceleratorIp {
+    AcceleratorIp::compile(&untrained_model(), CompileConfig::default())
+        .expect("compilation of the paper topology succeeds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_produce_paper_topology() {
+        let model = untrained_model();
+        assert_eq!(model.layer_dims(), vec![(75, 64), (64, 32), (32, 2)]);
+        let ip = untrained_ip();
+        assert_eq!(ip.input_dim(), 75);
+        assert_eq!(harness_dos().capture_duration, harness_duration());
+        assert_eq!(harness_fuzzy().capture_duration, harness_duration());
+    }
+}

@@ -1,0 +1,163 @@
+//! CSMA/CR identifier arbitration.
+//!
+//! When several controllers start transmitting in the same bit slot, the
+//! bus resolves the collision bitwise: a dominant (0) bit overwrites a
+//! recessive (1) bit, so the frame whose arbitration field has the first
+//! dominant bit where others are recessive wins, without destroying it.
+//!
+//! The arbitration field covers the identifier plus the RTR/SRR/IDE bits,
+//! which gives the full ordering: lower identifier wins; for an equal
+//! 11-bit prefix a standard data frame beats the standard remote frame and
+//! both beat extended frames; extended data beats extended remote.
+
+use crate::frame::{CanFrame, CanId};
+
+/// The on-wire arbitration field of a frame, as a comparable bit sequence.
+///
+/// Ordering matches bus priority: the `Ord::cmp` minimum is the arbitration
+/// winner.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::arbitration::ArbitrationField;
+/// use canids_can::frame::{CanFrame, CanId};
+///
+/// let hi = CanFrame::new(CanId::standard(0x000)?, &[])?;
+/// let lo = CanFrame::new(CanId::standard(0x001)?, &[])?;
+/// assert!(ArbitrationField::of(&hi) < ArbitrationField::of(&lo));
+/// # Ok::<(), canids_can::FrameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ArbitrationField {
+    bits: Vec<bool>,
+}
+
+impl ArbitrationField {
+    /// Extracts the arbitration bit sequence of a frame.
+    pub fn of(frame: &CanFrame) -> Self {
+        let mut bits = Vec::with_capacity(32);
+        match frame.id() {
+            CanId::Standard(id) => {
+                for i in (0..11).rev() {
+                    bits.push((id >> i) & 1 == 1);
+                }
+                bits.push(frame.is_remote()); // RTR
+                bits.push(false); // IDE = 0
+            }
+            CanId::Extended(id) => {
+                let base = (id >> 18) & 0x7FF;
+                for i in (0..11).rev() {
+                    bits.push((base >> i) & 1 == 1);
+                }
+                bits.push(true); // SRR (recessive)
+                bits.push(true); // IDE = 1
+                for i in (0..18).rev() {
+                    bits.push((id >> i) & 1 == 1);
+                }
+                bits.push(frame.is_remote()); // RTR
+            }
+        }
+        ArbitrationField { bits }
+    }
+
+    /// The raw arbitration bits (dominant = `false`).
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+}
+
+/// Returns the index of the frame that wins arbitration among `contenders`.
+///
+/// Returns `None` for an empty slice. Ties (identical arbitration fields)
+/// resolve to the lowest index; on a real bus two nodes transmitting the
+/// same identifier simultaneously would cause a bit error — the simulator's
+/// [`crate::bus::Bus`] counts this case separately.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::arbitration::arbitrate;
+/// use canids_can::frame::{CanFrame, CanId};
+///
+/// let a = CanFrame::new(CanId::standard(0x3A0)?, &[])?;
+/// let dos = CanFrame::new(CanId::standard(0x000)?, &[])?; // flood frame
+/// assert_eq!(arbitrate(&[a, dos]), Some(1));
+/// # Ok::<(), canids_can::FrameError>(())
+/// ```
+pub fn arbitrate(contenders: &[CanFrame]) -> Option<usize> {
+    contenders
+        .iter()
+        .enumerate()
+        .min_by(|(_, a), (_, b)| ArbitrationField::of(a).cmp(&ArbitrationField::of(b)))
+        .map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{CanFrame, CanId, Dlc};
+
+    fn sf(id: u16) -> CanFrame {
+        CanFrame::new(CanId::standard(id).unwrap(), &[]).unwrap()
+    }
+
+    fn ef(id: u32) -> CanFrame {
+        CanFrame::new(CanId::extended(id).unwrap(), &[]).unwrap()
+    }
+
+    #[test]
+    fn lower_id_wins() {
+        assert_eq!(arbitrate(&[sf(0x100), sf(0x0FF), sf(0x700)]), Some(1));
+    }
+
+    #[test]
+    fn zero_id_always_wins() {
+        // The DoS attack exploits exactly this property.
+        let frames = [sf(0x001), sf(0x7FF), sf(0x000), sf(0x100)];
+        assert_eq!(arbitrate(&frames), Some(2));
+    }
+
+    #[test]
+    fn data_frame_beats_remote_frame_same_id() {
+        let data = sf(0x123);
+        let remote = CanFrame::remote(CanId::standard(0x123).unwrap(), Dlc::new(0).unwrap());
+        assert_eq!(arbitrate(&[remote, data]), Some(1));
+    }
+
+    #[test]
+    fn standard_beats_extended_with_same_base() {
+        // Same 11-bit prefix: the standard frame's IDE bit is dominant.
+        let s = sf(0x123);
+        let e = ef(0x123 << 18);
+        assert_eq!(arbitrate(&[e, s]), Some(1));
+    }
+
+    #[test]
+    fn extended_ordering_uses_extension_bits() {
+        let a = ef((0x100 << 18) | 5);
+        let b = ef((0x100 << 18) | 9);
+        assert_eq!(arbitrate(&[b, a]), Some(1));
+    }
+
+    #[test]
+    fn empty_slice_has_no_winner() {
+        assert_eq!(arbitrate(&[]), None);
+    }
+
+    #[test]
+    fn tie_resolves_to_first() {
+        assert_eq!(arbitrate(&[sf(0x42), sf(0x42)]), Some(0));
+    }
+
+    #[test]
+    fn winner_is_global_minimum() {
+        let mut frames = Vec::new();
+        for i in 0..32u16 {
+            frames.push(sf((i * 37 + 11) & 0x7FF));
+        }
+        let w = arbitrate(&frames).unwrap();
+        let min_id = frames.iter().map(|f| f.id().raw()).min().unwrap();
+        assert_eq!(frames[w].id().raw(), min_id);
+    }
+}

@@ -1,0 +1,526 @@
+//! Event-driven multi-node bus simulator.
+//!
+//! The simulator advances frame by frame: at every bus-idle point it pulls
+//! the highest-priority pending frame from each attached controller,
+//! resolves arbitration bitwise, computes the winner's wire duration from
+//! the *encoded* bit sequence (stuff bits included) and delivers the frame
+//! to every other node at end-of-frame time. Optional Bernoulli bit-error
+//! injection exercises error frames, retransmission and the
+//! error-confinement counters.
+
+use crate::arbitration::arbitrate;
+use crate::error::CanError;
+use crate::frame::CanFrame;
+use crate::node::CanController;
+use crate::time::SimTime;
+use crate::timing::{frame_slot_duration, Bitrate};
+
+/// Bits occupied by an active error frame plus delimiter and intermission
+/// (6-bit error flag + up to 6 echo bits + 8-bit delimiter + 3-bit IFS).
+const ERROR_FRAME_BITS: u64 = 23;
+
+/// A frame source attached to a node: the ECU application behaviour.
+///
+/// Implementors yield `(release_time, frame)` pairs in non-decreasing time
+/// order. The bus queues each frame into the node's controller once
+/// simulation time reaches `release_time`; actual wire transmission then
+/// depends on arbitration.
+pub trait TrafficSource {
+    /// The next frame this source wants to transmit, or `None` when the
+    /// source is exhausted.
+    fn next_frame(&mut self) -> Option<(SimTime, CanFrame)>;
+}
+
+impl<I> TrafficSource for I
+where
+    I: Iterator<Item = (SimTime, CanFrame)>,
+{
+    fn next_frame(&mut self) -> Option<(SimTime, CanFrame)> {
+        self.next()
+    }
+}
+
+/// Bus-level configuration.
+#[derive(Debug, Clone)]
+pub struct BusConfig {
+    /// Nominal bitrate of the segment.
+    pub bitrate: Bitrate,
+    /// Per-frame probability of a bit error (0.0 disables error injection).
+    pub error_rate: f64,
+    /// Seed for the deterministic error-injection generator.
+    pub seed: u64,
+    /// Record delivered frames in the event trace.
+    pub record_events: bool,
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig {
+            bitrate: Bitrate::HIGH_SPEED_500K,
+            error_rate: 0.0,
+            seed: 0xCA5_1D5,
+            record_events: true,
+        }
+    }
+}
+
+/// A frame that completed on the wire.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusEvent {
+    /// End-of-frame time.
+    pub time: SimTime,
+    /// The delivered frame.
+    pub frame: CanFrame,
+    /// Index of the transmitting node.
+    pub sender: usize,
+}
+
+/// Aggregate bus statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BusStats {
+    /// Frames delivered successfully.
+    pub frames_delivered: u64,
+    /// Error frames observed.
+    pub error_frames: u64,
+    /// Total wire-busy time.
+    pub busy_time: SimTime,
+    /// Frames dropped because a controller's TX queue was full at release.
+    pub release_drops: u64,
+}
+
+impl BusStats {
+    /// Bus utilisation in `[0, 1]` over the elapsed simulation time.
+    pub fn utilization(&self, elapsed: SimTime) -> f64 {
+        if elapsed == SimTime::ZERO {
+            0.0
+        } else {
+            self.busy_time.as_secs_f64() / elapsed.as_secs_f64()
+        }
+    }
+}
+
+struct NodeSlot {
+    controller: CanController,
+    source: Option<Box<dyn TrafficSource>>,
+    /// Next frame peeked from the source but not yet released.
+    staged: Option<(SimTime, CanFrame)>,
+}
+
+/// The event-driven CAN bus.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::prelude::*;
+///
+/// # fn main() -> Result<(), CanError> {
+/// let mut bus = Bus::new(BusConfig::default());
+/// let tx = bus.add_node(CanController::default());
+/// let rx = bus.add_node(CanController::default());
+///
+/// let frame = CanFrame::new(CanId::standard(0x42)?, &[1, 2, 3])?;
+/// let schedule = vec![(SimTime::ZERO, frame)];
+/// bus.attach_source(tx, Box::new(schedule.into_iter()));
+///
+/// bus.run_until(SimTime::from_millis(1));
+/// assert_eq!(bus.controller(rx).rx_pending(), 1);
+/// # Ok(())
+/// # }
+/// ```
+pub struct Bus {
+    config: BusConfig,
+    nodes: Vec<NodeSlot>,
+    now: SimTime,
+    stats: BusStats,
+    events: Vec<BusEvent>,
+    rng_state: u64,
+}
+
+impl std::fmt::Debug for Bus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Bus")
+            .field("nodes", &self.nodes.len())
+            .field("now", &self.now)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new(config: BusConfig) -> Self {
+        let rng_state = config.seed | 1;
+        Bus {
+            config,
+            nodes: Vec::new(),
+            now: SimTime::ZERO,
+            stats: BusStats::default(),
+            events: Vec::new(),
+            rng_state,
+        }
+    }
+
+    /// Attaches a controller as a new node; returns its node index.
+    pub fn add_node(&mut self, controller: CanController) -> usize {
+        self.nodes.push(NodeSlot {
+            controller,
+            source: None,
+            staged: None,
+        });
+        self.nodes.len() - 1
+    }
+
+    /// Attaches (or replaces) the traffic source of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn attach_source(&mut self, node: usize, mut source: Box<dyn TrafficSource>) {
+        let staged = source.next_frame();
+        let slot = &mut self.nodes[node];
+        slot.source = Some(source);
+        slot.staged = staged;
+    }
+
+    /// Shared access to a node's controller.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn controller(&self, node: usize) -> &CanController {
+        &self.nodes[node].controller
+    }
+
+    /// Exclusive access to a node's controller (e.g. to drain its RX FIFO).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn controller_mut(&mut self, node: usize) -> &mut CanController {
+        &mut self.nodes[node].controller
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Aggregate statistics so far.
+    pub fn stats(&self) -> BusStats {
+        self.stats
+    }
+
+    /// Number of attached nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Drains the recorded frame-delivery trace.
+    pub fn take_events(&mut self) -> Vec<BusEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    fn next_bernoulli(&mut self) -> f64 {
+        // xorshift64*; deterministic and cheap.
+        let mut x = self.rng_state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.rng_state = x;
+        let mantissa = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+        mantissa as f64 / (1u64 << 53) as f64
+    }
+
+    /// Releases staged source frames whose time has come into the
+    /// corresponding controllers. A full TX queue stalls the source (the
+    /// application retries on the next idle point, as a blocked ECU task
+    /// would); a bus-off controller drops the frame.
+    fn release_staged(&mut self) {
+        for slot in &mut self.nodes {
+            loop {
+                match slot.staged {
+                    Some((t, frame)) if t <= self.now => {
+                        match slot.controller.queue_tx(frame) {
+                            Ok(()) => {
+                                slot.staged =
+                                    slot.source.as_mut().and_then(|s| s.next_frame());
+                            }
+                            Err(CanError::TxQueueFull) => break, // stall the source
+                            Err(CanError::BusOff) => {
+                                self.stats.release_drops += 1;
+                                slot.staged =
+                                    slot.source.as_mut().and_then(|s| s.next_frame());
+                            }
+                            Err(_) => unreachable!("queue_tx returns only queue/bus-off errors"),
+                        }
+                    }
+                    _ => break,
+                }
+            }
+        }
+    }
+
+    /// Earliest staged release time across all sources.
+    fn next_release(&self) -> Option<SimTime> {
+        self.nodes
+            .iter()
+            .filter_map(|s| s.staged.map(|(t, _)| t))
+            .min()
+    }
+
+    /// Runs the simulation until `end` (frames starting before `end` run to
+    /// completion, so [`Bus::now`] may end slightly past `end`).
+    pub fn run_until(&mut self, end: SimTime) {
+        while self.now < end {
+            self.release_staged();
+
+            // Collect arbitration contenders: head frame per ready node.
+            let mut contenders: Vec<(usize, CanFrame)> = Vec::new();
+            for (i, slot) in self.nodes.iter().enumerate() {
+                if slot.controller.error_state() == crate::node::ErrorState::BusOff {
+                    continue;
+                }
+                if let Some(frame) = slot.controller.peek_tx() {
+                    contenders.push((i, *frame));
+                }
+            }
+
+            if contenders.is_empty() {
+                match self.next_release() {
+                    Some(t) if t < end => {
+                        self.now = t.max(self.now + SimTime::from_nanos(1));
+                    }
+                    _ => {
+                        self.now = end;
+                        break;
+                    }
+                }
+                continue;
+            }
+
+            let frames: Vec<CanFrame> = contenders.iter().map(|(_, f)| *f).collect();
+            let widx = arbitrate(&frames).expect("contenders is non-empty");
+            let (winner_node, frame) = contenders[widx];
+
+            for &(node, _) in contenders.iter().filter(|(n, _)| *n != winner_node) {
+                self.nodes[node].controller.on_arbitration_loss();
+            }
+
+            let slot_dur = frame_slot_duration(&frame, self.config.bitrate);
+            let inject_error =
+                self.config.error_rate > 0.0 && self.next_bernoulli() < self.config.error_rate;
+
+            if inject_error {
+                // Error frame: wire occupied for a partial frame plus the
+                // error flag/delimiter; the frame stays queued for retry.
+                let error_dur = slot_dur + self.config.bitrate.bit_time().mul_u64(ERROR_FRAME_BITS);
+                self.stats.error_frames += 1;
+                self.stats.busy_time += error_dur;
+                self.nodes[winner_node].controller.on_tx_error();
+                for (i, slot) in self.nodes.iter_mut().enumerate() {
+                    if i != winner_node {
+                        slot.controller.on_rx_error();
+                    }
+                }
+                self.now += error_dur;
+                continue;
+            }
+
+            let eof_time = self.now + slot_dur;
+            let sent = self.nodes[winner_node]
+                .controller
+                .pop_tx()
+                .expect("winner had a pending frame");
+            debug_assert_eq!(sent, frame);
+            self.nodes[winner_node].controller.on_tx_success();
+
+            let self_reception = self.nodes[winner_node].controller.config().self_reception;
+            for (i, slot) in self.nodes.iter_mut().enumerate() {
+                if i != winner_node || self_reception {
+                    slot.controller.on_rx(eof_time, frame);
+                }
+            }
+
+            self.stats.frames_delivered += 1;
+            self.stats.busy_time += slot_dur;
+            if self.config.record_events {
+                self.events.push(BusEvent {
+                    time: eof_time,
+                    frame,
+                    sender: winner_node,
+                });
+            }
+            self.now = eof_time;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{CanFrame, CanId};
+    use crate::node::{ControllerConfig, ErrorState};
+
+    fn sf(id: u16, payload: &[u8]) -> CanFrame {
+        CanFrame::new(CanId::standard(id).unwrap(), payload).unwrap()
+    }
+
+    fn periodic(id: u16, period_us: u64, count: usize) -> Box<dyn TrafficSource> {
+        let frames: Vec<(SimTime, CanFrame)> = (0..count)
+            .map(|i| {
+                (
+                    SimTime::from_micros(period_us * i as u64),
+                    sf(id, &[i as u8]),
+                )
+            })
+            .collect();
+        Box::new(frames.into_iter())
+    }
+
+    #[test]
+    fn single_sender_delivers_to_all_receivers() {
+        let mut bus = Bus::new(BusConfig::default());
+        let tx = bus.add_node(CanController::default());
+        let rx1 = bus.add_node(CanController::default());
+        let rx2 = bus.add_node(CanController::default());
+        bus.attach_source(tx, periodic(0x100, 1_000, 5));
+        bus.run_until(SimTime::from_millis(10));
+        assert_eq!(bus.controller(rx1).rx_pending(), 5);
+        assert_eq!(bus.controller(rx2).rx_pending(), 5);
+        assert_eq!(bus.controller(tx).rx_pending(), 0, "no self reception");
+        assert_eq!(bus.stats().frames_delivered, 5);
+    }
+
+    #[test]
+    fn events_are_timestamped_in_order() {
+        let mut bus = Bus::new(BusConfig::default());
+        let tx = bus.add_node(CanController::default());
+        let _rx = bus.add_node(CanController::default());
+        bus.attach_source(tx, periodic(0x200, 500, 20));
+        bus.run_until(SimTime::from_millis(50));
+        let events = bus.take_events();
+        assert_eq!(events.len(), 20);
+        for w in events.windows(2) {
+            assert!(w[0].time <= w[1].time);
+        }
+    }
+
+    #[test]
+    fn arbitration_favours_lower_id_under_contention() {
+        // Two nodes release at the same instant; the lower ID must always
+        // win the first slot.
+        let mut bus = Bus::new(BusConfig::default());
+        let hi = bus.add_node(CanController::default());
+        let lo = bus.add_node(CanController::default());
+        let _rx = bus.add_node(CanController::default());
+        bus.attach_source(hi, periodic(0x700, 0, 1));
+        bus.attach_source(lo, periodic(0x001, 0, 1));
+        bus.run_until(SimTime::from_millis(2));
+        let events = bus.take_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].frame.id().raw(), 0x001);
+        assert_eq!(events[0].sender, lo);
+        assert!(bus.controller(hi).stats().arbitration_losses >= 1);
+    }
+
+    #[test]
+    fn dos_flood_starves_normal_traffic() {
+        // A malicious node flooding ID 0x000 with zero inter-frame gap
+        // monopolises the bus; normal traffic backlog grows.
+        let mut bus = Bus::new(BusConfig {
+            bitrate: Bitrate::HIGH_SPEED_500K,
+            ..BusConfig::default()
+        });
+        let normal = bus.add_node(CanController::default());
+        let attacker = bus.add_node(CanController::default());
+        let _obs = bus.add_node(CanController::default());
+        bus.attach_source(normal, periodic(0x0F0, 250, 200));
+        bus.attach_source(attacker, periodic(0x000, 0, 10_000));
+        bus.run_until(SimTime::from_millis(20));
+        let events = bus.take_events();
+        let dos = events.iter().filter(|e| e.frame.id().raw() == 0).count();
+        let norm = events.len() - dos;
+        assert!(dos > 10 * norm.max(1), "dos={dos} normal={norm}");
+    }
+
+    #[test]
+    fn bus_utilization_bounded() {
+        let mut bus = Bus::new(BusConfig::default());
+        let tx = bus.add_node(CanController::default());
+        let _rx = bus.add_node(CanController::default());
+        bus.attach_source(tx, periodic(0x111, 0, 1_000));
+        let horizon = SimTime::from_millis(20);
+        bus.run_until(horizon);
+        let u = bus.stats().utilization(bus.now());
+        assert!(u > 0.95 && u <= 1.0, "u = {u}");
+    }
+
+    #[test]
+    fn error_injection_triggers_retransmission() {
+        // 5 % frame-error rate: the TEC random walk (+8 on error, -1 on
+        // success) has negative drift, so the node stays error-active and
+        // every frame is eventually delivered via retransmission.
+        let mut bus = Bus::new(BusConfig {
+            error_rate: 0.05,
+            seed: 7,
+            ..BusConfig::default()
+        });
+        let tx = bus.add_node(CanController::default());
+        let rx = bus.add_node(CanController::default());
+        bus.attach_source(tx, periodic(0x123, 1_000, 200));
+        bus.run_until(SimTime::from_millis(500));
+        assert_eq!(bus.stats().frames_delivered, 200);
+        let rx_stats = bus.controller(rx).stats();
+        assert_eq!(rx_stats.rx_frames + rx_stats.rx_overflows, 200);
+        assert!(bus.stats().error_frames > 0);
+        assert!(bus.controller(tx).stats().tx_errors > 0);
+    }
+
+    #[test]
+    fn persistent_errors_drive_transmitter_bus_off() {
+        let mut bus = Bus::new(BusConfig {
+            error_rate: 1.0,
+            ..BusConfig::default()
+        });
+        let tx = bus.add_node(CanController::default());
+        let _rx = bus.add_node(CanController::default());
+        bus.attach_source(tx, periodic(0x123, 0, 100));
+        bus.run_until(SimTime::from_millis(100));
+        assert_eq!(bus.controller(tx).error_state(), ErrorState::BusOff);
+        assert_eq!(bus.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn idle_bus_advances_to_end() {
+        let mut bus = Bus::new(BusConfig::default());
+        let _n = bus.add_node(CanController::default());
+        bus.run_until(SimTime::from_millis(5));
+        assert_eq!(bus.now(), SimTime::from_millis(5));
+        assert_eq!(bus.stats().frames_delivered, 0);
+    }
+
+    #[test]
+    fn rx_fifo_overflow_counted_when_app_never_drains() {
+        let mut bus = Bus::new(BusConfig::default());
+        let tx = bus.add_node(CanController::default());
+        let rx = bus.add_node(CanController::new(ControllerConfig {
+            rx_fifo_depth: 4,
+            ..ControllerConfig::default()
+        }));
+        bus.attach_source(tx, periodic(0x50, 0, 100));
+        bus.run_until(SimTime::from_millis(50));
+        let stats = bus.controller(rx).stats();
+        assert_eq!(stats.rx_frames, 4);
+        assert_eq!(stats.rx_overflows, 96);
+    }
+
+    #[test]
+    fn take_events_drains() {
+        let mut bus = Bus::new(BusConfig::default());
+        let tx = bus.add_node(CanController::default());
+        bus.attach_source(tx, periodic(0x1, 0, 3));
+        bus.run_until(SimTime::from_millis(5));
+        assert_eq!(bus.take_events().len(), 3);
+        assert!(bus.take_events().is_empty());
+    }
+}

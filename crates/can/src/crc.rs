@@ -1,0 +1,155 @@
+//! CRC-15 sequence of ISO 11898-1.
+//!
+//! The CAN frame check sequence uses the generator polynomial
+//! `x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1` (`0x4599`), computed
+//! over the unstuffed bit stream from the start-of-frame bit up to and
+//! including the last data bit.
+
+/// The CAN CRC-15 generator polynomial (without the leading `x^15` term).
+pub const CRC15_POLY: u16 = 0x4599;
+
+/// Mask keeping the CRC register at 15 bits.
+const CRC15_MASK: u16 = 0x7FFF;
+
+/// Computes the CRC-15 over a bit sequence (MSB-first, one `bool` per bit).
+///
+/// Implements the shift-register procedure from ISO 11898-1 §10.4.2.6:
+/// for each input bit, `crc_nxt = bit XOR crc[14]`, the register shifts
+/// left, and the polynomial is XORed in when `crc_nxt` is set.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::crc::crc15;
+///
+/// // CRC of the empty sequence is zero.
+/// assert_eq!(crc15(&[]), 0);
+/// // A single dominant (0) bit leaves the register zero.
+/// assert_eq!(crc15(&[false]), 0);
+/// // A single recessive (1) bit loads the polynomial.
+/// assert_eq!(crc15(&[true]), 0x4599);
+/// ```
+pub fn crc15(bits: &[bool]) -> u16 {
+    let mut crc: u16 = 0;
+    for &bit in bits {
+        let crc_nxt = bit ^ ((crc >> 14) & 1 == 1);
+        crc = (crc << 1) & CRC15_MASK;
+        if crc_nxt {
+            crc ^= CRC15_POLY;
+        }
+    }
+    crc
+}
+
+/// Incremental CRC-15 register, for streaming encoders.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::crc::{crc15, Crc15};
+///
+/// let bits = [true, false, true, true, false];
+/// let mut reg = Crc15::new();
+/// for &b in &bits {
+///     reg.push(b);
+/// }
+/// assert_eq!(reg.value(), crc15(&bits));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Crc15 {
+    crc: u16,
+}
+
+impl Crc15 {
+    /// Creates a zeroed CRC register.
+    pub fn new() -> Self {
+        Crc15 { crc: 0 }
+    }
+
+    /// Shifts one bit into the register.
+    pub fn push(&mut self, bit: bool) {
+        let crc_nxt = bit ^ ((self.crc >> 14) & 1 == 1);
+        self.crc = (self.crc << 1) & CRC15_MASK;
+        if crc_nxt {
+            self.crc ^= CRC15_POLY;
+        }
+    }
+
+    /// The current 15-bit CRC value.
+    pub fn value(&self) -> u16 {
+        self.crc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bits_from_u32(value: u32, width: usize) -> Vec<bool> {
+        (0..width).rev().map(|i| (value >> i) & 1 == 1).collect()
+    }
+
+    #[test]
+    fn empty_sequence_is_zero() {
+        assert_eq!(crc15(&[]), 0);
+    }
+
+    #[test]
+    fn zeros_stay_zero() {
+        assert_eq!(crc15(&[false; 64]), 0);
+    }
+
+    #[test]
+    fn single_one_loads_polynomial() {
+        assert_eq!(crc15(&[true]), CRC15_POLY);
+    }
+
+    #[test]
+    fn linearity_under_xor() {
+        // CRC of (a XOR b) == CRC(a) XOR CRC(b) for equal-length messages
+        // (CRC with zero init is linear over GF(2)).
+        let a = bits_from_u32(0xDEAD_BEEF, 32);
+        let b = bits_from_u32(0x1234_5678, 32);
+        let x: Vec<bool> = a.iter().zip(&b).map(|(&p, &q)| p ^ q).collect();
+        assert_eq!(crc15(&x), crc15(&a) ^ crc15(&b));
+    }
+
+    #[test]
+    fn incremental_matches_batch() {
+        let bits = bits_from_u32(0xCAFE_F00D, 32);
+        let mut reg = Crc15::new();
+        for &b in &bits {
+            reg.push(b);
+        }
+        assert_eq!(reg.value(), crc15(&bits));
+    }
+
+    #[test]
+    fn appending_crc_yields_zero_remainder() {
+        // Fundamental CRC property: message || CRC has remainder zero.
+        let msg = bits_from_u32(0xA5A5_5A5A, 32);
+        let fcs = crc15(&msg);
+        let mut whole = msg.clone();
+        whole.extend(bits_from_u32(u32::from(fcs), 15));
+        assert_eq!(crc15(&whole), 0);
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let msg = bits_from_u32(0x0F0F_1234, 32);
+        let fcs = crc15(&msg);
+        for i in 0..msg.len() {
+            let mut corrupted = msg.clone();
+            corrupted[i] = !corrupted[i];
+            assert_ne!(crc15(&corrupted), fcs, "flip at {i} undetected");
+        }
+    }
+
+    #[test]
+    fn crc_is_15_bits() {
+        for seed in 0u32..256 {
+            let msg = bits_from_u32(seed.wrapping_mul(0x9E37_79B9), 32);
+            assert!(crc15(&msg) <= 0x7FFF);
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Error types for the CAN substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised while constructing frames or identifiers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// Standard identifier above `0x7FF`.
+    StandardIdRange(u32),
+    /// Extended identifier above `0x1FFF_FFFF`.
+    ExtendedIdRange(u32),
+    /// Payload longer than eight bytes (classic CAN limit).
+    PayloadTooLong(usize),
+    /// DLC above 8 for a classic CAN data frame.
+    DlcRange(u8),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::StandardIdRange(id) => {
+                write!(f, "standard identifier {id:#x} exceeds 11 bits")
+            }
+            FrameError::ExtendedIdRange(id) => {
+                write!(f, "extended identifier {id:#x} exceeds 29 bits")
+            }
+            FrameError::PayloadTooLong(len) => {
+                write!(f, "payload of {len} bytes exceeds the 8-byte classic CAN limit")
+            }
+            FrameError::DlcRange(dlc) => write!(f, "DLC {dlc} exceeds 8"),
+        }
+    }
+}
+
+impl Error for FrameError {}
+
+/// Errors raised by the bit codec, the controllers and the bus simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CanError {
+    /// A frame-construction error.
+    Frame(FrameError),
+    /// More than five equal consecutive bits inside the stuffed region.
+    Stuff { position: usize },
+    /// CRC-15 mismatch between the received and the computed sequence.
+    Crc { expected: u16, computed: u16 },
+    /// A fixed-form field (delimiter, EOF) held the wrong level.
+    Form { field: &'static str },
+    /// No node acknowledged the frame.
+    Ack,
+    /// The bit sequence ended before the frame was complete.
+    Truncated { needed: usize, available: usize },
+    /// Operation attempted on a bus-off controller.
+    BusOff,
+    /// A controller's TX queue is full.
+    TxQueueFull,
+}
+
+impl fmt::Display for CanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CanError::Frame(e) => write!(f, "invalid frame: {e}"),
+            CanError::Stuff { position } => write!(f, "stuff error at bit {position}"),
+            CanError::Crc { expected, computed } => write!(
+                f,
+                "CRC mismatch: received {expected:#06x}, computed {computed:#06x}"
+            ),
+            CanError::Form { field } => write!(f, "form error in {field}"),
+            CanError::Ack => write!(f, "frame not acknowledged"),
+            CanError::Truncated { needed, available } => write!(
+                f,
+                "bit sequence truncated: needed {needed} bits, had {available}"
+            ),
+            CanError::BusOff => write!(f, "controller is bus-off"),
+            CanError::TxQueueFull => write!(f, "transmit queue full"),
+        }
+    }
+}
+
+impl Error for CanError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CanError::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FrameError> for CanError {
+    fn from(e: FrameError) -> Self {
+        CanError::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = CanError::Crc {
+            expected: 0x1234,
+            computed: 0x0fff,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("0x1234"));
+        assert!(msg.contains("0x0fff"));
+        assert!(msg.starts_with(char::is_uppercase) == false || msg.starts_with("CRC"));
+    }
+
+    #[test]
+    fn frame_error_converts_into_can_error() {
+        let e: CanError = FrameError::DlcRange(12).into();
+        assert_eq!(e, CanError::Frame(FrameError::DlcRange(12)));
+        assert!(e.to_string().contains("DLC 12"));
+    }
+
+    #[test]
+    fn source_chains_to_frame_error() {
+        use std::error::Error as _;
+        let e: CanError = FrameError::PayloadTooLong(9).into();
+        assert!(e.source().is_some());
+        assert!(CanError::Ack.source().is_none());
+    }
+}

@@ -1,0 +1,259 @@
+//! CAN gateway: frame forwarding between bus segments.
+//!
+//! Figure 1 of the paper shows a central gateway joining the high-speed
+//! (powertrain/chassis) and low-speed (body/comfort) CAN segments. The
+//! gateway forwards selected identifiers between segments, re-queuing
+//! them for arbitration on the far side — which is also why an IDS on
+//! one segment sees traffic that originated on the other.
+
+use crate::bus::{Bus, BusEvent};
+use crate::filter::FilterBank;
+use crate::frame::CanFrame;
+use crate::node::CanController;
+use crate::time::SimTime;
+
+/// Forwarding rule set between two segments.
+#[derive(Debug, Clone, Default)]
+pub struct GatewayConfig {
+    /// Frames accepted from segment A towards segment B
+    /// (empty bank = forward everything).
+    pub a_to_b: FilterBank,
+    /// Frames accepted from segment B towards segment A.
+    pub b_to_a: FilterBank,
+    /// Store-and-forward processing delay per frame.
+    pub forward_delay: SimTime,
+}
+
+/// Forwarding statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Frames forwarded from A to B.
+    pub a_to_b: u64,
+    /// Frames forwarded from B to A.
+    pub b_to_a: u64,
+    /// Frames dropped by the filters.
+    pub filtered: u64,
+}
+
+/// A two-port store-and-forward gateway between two [`Bus`] instances.
+///
+/// The gateway owns a node on each segment. Driving it is cooperative:
+/// run both buses for a slice of time, then call
+/// [`Gateway::pump`] with the slice's events to transfer frames, and
+/// repeat. (The buses advance independently; the pump granularity bounds
+/// the forwarding skew, which the `forward_delay` dominates in practice.)
+#[derive(Debug)]
+pub struct Gateway {
+    config: GatewayConfig,
+    node_a: usize,
+    node_b: usize,
+    stats: GatewayStats,
+}
+
+impl Gateway {
+    /// Attaches gateway nodes to both segments.
+    pub fn attach(bus_a: &mut Bus, bus_b: &mut Bus, config: GatewayConfig) -> Self {
+        let node_a = bus_a.add_node(CanController::default());
+        let node_b = bus_b.add_node(CanController::default());
+        Gateway {
+            config,
+            node_a,
+            node_b,
+            stats: GatewayStats::default(),
+        }
+    }
+
+    /// The gateway's node index on segment A.
+    pub fn node_a(&self) -> usize {
+        self.node_a
+    }
+
+    /// The gateway's node index on segment B.
+    pub fn node_b(&self) -> usize {
+        self.node_b
+    }
+
+    /// Forwarding statistics so far.
+    pub fn stats(&self) -> GatewayStats {
+        self.stats
+    }
+
+    /// Transfers one time slice of traffic: events observed on each
+    /// segment are filtered and queued for transmission on the other.
+    ///
+    /// Frames the gateway itself transmitted are not re-forwarded
+    /// (split-horizon), so loops cannot form.
+    pub fn pump(
+        &mut self,
+        bus_a: &mut Bus,
+        bus_b: &mut Bus,
+        events_a: &[BusEvent],
+        events_b: &[BusEvent],
+    ) {
+        let forward = |events: &[BusEvent],
+                           own_node: usize,
+                           filters: &FilterBank,
+                           dst: &mut Bus,
+                           dst_node: usize,
+                           count: &mut u64,
+                           filtered: &mut u64,
+                           delay: SimTime| {
+            let frames: Vec<(SimTime, CanFrame)> = events
+                .iter()
+                .filter(|e| e.sender != own_node)
+                .filter(|e| {
+                    let ok = filters.accepts(&e.frame);
+                    if !ok {
+                        *filtered += 1;
+                    }
+                    ok
+                })
+                .map(|e| (e.time + delay, e.frame))
+                .collect();
+            *count += frames.len() as u64;
+            if !frames.is_empty() {
+                dst.attach_source(dst_node, Box::new(frames.into_iter()));
+            }
+        };
+        let mut filtered = self.stats.filtered;
+        let delay = self.config.forward_delay;
+        forward(
+            events_a,
+            self.node_a,
+            &self.config.a_to_b,
+            bus_b,
+            self.node_b,
+            &mut self.stats.a_to_b,
+            &mut filtered,
+            delay,
+        );
+        forward(
+            events_b,
+            self.node_b,
+            &self.config.b_to_a,
+            bus_a,
+            self.node_a,
+            &mut self.stats.b_to_a,
+            &mut filtered,
+            delay,
+        );
+        self.stats.filtered = filtered;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::BusConfig;
+    use crate::filter::AcceptanceFilter;
+    use crate::frame::CanId;
+    use crate::timing::Bitrate;
+
+    fn frame(id: u16) -> CanFrame {
+        CanFrame::new(CanId::standard(id).unwrap(), &[id as u8]).unwrap()
+    }
+
+    fn two_segments() -> (Bus, Bus) {
+        (
+            Bus::new(BusConfig {
+                bitrate: Bitrate::HIGH_SPEED_500K,
+                ..BusConfig::default()
+            }),
+            Bus::new(BusConfig {
+                bitrate: Bitrate::LOW_SPEED_125K,
+                ..BusConfig::default()
+            }),
+        )
+    }
+
+    #[test]
+    fn forwards_frames_across_segments() {
+        let (mut a, mut b) = two_segments();
+        let src = a.add_node(CanController::default());
+        let sink = b.add_node(CanController::default());
+        let mut gw = Gateway::attach(&mut a, &mut b, GatewayConfig::default());
+
+        let frames = vec![(SimTime::ZERO, frame(0x123)), (SimTime::from_micros(500), frame(0x456))];
+        a.attach_source(src, Box::new(frames.into_iter()));
+        a.run_until(SimTime::from_millis(2));
+        let ev_a = a.take_events();
+        gw.pump(&mut a, &mut b, &ev_a, &[]);
+        b.run_until(SimTime::from_millis(10));
+
+        assert_eq!(b.controller(sink).rx_pending(), 2);
+        assert_eq!(gw.stats().a_to_b, 2);
+        assert_eq!(gw.stats().b_to_a, 0);
+    }
+
+    #[test]
+    fn filters_restrict_forwarding() {
+        let (mut a, mut b) = two_segments();
+        let src = a.add_node(CanController::default());
+        let sink = b.add_node(CanController::default());
+        let mut filters = FilterBank::new();
+        filters.add(AcceptanceFilter::standard(0x7FF, 0x123));
+        let mut gw = Gateway::attach(
+            &mut a,
+            &mut b,
+            GatewayConfig {
+                a_to_b: filters,
+                ..GatewayConfig::default()
+            },
+        );
+
+        let frames = vec![(SimTime::ZERO, frame(0x123)), (SimTime::from_micros(400), frame(0x456))];
+        a.attach_source(src, Box::new(frames.into_iter()));
+        a.run_until(SimTime::from_millis(2));
+        let ev_a = a.take_events();
+        gw.pump(&mut a, &mut b, &ev_a, &[]);
+        b.run_until(SimTime::from_millis(10));
+
+        assert_eq!(b.controller(sink).rx_pending(), 1);
+        assert_eq!(gw.stats().a_to_b, 1);
+        assert_eq!(gw.stats().filtered, 1);
+    }
+
+    #[test]
+    fn split_horizon_prevents_loops() {
+        let (mut a, mut b) = two_segments();
+        let src = a.add_node(CanController::default());
+        let _sink_b = b.add_node(CanController::default());
+        let mut gw = Gateway::attach(&mut a, &mut b, GatewayConfig::default());
+
+        a.attach_source(src, Box::new(vec![(SimTime::ZERO, frame(0x100))].into_iter()));
+        a.run_until(SimTime::from_millis(1));
+        let ev_a = a.take_events();
+        gw.pump(&mut a, &mut b, &ev_a, &[]);
+        b.run_until(SimTime::from_millis(5));
+        let ev_b = b.take_events();
+        // The only frame on B was sent by the gateway itself: it must not
+        // bounce back to A.
+        gw.pump(&mut a, &mut b, &[], &ev_b);
+        assert_eq!(gw.stats().b_to_a, 0);
+        a.run_until(SimTime::from_millis(10));
+        assert_eq!(gw.stats().a_to_b, 1);
+    }
+
+    #[test]
+    fn forward_delay_shifts_release_times() {
+        let (mut a, mut b) = two_segments();
+        let src = a.add_node(CanController::default());
+        let sink = b.add_node(CanController::default());
+        let mut gw = Gateway::attach(
+            &mut a,
+            &mut b,
+            GatewayConfig {
+                forward_delay: SimTime::from_millis(3),
+                ..GatewayConfig::default()
+            },
+        );
+        a.attach_source(src, Box::new(vec![(SimTime::ZERO, frame(0x42))].into_iter()));
+        a.run_until(SimTime::from_millis(1));
+        let ev_a = a.take_events();
+        let arrival_on_a = ev_a[0].time;
+        gw.pump(&mut a, &mut b, &ev_a, &[]);
+        b.run_until(SimTime::from_millis(20));
+        let rx = b.controller_mut(sink).pop_rx().unwrap();
+        assert!(rx.timestamp >= arrival_on_a + SimTime::from_millis(3));
+    }
+}

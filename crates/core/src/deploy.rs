@@ -1,0 +1,168 @@
+//! Multi-model deployment (the paper's "multiple models can be executed
+//! simultaneously for a comprehensive IDS integration").
+
+use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
+use canids_dataflow::resources::{Device, ResourceEstimate};
+use canids_dataset::attacks::AttackKind;
+use canids_qnn::export::IntegerMlp;
+use canids_soc::board::{BoardConfig, Zcu104Board};
+use canids_soc::ecu::{EcuConfig, IdsEcu};
+
+use crate::error::CoreError;
+
+/// A named detector ready for deployment.
+#[derive(Debug, Clone)]
+pub struct DetectorBundle {
+    /// Which attack this detector was trained for.
+    pub kind: AttackKind,
+    /// The streamlined network.
+    pub model: IntegerMlp,
+}
+
+/// A deployed multi-IDS ECU plus its aggregate hardware facts.
+pub struct MultiIdsDeployment {
+    /// The ECU with all detectors attached.
+    pub ecu: IdsEcu,
+    /// Attack kind per attached accelerator index.
+    pub kinds: Vec<AttackKind>,
+    /// Summed PL resources.
+    pub total_resources: ResourceEstimate,
+    /// Peak device utilisation fraction.
+    pub utilization: f64,
+    /// Additional copies of the largest IP that would still fit.
+    pub headroom: u64,
+}
+
+impl std::fmt::Debug for MultiIdsDeployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MultiIdsDeployment")
+            .field("kinds", &self.kinds)
+            .field("utilization", &self.utilization)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Compiles and deploys several detectors onto one board.
+///
+/// # Errors
+///
+/// Propagates compilation and SoC errors.
+pub fn deploy_multi_ids(
+    bundles: &[DetectorBundle],
+    compile: CompileConfig,
+) -> Result<MultiIdsDeployment, CoreError> {
+    let mut board = Zcu104Board::new(BoardConfig::default());
+    let mut models = Vec::new();
+    let mut kinds = Vec::new();
+    let mut total = ResourceEstimate::default();
+    let mut largest = ResourceEstimate::default();
+    for bundle in bundles {
+        let ip = AcceleratorIp::compile(
+            &bundle.model,
+            CompileConfig {
+                name: format!("{:?}-ids", bundle.kind).to_lowercase(),
+                ..compile.clone()
+            },
+        )?;
+        let r = ip.resources();
+        total += r;
+        if r.lut > largest.lut {
+            largest = r;
+        }
+        let idx = board.attach_accelerator(ip)?;
+        models.push(idx);
+        kinds.push(bundle.kind);
+    }
+    let utilization = Device::ZCU104.utilization(total).max_fraction();
+    let remaining = ResourceEstimate {
+        lut: Device::ZCU104.luts - total.lut.min(Device::ZCU104.luts),
+        ff: Device::ZCU104.ffs - total.ff.min(Device::ZCU104.ffs),
+        bram36: Device::ZCU104.bram36 - total.bram36.min(Device::ZCU104.bram36),
+        dsp: Device::ZCU104.dsps - total.dsp.min(Device::ZCU104.dsps),
+    };
+    let headroom = if largest.lut == 0 {
+        0
+    } else {
+        Device {
+            name: "remaining",
+            luts: remaining.lut,
+            ffs: remaining.ff,
+            bram36: remaining.bram36,
+            dsps: remaining.dsp.max(1),
+        }
+        .fit_count(largest)
+    };
+    Ok(MultiIdsDeployment {
+        ecu: IdsEcu::new(board, models, EcuConfig::default()),
+        kinds,
+        total_resources: total,
+        utilization,
+        headroom,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canids_qnn::prelude::*;
+
+    fn tiny_model(seed: u64) -> IntegerMlp {
+        QuantMlp::new(MlpConfig {
+            seed,
+            ..MlpConfig::default()
+        })
+        .unwrap()
+        .export()
+        .unwrap()
+    }
+
+    #[test]
+    fn dual_deployment_fits_with_headroom() {
+        let bundles = vec![
+            DetectorBundle {
+                kind: AttackKind::Dos,
+                model: tiny_model(1),
+            },
+            DetectorBundle {
+                kind: AttackKind::Fuzzy,
+                model: tiny_model(2),
+            },
+        ];
+        let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
+        assert_eq!(deployment.kinds.len(), 2);
+        assert!(
+            deployment.utilization < 0.08,
+            "two IPs stay well under 8%: {}",
+            deployment.utilization
+        );
+        assert!(deployment.headroom >= 4, "headroom {}", deployment.headroom);
+        assert_eq!(deployment.ecu.models().len(), 2);
+    }
+
+    #[test]
+    fn resources_sum_across_ips() {
+        let one = deploy_multi_ids(
+            &[DetectorBundle {
+                kind: AttackKind::Dos,
+                model: tiny_model(3),
+            }],
+            CompileConfig::default(),
+        )
+        .unwrap();
+        let two = deploy_multi_ids(
+            &[
+                DetectorBundle {
+                    kind: AttackKind::Dos,
+                    model: tiny_model(3),
+                },
+                DetectorBundle {
+                    kind: AttackKind::Fuzzy,
+                    model: tiny_model(4),
+                },
+            ],
+            CompileConfig::default(),
+        )
+        .unwrap();
+        assert!(two.total_resources.lut > one.total_resources.lut);
+    }
+}

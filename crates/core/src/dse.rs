@@ -1,0 +1,167 @@
+//! Design-space exploration over quantisation bit-widths.
+//!
+//! The paper: "Design space exploration is performed to arrive at the
+//! quantisation level to reduce the resource consumption and
+//! computational complexity without compromising on the detection
+//! accuracy. From our experiments, we observed that 4-bit uniform
+//! quantisation achieved best performance in both DoS and Fuzzying
+//! attacks." This module regenerates that sweep.
+
+use canids_dataflow::ip::AcceleratorIp;
+use canids_dataflow::resources::Device;
+use canids_dataset::features::IdBitsPayloadBits;
+use canids_dataset::generator::Dataset;
+use canids_dataset::split::train_test_split;
+use canids_qnn::metrics::ConfusionMatrix;
+use canids_qnn::mlp::QuantMlp;
+use canids_qnn::quant::BitWidth;
+use canids_qnn::trainer::Trainer;
+
+use crate::error::CoreError;
+use crate::pipeline::PipelineConfig;
+
+/// One sweep point: a bit-width with its quality and cost.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// Uniform weight/activation width.
+    pub bits: u8,
+    /// Test-set confusion matrix of the integer model.
+    pub cm: ConfusionMatrix,
+    /// LUTs of the compiled IP.
+    pub luts: u64,
+    /// BRAMs of the compiled IP.
+    pub bram36: u64,
+    /// ZCU104 utilisation (max fraction over resource classes).
+    pub utilization: f64,
+    /// Compute latency of the IP in seconds.
+    pub latency_s: f64,
+}
+
+impl DsePoint {
+    /// The accuracy/cost figure of merit used for selection: F1 minus a
+    /// small resource penalty (ties on accuracy resolve to the cheaper
+    /// design).
+    pub fn merit(&self) -> f64 {
+        self.cm.f1() - 0.05 * self.utilization
+    }
+}
+
+/// The sweep outcome.
+#[derive(Debug, Clone)]
+pub struct DseReport {
+    /// All evaluated points, ascending bit-width.
+    pub points: Vec<DsePoint>,
+    /// Index of the selected point.
+    pub selected: usize,
+}
+
+impl DseReport {
+    /// The selected sweep point.
+    pub fn selected_point(&self) -> &DsePoint {
+        &self.points[self.selected]
+    }
+}
+
+/// Sweeps uniform quantisation widths on one capture.
+///
+/// Training runs are independent, so they execute on a crossbeam scope
+/// across available cores.
+///
+/// # Errors
+///
+/// Propagates the first stage error encountered.
+pub fn sweep_bitwidths(
+    config: &PipelineConfig,
+    capture: &Dataset,
+    widths: &[u8],
+) -> Result<DseReport, CoreError> {
+    let (train_set, test_set) = train_test_split(capture, config.split);
+    let encoder = IdBitsPayloadBits::default();
+    let (xs, ys) = train_set.to_xy(&encoder);
+    let (txs, tys) = test_set.to_xy(&encoder);
+
+    let mut results: Vec<Option<Result<DsePoint, CoreError>>> = Vec::new();
+    results.resize_with(widths.len(), || None);
+
+    crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for (i, &bits) in widths.iter().enumerate() {
+            let xs = &xs;
+            let ys = &ys;
+            let txs = &txs;
+            let tys = &tys;
+            let config = &*config;
+            handles.push((
+                i,
+                scope.spawn(move |_| -> Result<DsePoint, CoreError> {
+                    let width = BitWidth::new(bits)?;
+                    let mlp_config = config.mlp.clone().with_bits(width);
+                    let mut mlp = QuantMlp::new(mlp_config)?;
+                    Trainer::new(config.train.clone()).fit(&mut mlp, xs, ys)?;
+                    let int_mlp = mlp.export()?;
+                    let mut cm = ConfusionMatrix::new();
+                    for (x, &y) in txs.iter().zip(tys) {
+                        cm.record(int_mlp.infer_bits(x).class != 0, y != 0);
+                    }
+                    let ip = AcceleratorIp::compile(&int_mlp, config.compile.clone())?;
+                    let util = ip.utilization(Device::ZCU104).max_fraction();
+                    Ok(DsePoint {
+                        bits,
+                        cm,
+                        luts: ip.resources().lut,
+                        bram36: ip.resources().bram36,
+                        utilization: util,
+                        latency_s: ip.latency_secs(),
+                    })
+                }),
+            ));
+        }
+        for (i, handle) in handles {
+            results[i] = Some(handle.join().expect("sweep thread panicked"));
+        }
+    })
+    .expect("crossbeam scope");
+
+    let mut points = Vec::with_capacity(widths.len());
+    for r in results {
+        points.push(r.expect("every width produced a result")?);
+    }
+    let selected = points
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.merit().total_cmp(&b.merit()))
+        .map(|(i, _)| i)
+        .unwrap_or(0);
+    Ok(DseReport { points, selected })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::IdsPipeline;
+
+    #[test]
+    fn sweep_orders_resources_by_width() {
+        let config = PipelineConfig::dos().quick();
+        let capture = IdsPipeline::new(config.clone()).generate_capture();
+        let report = sweep_bitwidths(&config, &capture, &[2, 4, 8]).unwrap();
+        assert_eq!(report.points.len(), 3);
+        // Wider weights never shrink the design.
+        assert!(report.points[0].luts <= report.points[2].luts);
+        // All sweep points of a separable DoS capture stay accurate.
+        for p in &report.points {
+            assert!(p.cm.accuracy() > 0.95, "{}-bit acc {}", p.bits, p.cm.accuracy());
+        }
+    }
+
+    #[test]
+    fn selection_prefers_accuracy_then_cost() {
+        let config = PipelineConfig::dos().quick();
+        let capture = IdsPipeline::new(config.clone()).generate_capture();
+        let report = sweep_bitwidths(&config, &capture, &[4, 8]).unwrap();
+        let sel = report.selected_point();
+        for p in &report.points {
+            assert!(sel.merit() >= p.merit() - 1e-12);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Unified error type for the end-to-end pipeline.
+
+use std::error::Error;
+use std::fmt;
+
+use canids_dataflow::DataflowError;
+use canids_qnn::QnnError;
+use canids_soc::SocError;
+
+/// Any failure along the train → compile → deploy → evaluate pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Training/export failure.
+    Qnn(QnnError),
+    /// Hardware-compilation failure.
+    Dataflow(DataflowError),
+    /// SoC/driver failure.
+    Soc(SocError),
+    /// The generated capture contains no attack (or no normal) frames —
+    /// the classifier cannot be trained or scored.
+    DegenerateCapture {
+        /// Attack-frame count.
+        attacks: usize,
+        /// Normal-frame count.
+        normals: usize,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Qnn(e) => write!(f, "training: {e}"),
+            CoreError::Dataflow(e) => write!(f, "hardware compilation: {e}"),
+            CoreError::Soc(e) => write!(f, "soc: {e}"),
+            CoreError::DegenerateCapture { attacks, normals } => write!(
+                f,
+                "degenerate capture: {attacks} attack / {normals} normal frames"
+            ),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Qnn(e) => Some(e),
+            CoreError::Dataflow(e) => Some(e),
+            CoreError::Soc(e) => Some(e),
+            CoreError::DegenerateCapture { .. } => None,
+        }
+    }
+}
+
+impl From<QnnError> for CoreError {
+    fn from(e: QnnError) -> Self {
+        CoreError::Qnn(e)
+    }
+}
+
+impl From<DataflowError> for CoreError {
+    fn from(e: DataflowError) -> Self {
+        CoreError::Dataflow(e)
+    }
+}
+
+impl From<SocError> for CoreError {
+    fn from(e: SocError) -> Self {
+        CoreError::Soc(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: CoreError = QnnError::EmptyDataset.into();
+        assert!(e.to_string().contains("training"));
+        assert!(e.source().is_some());
+        let d: CoreError = DataflowError::EmptyNetwork.into();
+        assert!(d.to_string().contains("compilation"));
+        let s: CoreError = SocError::DeviceBusy.into();
+        assert!(s.to_string().contains("soc"));
+        assert!(CoreError::DegenerateCapture {
+            attacks: 0,
+            normals: 10
+        }
+        .source()
+        .is_none());
+    }
+}

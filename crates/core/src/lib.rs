@@ -1,0 +1,50 @@
+//! End-to-end reproduction of *"Quantised Neural Network Accelerators
+//! for Low-Power IDS in Automotive Networks"* (DATE 2023).
+//!
+//! This crate wires the substrates together into the paper's method:
+//!
+//! * [`pipeline`] — capture synthesis → QAT training → integer export →
+//!   FINN-style compilation → ZCU104 deployment → evaluation,
+//! * [`dse`] — the bit-width design-space exploration that selects 4-bit
+//!   uniform quantisation,
+//! * [`deploy`] — multi-model (DoS + Fuzzy) simultaneous deployment,
+//! * [`report`] — paper-style ASCII tables for the benchmark harness.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use canids_core::prelude::*;
+//!
+//! let report = IdsPipeline::new(PipelineConfig::dos()).run()?;
+//! println!("Table I row (ours): {}", report.detector.test_cm);
+//! println!("per-message latency: {}", report.ecu.mean_latency);
+//! println!("board power: {:.2} W", report.ecu.mean_power_w);
+//! # Ok::<(), canids_core::CoreError>(())
+//! ```
+
+pub mod deploy;
+pub mod dse;
+pub mod error;
+pub mod pipeline;
+pub mod report;
+
+pub use deploy::{deploy_multi_ids, DetectorBundle, MultiIdsDeployment};
+pub use dse::{sweep_bitwidths, DsePoint, DseReport};
+pub use error::CoreError;
+pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
+pub use report::{pct, pct_opt, Table};
+
+/// Convenience re-exports spanning the whole stack.
+pub mod prelude {
+    pub use crate::deploy::{deploy_multi_ids, DetectorBundle};
+    pub use crate::dse::{sweep_bitwidths, DseReport};
+    pub use crate::error::CoreError;
+    pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport};
+    pub use crate::report::{pct, pct_opt, Table};
+    pub use canids_baselines::prelude::*;
+    pub use canids_can::prelude::*;
+    pub use canids_dataflow::prelude::*;
+    pub use canids_dataset::prelude::*;
+    pub use canids_qnn::prelude::*;
+    pub use canids_soc::prelude::*;
+}

@@ -1,0 +1,138 @@
+//! ASCII table rendering for the benchmark harness — the same rows and
+//! columns the paper prints.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-column table with aligned ASCII rendering.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new<S: Into<String>>(title: S, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|h| (*h).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the cell count differs from the header count.
+    pub fn push_row(&mut self, cells: &[String]) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "column count mismatch");
+        self.rows.push(cells.to_vec());
+        self
+    }
+
+    /// Convenience for `&str` cells.
+    pub fn push_strs(&mut self, cells: &[&str]) -> &mut Self {
+        let owned: Vec<String> = cells.iter().map(|c| (*c).to_owned()).collect();
+        self.push_row(&owned)
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut header = String::new();
+        for (w, h) in widths.iter().zip(&self.headers) {
+            let _ = write!(header, "| {h:<w$} ");
+        }
+        header.push('|');
+        let rule = "-".repeat(header.len());
+        let _ = writeln!(out, "{rule}");
+        let _ = writeln!(out, "{header}");
+        let _ = writeln!(out, "{rule}");
+        for row in &self.rows {
+            let mut line = String::new();
+            for (w, cell) in widths.iter().zip(row) {
+                let _ = write!(line, "| {cell:<w$} ");
+            }
+            line.push('|');
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, "{rule}");
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Formats a percentage with the paper's two-decimal style.
+pub fn pct(value: f64) -> String {
+    format!("{value:.2}")
+}
+
+/// Formats an optional percentage (`-` when the source didn't report it).
+pub fn pct_opt(value: Option<f64>) -> String {
+    value.map_or_else(|| "-".to_owned(), pct)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("Demo", &["Model", "F1"]);
+        t.push_strs(&["DCNN", "99.95"]);
+        t.push_strs(&["4-bit-QMLP", "99.99"]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("| Model"));
+        assert!(s.contains("| 4-bit-QMLP | 99.99 |"));
+        // All data lines have equal width.
+        let lines: Vec<&str> = s.lines().filter(|l| l.starts_with('|')).collect();
+        assert!(lines.windows(2).all(|w| w[0].len() == w[1].len()));
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.push_strs(&["only one"]);
+    }
+
+    #[test]
+    fn pct_formatting() {
+        assert_eq!(pct(99.994), "99.99");
+        assert_eq!(pct_opt(None), "-");
+        assert_eq!(pct_opt(Some(0.13)), "0.13");
+    }
+
+    #[test]
+    fn len_and_empty() {
+        let mut t = Table::new("x", &["a"]);
+        assert!(t.is_empty());
+        t.push_strs(&["1"]);
+        assert_eq!(t.len(), 1);
+    }
+}

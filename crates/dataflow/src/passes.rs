@@ -1,0 +1,130 @@
+//! Graph transformation passes (the FINN "streamlining" tail end).
+//!
+//! The heavy lifting — absorbing scales, biases and batch norm into
+//! integer thresholds — happens in `canids_qnn::export`. The passes here
+//! operate on the hardware IR:
+//!
+//! * [`round_and_clip_thresholds`] — clips each threshold into the
+//!   reachable accumulator range (FINN's `RoundAndClipThresholds`), which
+//!   shrinks threshold-memory words without changing behaviour,
+//! * [`validate_thresholds_sorted`] — structural invariant check.
+
+use crate::error::DataflowError;
+use crate::graph::DataflowGraph;
+
+/// Clips thresholds into `[acc_lo, acc_hi + 1]`.
+///
+/// A threshold below the smallest reachable accumulator always passes, so
+/// it can be stored as `acc_lo`; one above the largest reachable value
+/// never passes and becomes `acc_hi + 1`. Both replacements are
+/// behaviour-preserving for every reachable input, and remove the ±∞
+/// sentinel values produced for constant neurons.
+///
+/// Returns the number of thresholds changed.
+pub fn round_and_clip_thresholds(graph: &mut DataflowGraph) -> usize {
+    let mut changed = 0usize;
+    for node in &mut graph.mvtus {
+        let (lo, hi) = node.acc_bounds();
+        for t in &mut node.thresholds {
+            let clipped = (*t).clamp(lo, hi + 1);
+            if clipped != *t {
+                *t = clipped;
+                changed += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Verifies that every neuron's thresholds ascend (the MultiThreshold
+/// hardware counts `acc ≥ T_k` with an early exit, which requires order).
+///
+/// # Errors
+///
+/// Returns [`DataflowError::VerificationFailed`] naming the first
+/// offending stage (reported through the `sample` field as the layer
+/// index).
+pub fn validate_thresholds_sorted(graph: &DataflowGraph) -> Result<(), DataflowError> {
+    for (layer, node) in graph.mvtus.iter().enumerate() {
+        for j in 0..node.out_dim {
+            let row =
+                &node.thresholds[j * node.levels as usize..(j + 1) * node.levels as usize];
+            if row.windows(2).any(|w| w[0] > w[1]) {
+                return Err(DataflowError::VerificationFailed {
+                    sample: layer,
+                    expected: j,
+                    actual: 0,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DataflowGraph, LabelSelectNode, MvtuNode};
+
+    fn toy_graph() -> DataflowGraph {
+        DataflowGraph {
+            mvtus: vec![MvtuNode {
+                in_dim: 2,
+                out_dim: 1,
+                weights: vec![1, -1],
+                // Reachable acc range: [-3, 3] for in_levels = 3.
+                thresholds: vec![i64::MIN, 0, i64::MAX],
+                levels: 3,
+                in_levels: 3,
+                weight_bits: 4,
+            }],
+            label_select: LabelSelectNode {
+                in_dim: 1,
+                classes: 2,
+                weights: vec![1, -1],
+                bias_q: vec![0, 0],
+                in_levels: 3,
+                weight_bits: 4,
+            },
+        }
+    }
+
+    #[test]
+    fn clipping_preserves_behaviour() {
+        let reference = toy_graph();
+        let mut clipped = toy_graph();
+        let changed = round_and_clip_thresholds(&mut clipped);
+        assert_eq!(changed, 2, "both sentinels clipped");
+        for a in 0..=3u32 {
+            for b in 0..=3u32 {
+                assert_eq!(
+                    reference.compute(&[a, b]),
+                    clipped.compute(&[a, b]),
+                    "inputs ({a},{b})"
+                );
+            }
+        }
+        // Clipped values are small enough for narrow threshold memories.
+        let node = &clipped.mvtus[0];
+        assert!(node.thresholds.iter().all(|&t| (-3..=4).contains(&t)));
+    }
+
+    #[test]
+    fn sorted_validation_accepts_good_graph() {
+        assert!(validate_thresholds_sorted(&toy_graph()).is_ok());
+    }
+
+    #[test]
+    fn sorted_validation_rejects_disorder() {
+        let mut g = toy_graph();
+        g.mvtus[0].thresholds = vec![5, 1, 2];
+        assert!(validate_thresholds_sorted(&g).is_err());
+    }
+
+    #[test]
+    fn clipping_is_idempotent() {
+        let mut g = toy_graph();
+        round_and_clip_thresholds(&mut g);
+        assert_eq!(round_and_clip_thresholds(&mut g), 0);
+    }
+}

@@ -1,0 +1,447 @@
+//! Cycle-accurate simulation of the folded streaming pipeline.
+//!
+//! Each stage (MVTU or label-select) is modelled as a unit that accepts
+//! one frame, is busy for its fold (`(MH/PE)·(MW/SIMD)` cycles), and then
+//! hands the result to the next stage's FIFO through a one-cycle register
+//! boundary with ready/valid backpressure. This reproduces the two
+//! numbers the hardware analysis needs exactly:
+//!
+//! * per-frame latency = `Σ (fold_i + 1)` cycles through an empty
+//!   pipeline, and
+//! * steady-state initiation interval = `max(fold_i)` cycles
+//!
+//! while also exposing transient behaviour (FIFO stalls under shallow
+//! buffering) that the analytic formulas miss.
+
+use crate::error::DataflowError;
+use crate::folding::FoldingConfig;
+use crate::graph::DataflowGraph;
+
+/// Simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Inter-stage FIFO depth in frames.
+    pub fifo_depth: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig { fifo_depth: 2 }
+    }
+}
+
+/// Result of a timed simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Predicted class per input frame, in input order.
+    pub predictions: Vec<usize>,
+    /// Raw classifier scores per frame.
+    pub scores: Vec<Vec<i64>>,
+    /// Cycle at which the last output left the pipeline.
+    pub total_cycles: u64,
+    /// Per-frame cycles from stage-0 injection to final output.
+    pub frame_latencies: Vec<u64>,
+    /// Cycles any stage spent blocked on a full downstream FIFO.
+    pub stall_cycles: u64,
+}
+
+impl SimReport {
+    /// Mean per-frame latency in cycles.
+    pub fn mean_latency_cycles(&self) -> f64 {
+        if self.frame_latencies.is_empty() {
+            0.0
+        } else {
+            self.frame_latencies.iter().sum::<u64>() as f64 / self.frame_latencies.len() as f64
+        }
+    }
+
+    /// Sustained throughput in frames/second at `clock_hz`.
+    pub fn throughput_fps(&self, clock_hz: u64) -> f64 {
+        if self.total_cycles == 0 {
+            0.0
+        } else {
+            self.predictions.len() as f64 * clock_hz as f64 / self.total_cycles as f64
+        }
+    }
+
+    /// Latency of frame `i` in seconds at `clock_hz`.
+    pub fn latency_secs(&self, i: usize, clock_hz: u64) -> f64 {
+        self.frame_latencies[i] as f64 / clock_hz as f64
+    }
+}
+
+struct Stage {
+    fold: u64,
+    fifo: std::collections::VecDeque<(u64, Vec<u32>)>,
+    busy: u64,
+    inflight: Option<(u64, Vec<u32>)>,
+    done: Option<(u64, Vec<u32>)>,
+}
+
+/// The timed accelerator model for one compiled network + folding.
+///
+/// # Example
+///
+/// ```
+/// use canids_dataflow::folding::{auto_fold, FoldingGoal};
+/// use canids_dataflow::graph::DataflowGraph;
+/// use canids_dataflow::simulator::{AcceleratorSim, SimConfig};
+/// use canids_qnn::prelude::*;
+///
+/// let mlp = QuantMlp::new(MlpConfig {
+///     input_dim: 8,
+///     hidden: vec![4],
+///     ..MlpConfig::default()
+/// })?;
+/// let graph = DataflowGraph::from_integer_mlp(&mlp.export()?)?;
+/// let folding = auto_fold(&graph, FoldingGoal::MaxParallel)?;
+/// let sim = AcceleratorSim::new(graph, &folding, SimConfig::default())?;
+/// let report = sim.run(&[vec![1, 0, 1, 0, 0, 1, 1, 0]]);
+/// assert_eq!(report.predictions.len(), 1);
+/// assert_eq!(report.frame_latencies[0], sim.single_frame_latency_cycles());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AcceleratorSim {
+    graph: DataflowGraph,
+    folds: Vec<u64>,
+    config: SimConfig,
+}
+
+impl AcceleratorSim {
+    /// Builds a simulator for `graph` at `folding`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates folding validation errors.
+    pub fn new(
+        graph: DataflowGraph,
+        folding: &FoldingConfig,
+        config: SimConfig,
+    ) -> Result<Self, DataflowError> {
+        folding.validate(&graph)?;
+        let folds = folding.fold_cycles(&graph);
+        Ok(AcceleratorSim {
+            graph,
+            folds,
+            config,
+        })
+    }
+
+    /// The compiled graph.
+    pub fn graph(&self) -> &DataflowGraph {
+        &self.graph
+    }
+
+    /// Steady-state initiation interval in cycles.
+    pub fn initiation_interval(&self) -> u64 {
+        self.folds.iter().copied().max().unwrap_or(1)
+    }
+
+    /// Analytic single-frame latency: `Σ (fold_i + 1)` cycles.
+    pub fn single_frame_latency_cycles(&self) -> u64 {
+        self.folds.iter().map(|f| f + 1).sum()
+    }
+
+    /// Runs `inputs` through the timed pipeline.
+    ///
+    /// # Panics
+    ///
+    /// Panics when an input vector length differs from the graph input
+    /// dimension.
+    pub fn run(&self, inputs: &[Vec<u32>]) -> SimReport {
+        let n_stages = self.folds.len();
+        let mut stages: Vec<Stage> = self
+            .folds
+            .iter()
+            .map(|&fold| Stage {
+                fold: fold.max(1),
+                fifo: std::collections::VecDeque::new(),
+                busy: 0,
+                inflight: None,
+                done: None,
+            })
+            .collect();
+
+        let mut pending: std::collections::VecDeque<(usize, Vec<u32>)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, x)| (i, x.clone()))
+            .collect();
+        let mut outputs: Vec<Option<(usize, Vec<i64>, u64)>> = vec![None; inputs.len()];
+        let mut tags: Vec<u64> = vec![0; inputs.len()];
+        let mut collected = 0usize;
+        let mut stall_cycles = 0u64;
+        let mut cycle: u64 = 0;
+        let budget: u64 = (self.folds.iter().sum::<u64>() + 16)
+            * (inputs.len() as u64 + 4)
+            + 1_000;
+
+        while collected < inputs.len() {
+            assert!(cycle < budget, "simulation exceeded cycle budget (deadlock?)");
+
+            // Feed external inputs into stage 0.
+            while let Some((idx, x)) = pending.front() {
+                if stages[0].fifo.len() < self.config.fifo_depth {
+                    tags[*idx] = cycle;
+                    let (idx, x) = (*idx, x.clone());
+                    pending.pop_front();
+                    stages[0].fifo.push_back((idx as u64, x));
+                    let _ = tags[idx];
+                } else {
+                    break;
+                }
+            }
+
+            // Process stages back to front: a result pushed by stage s at
+            // its completion cycle lands in stage s+1's FIFO after s+1 has
+            // already run this cycle, so it is consumed next cycle — the
+            // one-cycle register boundary between stages.
+            for s in (0..n_stages).rev() {
+                // A. Retry a parked (backpressured) handoff.
+                if let Some((tag, result)) = stages[s].done.take() {
+                    if stages[s + 1].fifo.len() < self.config.fifo_depth {
+                        stages[s + 1].fifo.push_back((tag, result));
+                    } else {
+                        stall_cycles += 1;
+                        stages[s].done = Some((tag, result));
+                    }
+                }
+                // B. Advance the busy counter; on completion, emit.
+                if stages[s].busy > 0 {
+                    stages[s].busy -= 1;
+                    if stages[s].busy == 0 {
+                        let (tag, input) =
+                            stages[s].inflight.take().expect("busy stage has work");
+                        let result = self.compute_stage(s, &input);
+                        if s + 1 == n_stages {
+                            // Final stage: the output port never stalls.
+                            let idx = tag as usize;
+                            let (class, scores) = decode_final(&result);
+                            outputs[idx] = Some((class, scores, cycle + 1 - tags[idx]));
+                            collected += 1;
+                        } else if stages[s].done.is_none()
+                            && stages[s + 1].fifo.len() < self.config.fifo_depth
+                        {
+                            stages[s + 1].fifo.push_back((tag, result));
+                        } else {
+                            stall_cycles += 1;
+                            stages[s].done = Some((tag, result));
+                        }
+                    }
+                }
+                // C. Start new work when the unit is idle and no completed
+                // result is parked (backpressure stalls the stage).
+                if stages[s].busy == 0 && stages[s].inflight.is_none() && stages[s].done.is_none()
+                {
+                    if let Some((tag, input)) = stages[s].fifo.pop_front() {
+                        stages[s].inflight = Some((tag, input));
+                        stages[s].busy = stages[s].fold;
+                    }
+                }
+            }
+            cycle += 1;
+        }
+
+        let mut predictions = Vec::with_capacity(inputs.len());
+        let mut scores = Vec::with_capacity(inputs.len());
+        let mut frame_latencies = Vec::with_capacity(inputs.len());
+        let mut total_cycles = 0u64;
+        for (i, out) in outputs.into_iter().enumerate() {
+            let (class, s, latency) = out.expect("all frames collected");
+            predictions.push(class);
+            scores.push(s);
+            frame_latencies.push(latency);
+            total_cycles = total_cycles.max(tags[i] + latency);
+        }
+        SimReport {
+            predictions,
+            scores,
+            total_cycles,
+            frame_latencies,
+            stall_cycles,
+        }
+    }
+
+    fn compute_stage(&self, s: usize, input: &[u32]) -> Vec<u32> {
+        if s < self.graph.mvtus.len() {
+            self.graph.mvtus[s].compute(input)
+        } else {
+            let (class, scores) = self.graph.label_select.compute(input);
+            encode_final(class, &scores)
+        }
+    }
+}
+
+/// The final stage's output is a score vector; encode it losslessly into
+/// the `Vec<u32>` inter-stage token format.
+fn encode_final(class: usize, scores: &[i64]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(1 + scores.len() * 2);
+    out.push(class as u32);
+    for &s in scores {
+        out.push((s as u64 >> 32) as u32);
+        out.push((s as u64 & 0xFFFF_FFFF) as u32);
+    }
+    out
+}
+
+fn decode_final(token: &[u32]) -> (usize, Vec<i64>) {
+    let class = token[0] as usize;
+    let mut scores = Vec::with_capacity((token.len() - 1) / 2);
+    for pair in token[1..].chunks(2) {
+        let v = (u64::from(pair[0]) << 32) | u64::from(pair[1]);
+        scores.push(v as i64);
+    }
+    (class, scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::folding::{auto_fold, FoldingGoal, LayerFolding};
+    use canids_qnn::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn model(input_dim: usize, hidden: Vec<usize>) -> IntegerMlp {
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim,
+            hidden,
+            seed: 17,
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        // Light training so thresholds are calibrated and non-trivial.
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<Vec<f32>> = (0..200)
+            .map(|_| (0..input_dim).map(|_| f32::from(rng.gen_bool(0.5) as u8)).collect())
+            .collect();
+        let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
+        Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &xs, &ys)
+        .unwrap();
+        mlp.export().unwrap()
+    }
+
+    fn random_inputs(dim: usize, n: usize, seed: u64) -> Vec<Vec<u32>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| u32::from(rng.gen_bool(0.5))).collect())
+            .collect()
+    }
+
+    fn sim(input_dim: usize, hidden: Vec<usize>, goal: FoldingGoal) -> (AcceleratorSim, IntegerMlp) {
+        let m = model(input_dim, hidden);
+        let g = DataflowGraph::from_integer_mlp(&m).unwrap();
+        let f = auto_fold(&g, goal).unwrap();
+        (
+            AcceleratorSim::new(g, &f, SimConfig::default()).unwrap(),
+            m,
+        )
+    }
+
+    #[test]
+    fn functional_outputs_match_reference_model() {
+        let (sim, m) = sim(12, vec![8, 6], FoldingGoal::MinResource);
+        let inputs = random_inputs(12, 100, 9);
+        let report = sim.run(&inputs);
+        for (i, x) in inputs.iter().enumerate() {
+            let want = m.infer(x);
+            assert_eq!(report.predictions[i], want.class, "frame {i}");
+            assert_eq!(report.scores[i], want.scores, "frame {i}");
+        }
+    }
+
+    #[test]
+    fn single_frame_latency_matches_analytic() {
+        for goal in [FoldingGoal::MinResource, FoldingGoal::MaxParallel] {
+            let (sim, _) = sim(12, vec![8, 6], goal);
+            let inputs = random_inputs(12, 1, 1);
+            let report = sim.run(&inputs);
+            assert_eq!(
+                report.frame_latencies[0],
+                sim.single_frame_latency_cycles(),
+                "goal {goal:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steady_state_throughput_tracks_initiation_interval() {
+        let (sim, _) = sim(12, vec![8, 6], FoldingGoal::MinResource);
+        let n = 50usize;
+        let inputs = random_inputs(12, n, 2);
+        let report = sim.run(&inputs);
+        let ii = sim.initiation_interval();
+        let ideal = sim.single_frame_latency_cycles() + (n as u64 - 1) * ii;
+        assert!(
+            report.total_cycles >= ideal,
+            "{} < ideal {ideal}",
+            report.total_cycles
+        );
+        assert!(
+            report.total_cycles <= ideal + 4 * n as u64,
+            "{} too far above ideal {ideal}",
+            report.total_cycles
+        );
+    }
+
+    #[test]
+    fn max_parallel_reaches_ii_one() {
+        let (sim, _) = sim(8, vec![4], FoldingGoal::MaxParallel);
+        assert_eq!(sim.initiation_interval(), 1);
+        let n = 40usize;
+        let report = sim.run(&random_inputs(8, n, 3));
+        // One frame per cycle after the pipeline fills.
+        let fill = sim.single_frame_latency_cycles();
+        assert!(report.total_cycles <= fill + n as u64 + 4);
+    }
+
+    #[test]
+    fn shallow_fifos_still_complete() {
+        let m = model(12, vec![8, 6]);
+        let g = DataflowGraph::from_integer_mlp(&m).unwrap();
+        // Deliberately unbalanced folding: stage 1 is the bottleneck.
+        let f = FoldingConfig {
+            layers: vec![
+                LayerFolding { pe: 8, simd: 12 },
+                LayerFolding { pe: 1, simd: 1 },
+                LayerFolding { pe: 1, simd: 1 },
+            ],
+        };
+        let sim = AcceleratorSim::new(g, &f, SimConfig { fifo_depth: 1 }).unwrap();
+        let inputs = random_inputs(12, 30, 4);
+        let report = sim.run(&inputs);
+        assert_eq!(report.predictions.len(), 30);
+        assert!(report.stall_cycles > 0, "bottleneck must cause stalls");
+    }
+
+    #[test]
+    fn throughput_fps_scales_with_clock() {
+        let (sim, _) = sim(12, vec![8], FoldingGoal::MinResource);
+        let report = sim.run(&random_inputs(12, 10, 5));
+        let at100 = report.throughput_fps(100_000_000);
+        let at200 = report.throughput_fps(200_000_000);
+        assert!((at200 / at100 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_secs_conversion() {
+        let (sim, _) = sim(12, vec![8], FoldingGoal::MinResource);
+        let report = sim.run(&random_inputs(12, 1, 6));
+        let s = report.latency_secs(0, 200_000_000);
+        assert!((s - report.frame_latencies[0] as f64 / 2e8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn final_token_encoding_round_trips() {
+        let scores = vec![-123_456_789_012i64, 987_654_321, 0, i64::MIN / 4];
+        let token = encode_final(2, &scores);
+        let (class, back) = decode_final(&token);
+        assert_eq!(class, 2);
+        assert_eq!(back, scores);
+    }
+}

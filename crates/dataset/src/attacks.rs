@@ -1,0 +1,420 @@
+//! Attack injectors replicating the Car Hacking dataset's attack traces.
+//!
+//! The published capture injects attacks from a malicious node attached to
+//! the OBD-II port:
+//!
+//! * **DoS** — identifier `0x000` (wins every arbitration) with an 8-byte
+//!   zero payload, injected every 0.3 ms;
+//! * **Fuzzy** — uniformly random identifier and payload, every 0.5 ms;
+//! * **Gear / RPM spoofing** — forged frames carrying a fixed gear status
+//!   or RPM value on the legitimate identifier, every 1 ms (extension
+//!   beyond the paper's DoS/Fuzzy scope).
+//!
+//! Injection is gated by a [`BurstSchedule`]: the real captures alternate
+//! attack-on and attack-off intervals inside a 30–40 s trace.
+
+use canids_can::bus::TrafficSource;
+use canids_can::frame::{CanFrame, CanId};
+use canids_can::time::SimTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::record::Label;
+
+/// Which attack the injector mounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttackKind {
+    /// Bus flood with the highest-priority identifier.
+    Dos,
+    /// Random identifier + payload fuzzing.
+    Fuzzy,
+    /// Forged gear-status frames on identifier `0x43F`.
+    GearSpoof,
+    /// Forged RPM frames on identifier `0x316`.
+    RpmSpoof,
+}
+
+impl AttackKind {
+    /// The ground-truth label injected frames carry.
+    pub fn label(self) -> Label {
+        match self {
+            AttackKind::Dos => Label::Dos,
+            AttackKind::Fuzzy => Label::Fuzzy,
+            AttackKind::GearSpoof => Label::GearSpoof,
+            AttackKind::RpmSpoof => Label::RpmSpoof,
+        }
+    }
+
+    /// The injection period used by the published capture.
+    pub fn default_period(self) -> SimTime {
+        match self {
+            AttackKind::Dos => SimTime::from_micros(300),
+            AttackKind::Fuzzy => SimTime::from_micros(500),
+            AttackKind::GearSpoof | AttackKind::RpmSpoof => SimTime::from_millis(1),
+        }
+    }
+}
+
+/// On/off gating of the injection within the capture.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum BurstSchedule {
+    /// Inject for the whole capture.
+    Continuous,
+    /// Alternate `on` and `off` intervals, starting with `on` at
+    /// `initial_delay`.
+    Periodic {
+        /// Delay before the first burst.
+        initial_delay: SimTime,
+        /// Burst (attack active) duration.
+        on: SimTime,
+        /// Quiet duration between bursts.
+        off: SimTime,
+    },
+}
+
+impl BurstSchedule {
+    /// The capture-like default: 2 s bursts separated by 2 s of quiet,
+    /// starting 1 s in.
+    pub fn capture_default() -> Self {
+        BurstSchedule::Periodic {
+            initial_delay: SimTime::from_secs(1),
+            on: SimTime::from_secs(2),
+            off: SimTime::from_secs(2),
+        }
+    }
+
+    /// Whether the attack is active at time `t`.
+    pub fn active_at(&self, t: SimTime) -> bool {
+        match *self {
+            BurstSchedule::Continuous => true,
+            BurstSchedule::Periodic {
+                initial_delay,
+                on,
+                off,
+            } => {
+                if t < initial_delay {
+                    return false;
+                }
+                let cycle = (on + off).as_nanos().max(1);
+                let phase = (t - initial_delay).as_nanos() % cycle;
+                phase < on.as_nanos()
+            }
+        }
+    }
+
+    /// Advances `t` to the next active instant (identity when already
+    /// active).
+    pub fn next_active(&self, t: SimTime) -> SimTime {
+        match *self {
+            BurstSchedule::Continuous => t,
+            BurstSchedule::Periodic {
+                initial_delay,
+                on,
+                off,
+            } => {
+                if t < initial_delay {
+                    return initial_delay;
+                }
+                let cycle = (on + off).as_nanos().max(1);
+                let phase = (t - initial_delay).as_nanos() % cycle;
+                if phase < on.as_nanos() {
+                    t
+                } else {
+                    t + SimTime::from_nanos(cycle - phase)
+                }
+            }
+        }
+    }
+}
+
+/// Full attack description: kind, injection period and burst gating.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AttackProfile {
+    /// Attack kind.
+    pub kind: AttackKind,
+    /// Interval between injected frames while a burst is active.
+    pub period: SimTime,
+    /// Burst gating.
+    pub schedule: BurstSchedule,
+}
+
+impl AttackProfile {
+    /// DoS profile with the capture's 0.3 ms period and default bursts.
+    pub fn dos() -> Self {
+        AttackProfile {
+            kind: AttackKind::Dos,
+            period: AttackKind::Dos.default_period(),
+            schedule: BurstSchedule::capture_default(),
+        }
+    }
+
+    /// Fuzzy profile with the capture's 0.5 ms period and default bursts.
+    pub fn fuzzy() -> Self {
+        AttackProfile {
+            kind: AttackKind::Fuzzy,
+            period: AttackKind::Fuzzy.default_period(),
+            schedule: BurstSchedule::capture_default(),
+        }
+    }
+
+    /// Gear-spoofing profile (extension).
+    pub fn gear_spoof() -> Self {
+        AttackProfile {
+            kind: AttackKind::GearSpoof,
+            period: AttackKind::GearSpoof.default_period(),
+            schedule: BurstSchedule::capture_default(),
+        }
+    }
+
+    /// RPM-spoofing profile (extension).
+    pub fn rpm_spoof() -> Self {
+        AttackProfile {
+            kind: AttackKind::RpmSpoof,
+            period: AttackKind::RpmSpoof.default_period(),
+            schedule: BurstSchedule::capture_default(),
+        }
+    }
+
+    /// Replaces the burst schedule (builder style).
+    pub fn with_schedule(mut self, schedule: BurstSchedule) -> Self {
+        self.schedule = schedule;
+        self
+    }
+
+    /// Replaces the injection period (builder style).
+    pub fn with_period(mut self, period: SimTime) -> Self {
+        self.period = period;
+        self
+    }
+
+    /// Builds the traffic source mounted on the malicious node.
+    pub fn into_source(self, seed: u64, horizon: SimTime) -> AttackSource {
+        AttackSource::new(self, seed, horizon)
+    }
+}
+
+/// The malicious node's [`TrafficSource`].
+///
+/// # Example
+///
+/// ```
+/// use canids_dataset::attacks::{AttackProfile, BurstSchedule};
+/// use canids_can::bus::TrafficSource;
+/// use canids_can::time::SimTime;
+///
+/// let mut src = AttackProfile::dos()
+///     .with_schedule(BurstSchedule::Continuous)
+///     .into_source(1, SimTime::from_millis(10));
+/// let (t, f) = src.next_frame().unwrap();
+/// assert_eq!(f.id().raw(), 0x000);
+/// assert_eq!(t, SimTime::ZERO);
+/// ```
+#[derive(Debug)]
+pub struct AttackSource {
+    profile: AttackProfile,
+    rng: StdRng,
+    next_time: SimTime,
+    horizon: SimTime,
+}
+
+impl AttackSource {
+    /// Creates the source; injection stops at `horizon`.
+    pub fn new(profile: AttackProfile, seed: u64, horizon: SimTime) -> Self {
+        AttackSource {
+            profile,
+            rng: StdRng::seed_from_u64(seed ^ 0xA77A_C4E5_0D05_F00D),
+            next_time: profile.schedule.next_active(SimTime::ZERO),
+            horizon,
+        }
+    }
+
+    /// The profile this source mounts.
+    pub fn profile(&self) -> AttackProfile {
+        self.profile
+    }
+
+    fn forge_frame(&mut self) -> CanFrame {
+        match self.profile.kind {
+            AttackKind::Dos => CanFrame::new(
+                CanId::standard(0x000).expect("0 is a valid standard identifier"),
+                &[0u8; 8],
+            )
+            .expect("8-byte payload"),
+            AttackKind::Fuzzy => {
+                let id = self.rng.gen_range(0..=0x7FFu16);
+                let mut payload = [0u8; 8];
+                self.rng.fill(&mut payload);
+                CanFrame::new(
+                    CanId::standard(id).expect("masked to 11 bits"),
+                    &payload,
+                )
+                .expect("8-byte payload")
+            }
+            AttackKind::GearSpoof => {
+                // Forged "neutral" gear status, fixed payload.
+                CanFrame::new(
+                    CanId::standard(0x43F).expect("valid identifier"),
+                    &[0x01, 0x45, 0x60, 0xFF, 0x65, 0x00, 0x00, 0x00],
+                )
+                .expect("8-byte payload")
+            }
+            AttackKind::RpmSpoof => {
+                // Forged high-RPM reading, fixed payload.
+                CanFrame::new(
+                    CanId::standard(0x316).expect("valid identifier"),
+                    &[0x05, 0x20, 0x18, 0x10, 0x10, 0x27, 0x00, 0x2A],
+                )
+                .expect("8-byte payload")
+            }
+        }
+    }
+}
+
+impl TrafficSource for AttackSource {
+    fn next_frame(&mut self) -> Option<(SimTime, CanFrame)> {
+        if self.next_time > self.horizon {
+            return None;
+        }
+        let t = self.next_time;
+        let frame = self.forge_frame();
+        let naive_next = t + self.profile.period;
+        self.next_time = self.profile.schedule.next_active(naive_next);
+        Some((t, frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn dos_frames_are_zero_id_zero_payload() {
+        let mut src = AttackProfile::dos()
+            .with_schedule(BurstSchedule::Continuous)
+            .into_source(1, SimTime::from_millis(5));
+        for _ in 0..10 {
+            let (_, f) = src.next_frame().unwrap();
+            assert_eq!(f.id().raw(), 0);
+            assert_eq!(f.data(), &[0u8; 8]);
+        }
+    }
+
+    #[test]
+    fn dos_period_is_300_us() {
+        let mut src = AttackProfile::dos()
+            .with_schedule(BurstSchedule::Continuous)
+            .into_source(1, SimTime::from_millis(5));
+        let (t0, _) = src.next_frame().unwrap();
+        let (t1, _) = src.next_frame().unwrap();
+        assert_eq!((t1 - t0).as_nanos(), 300_000);
+    }
+
+    #[test]
+    fn fuzzy_frames_have_random_ids_and_payloads() {
+        let mut src = AttackProfile::fuzzy()
+            .with_schedule(BurstSchedule::Continuous)
+            .into_source(2, SimTime::from_secs(1));
+        let mut ids = std::collections::HashSet::new();
+        let mut payloads = std::collections::HashSet::new();
+        for _ in 0..500 {
+            let (_, f) = src.next_frame().unwrap();
+            assert!(f.id().raw() <= 0x7FF);
+            ids.insert(f.id().raw());
+            payloads.insert(f.data().to_vec());
+        }
+        assert!(ids.len() > 200, "ids should span the space: {}", ids.len());
+        assert!(payloads.len() > 490, "payloads should be unique-ish");
+    }
+
+    #[test]
+    fn spoof_frames_use_legitimate_ids() {
+        let mut gear = AttackProfile::gear_spoof()
+            .with_schedule(BurstSchedule::Continuous)
+            .into_source(3, SimTime::from_millis(100));
+        assert_eq!(gear.next_frame().unwrap().1.id().raw(), 0x43F);
+        let mut rpm = AttackProfile::rpm_spoof()
+            .with_schedule(BurstSchedule::Continuous)
+            .into_source(3, SimTime::from_millis(100));
+        assert_eq!(rpm.next_frame().unwrap().1.id().raw(), 0x316);
+    }
+
+    #[test]
+    fn burst_schedule_gates_injection() {
+        let sched = BurstSchedule::Periodic {
+            initial_delay: SimTime::from_millis(10),
+            on: SimTime::from_millis(5),
+            off: SimTime::from_millis(5),
+        };
+        assert!(!sched.active_at(SimTime::from_millis(3)));
+        assert!(sched.active_at(SimTime::from_millis(12)));
+        assert!(!sched.active_at(SimTime::from_millis(17)));
+        assert!(sched.active_at(SimTime::from_millis(22)));
+    }
+
+    #[test]
+    fn next_active_skips_quiet_phases() {
+        let sched = BurstSchedule::Periodic {
+            initial_delay: SimTime::from_millis(10),
+            on: SimTime::from_millis(5),
+            off: SimTime::from_millis(5),
+        };
+        assert_eq!(
+            sched.next_active(SimTime::ZERO),
+            SimTime::from_millis(10)
+        );
+        assert_eq!(
+            sched.next_active(SimTime::from_millis(12)),
+            SimTime::from_millis(12)
+        );
+        assert_eq!(
+            sched.next_active(SimTime::from_millis(16)),
+            SimTime::from_millis(20)
+        );
+    }
+
+    #[test]
+    fn source_respects_bursts_and_horizon() {
+        let profile = AttackProfile::dos().with_schedule(BurstSchedule::Periodic {
+            initial_delay: SimTime::from_millis(1),
+            on: SimTime::from_millis(2),
+            off: SimTime::from_millis(2),
+        });
+        let mut src = profile.into_source(4, SimTime::from_millis(9));
+        let mut times = Vec::new();
+        while let Some((t, _)) = src.next_frame() {
+            times.push(t);
+        }
+        assert!(!times.is_empty());
+        for &t in &times {
+            assert!(profile.schedule.active_at(t), "frame at inactive time {t}");
+            assert!(t <= SimTime::from_millis(9));
+        }
+        // Both the first and second burst must be covered.
+        assert!(times.iter().any(|t| *t < SimTime::from_millis(3)));
+        assert!(times.iter().any(|t| *t >= SimTime::from_millis(5)));
+    }
+
+    #[test]
+    fn kind_labels_match() {
+        assert_eq!(AttackKind::Dos.label(), Label::Dos);
+        assert_eq!(AttackKind::Fuzzy.label(), Label::Fuzzy);
+        assert_eq!(AttackKind::GearSpoof.label(), Label::GearSpoof);
+        assert_eq!(AttackKind::RpmSpoof.label(), Label::RpmSpoof);
+    }
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mk = || {
+            AttackProfile::fuzzy()
+                .with_schedule(BurstSchedule::Continuous)
+                .into_source(9, SimTime::from_millis(50))
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..100 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
+    }
+}

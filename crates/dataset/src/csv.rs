@@ -1,0 +1,214 @@
+//! Car-Hacking CSV serialisation.
+//!
+//! The published dataset ships as CSV rows of the form
+//!
+//! ```text
+//! timestamp_seconds,can_id_hex,dlc,b0,..,b{dlc-1},flag
+//! 1478198376.389427,0316,8,05,21,68,09,21,21,00,6f,R
+//! ```
+//!
+//! where `flag` is `R` for regular traffic and `T` for injected frames.
+//! This module writes and parses that format so captures can be exchanged
+//! with tooling built for the original dataset.
+
+use std::fmt::Write as _;
+
+use canids_can::frame::{CanFrame, CanId};
+use canids_can::time::SimTime;
+
+use crate::generator::Dataset;
+use crate::record::{Label, LabeledFrame};
+
+/// Errors raised while parsing CSV rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// Not enough comma-separated fields.
+    MissingField { line: usize },
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str },
+    /// The flag column was neither `R` nor `T`.
+    BadFlag { line: usize },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::MissingField { line } => write!(f, "line {line}: missing field"),
+            CsvError::BadNumber { line, field } => {
+                write!(f, "line {line}: invalid number in field {field}")
+            }
+            CsvError::BadFlag { line } => write!(f, "line {line}: flag must be R or T"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+/// Serialises a capture to the Car-Hacking CSV format.
+///
+/// Attack frames are flagged `T`; the specific attack kind is not encoded
+/// (the published files carry one attack per capture), so parsing recovers
+/// it from the `attack_label` argument of [`from_csv`].
+///
+/// # Example
+///
+/// ```
+/// use canids_dataset::csv::{from_csv, to_csv};
+/// use canids_dataset::prelude::*;
+/// use canids_can::time::SimTime;
+///
+/// # fn main() -> Result<(), canids_dataset::csv::CsvError> {
+/// let ds = DatasetBuilder::new(TrafficConfig {
+///     duration: SimTime::from_millis(100),
+///     ..TrafficConfig::default()
+/// })
+/// .build();
+/// let text = to_csv(&ds);
+/// let back = from_csv(&text, Label::Dos)?;
+/// assert_eq!(back.len(), ds.len());
+/// # Ok(())
+/// # }
+/// ```
+pub fn to_csv(dataset: &Dataset) -> String {
+    let mut out = String::with_capacity(dataset.len() * 48);
+    for r in dataset.iter() {
+        let _ = write!(
+            out,
+            "{:.6},{:04X},{}",
+            r.timestamp.as_secs_f64(),
+            r.frame.id().raw(),
+            r.frame.dlc().value()
+        );
+        for b in r.frame.data() {
+            let _ = write!(out, ",{b:02X}");
+        }
+        let _ = writeln!(out, ",{}", r.label.csv_flag());
+    }
+    out
+}
+
+/// Parses Car-Hacking CSV text back into a capture; rows flagged `T`
+/// receive `attack_label`.
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] describing the first malformed row.
+pub fn from_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvError> {
+    let mut records = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() < 4 {
+            return Err(CsvError::MissingField { line: i + 1 });
+        }
+        let ts: f64 = fields[0]
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line: i + 1, field: "timestamp" })?;
+        let id = u16::from_str_radix(fields[1], 16)
+            .map_err(|_| CsvError::BadNumber { line: i + 1, field: "id" })?;
+        let dlc: usize = fields[2]
+            .parse()
+            .map_err(|_| CsvError::BadNumber { line: i + 1, field: "dlc" })?;
+        if fields.len() < 3 + dlc + 1 {
+            return Err(CsvError::MissingField { line: i + 1 });
+        }
+        let mut payload = [0u8; 8];
+        for (j, byte) in payload.iter_mut().enumerate().take(dlc.min(8)) {
+            *byte = u8::from_str_radix(fields[3 + j], 16)
+                .map_err(|_| CsvError::BadNumber { line: i + 1, field: "payload" })?;
+        }
+        let flag = fields[3 + dlc.min(8)];
+        let label = match flag {
+            "R" => Label::Normal,
+            "T" => attack_label,
+            _ => return Err(CsvError::BadFlag { line: i + 1 }),
+        };
+        let frame = CanFrame::new(
+            CanId::standard(id & 0x7FF).expect("masked to 11 bits"),
+            &payload[..dlc.min(8)],
+        )
+        .expect("dlc <= 8");
+        records.push(LabeledFrame::new(SimTime::from_secs_f64(ts), frame, label));
+    }
+    Ok(Dataset::from_records(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{AttackProfile, BurstSchedule};
+    use crate::generator::{DatasetBuilder, TrafficConfig};
+
+    fn capture() -> Dataset {
+        DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(150),
+            attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+            seed: 31,
+            ..TrafficConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn round_trip_preserves_frames_and_flags() {
+        let ds = capture();
+        let text = to_csv(&ds);
+        let back = from_csv(&text, Label::Dos).unwrap();
+        assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.iter().zip(back.iter()) {
+            assert_eq!(a.frame, b.frame);
+            assert_eq!(a.label.is_attack(), b.label.is_attack());
+            // Timestamps round-trip to microsecond precision.
+            let da = a.timestamp.as_secs_f64();
+            let db = b.timestamp.as_secs_f64();
+            assert!((da - db).abs() < 2e-6, "{da} vs {db}");
+        }
+    }
+
+    #[test]
+    fn csv_rows_have_expected_shape() {
+        let ds = capture();
+        let text = to_csv(&ds);
+        let first = text.lines().next().unwrap();
+        let fields: Vec<&str> = first.split(',').collect();
+        let dlc: usize = fields[2].parse().unwrap();
+        assert_eq!(fields.len(), 3 + dlc + 1);
+        assert!(fields.last() == Some(&"R") || fields.last() == Some(&"T"));
+    }
+
+    #[test]
+    fn bad_rows_are_rejected() {
+        assert_eq!(
+            from_csv("1.0,0316", Label::Dos).unwrap_err(),
+            CsvError::MissingField { line: 1 }
+        );
+        assert_eq!(
+            from_csv("x,0316,0,R", Label::Dos).unwrap_err(),
+            CsvError::BadNumber { line: 1, field: "timestamp" }
+        );
+        assert_eq!(
+            from_csv("1.0,ZZZZ,0,R", Label::Dos).unwrap_err(),
+            CsvError::BadNumber { line: 1, field: "id" }
+        );
+        assert_eq!(
+            from_csv("1.0,0316,0,X", Label::Dos).unwrap_err(),
+            CsvError::BadFlag { line: 1 }
+        );
+    }
+
+    #[test]
+    fn empty_lines_skipped() {
+        let ds = from_csv("\n\n1.0,0316,2,AA,BB,R\n\n", Label::Fuzzy).unwrap();
+        assert_eq!(ds.len(), 1);
+        assert_eq!(ds.records()[0].frame.data(), &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn attack_label_is_applied_to_t_rows() {
+        let ds = from_csv("1.0,0000,8,00,00,00,00,00,00,00,00,T", Label::Fuzzy).unwrap();
+        assert_eq!(ds.records()[0].label, Label::Fuzzy);
+    }
+}

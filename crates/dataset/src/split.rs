@@ -1,0 +1,206 @@
+//! Seeded, stratified train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::generator::Dataset;
+use crate::record::LabeledFrame;
+
+/// Split parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitConfig {
+    /// Fraction of records assigned to the test set (0..1).
+    pub test_fraction: f64,
+    /// Shuffle/assignment seed.
+    pub seed: u64,
+    /// Stratify by binary class so both splits keep the capture's
+    /// attack/normal balance.
+    pub stratified: bool,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            test_fraction: 0.25,
+            seed: 0x5EED,
+            stratified: true,
+        }
+    }
+}
+
+/// Splits a capture into train and test datasets.
+///
+/// With `stratified = true` (the default) the attack/normal ratio of both
+/// splits matches the input to within one record per class.
+///
+/// # Example
+///
+/// ```
+/// use canids_dataset::prelude::*;
+/// use canids_can::time::SimTime;
+///
+/// let ds = DatasetBuilder::new(TrafficConfig {
+///     duration: SimTime::from_millis(200),
+///     attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+///     ..TrafficConfig::default()
+/// })
+/// .build();
+/// let (train, test) = train_test_split(&ds, SplitConfig::default());
+/// assert_eq!(train.len() + test.len(), ds.len());
+/// assert!((train.attack_fraction() - test.attack_fraction()).abs() < 0.05);
+/// ```
+pub fn train_test_split(dataset: &Dataset, config: SplitConfig) -> (Dataset, Dataset) {
+    let frac = config.test_fraction.clamp(0.0, 1.0);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    let split_group = |group: Vec<&LabeledFrame>,
+                           rng: &mut StdRng|
+     -> (Vec<LabeledFrame>, Vec<LabeledFrame>) {
+        let mut group: Vec<LabeledFrame> = group.into_iter().copied().collect();
+        group.shuffle(rng);
+        let n_test = (group.len() as f64 * frac).round() as usize;
+        let test = group.split_off(group.len() - n_test.min(group.len()));
+        (group, test)
+    };
+
+    let (mut train, mut test) = if config.stratified {
+        let normal: Vec<&LabeledFrame> = dataset
+            .iter()
+            .filter(|r| !r.label.is_attack())
+            .collect();
+        let attack: Vec<&LabeledFrame> =
+            dataset.iter().filter(|r| r.label.is_attack()).collect();
+        let (mut train_n, mut test_n) = split_group(normal, &mut rng);
+        let (train_a, test_a) = split_group(attack, &mut rng);
+        train_n.extend(train_a);
+        test_n.extend(test_a);
+        (train_n, test_n)
+    } else {
+        split_group(dataset.iter().collect(), &mut rng)
+    };
+
+    train.sort_by_key(|r| r.timestamp);
+    test.sort_by_key(|r| r.timestamp);
+    (Dataset::from_records(train), Dataset::from_records(test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{AttackProfile, BurstSchedule};
+    use crate::generator::{DatasetBuilder, TrafficConfig};
+    use crate::record::Label;
+    use canids_can::time::SimTime;
+
+    fn dataset() -> Dataset {
+        DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+            seed: 11,
+            ..TrafficConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn split_partitions_every_record() {
+        let ds = dataset();
+        let (train, test) = train_test_split(&ds, SplitConfig::default());
+        assert_eq!(train.len() + test.len(), ds.len());
+        assert!(!train.is_empty());
+        assert!(!test.is_empty());
+    }
+
+    #[test]
+    fn stratified_split_preserves_balance() {
+        let ds = dataset();
+        let (train, test) = train_test_split(&ds, SplitConfig::default());
+        let base = ds.attack_fraction();
+        assert!((train.attack_fraction() - base).abs() < 0.02);
+        assert!((test.attack_fraction() - base).abs() < 0.02);
+    }
+
+    #[test]
+    fn test_fraction_respected() {
+        let ds = dataset();
+        for frac in [0.1, 0.25, 0.5] {
+            let (_, test) = train_test_split(
+                &ds,
+                SplitConfig {
+                    test_fraction: frac,
+                    ..SplitConfig::default()
+                },
+            );
+            let actual = test.len() as f64 / ds.len() as f64;
+            assert!((actual - frac).abs() < 0.02, "frac {frac} got {actual}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let ds = dataset();
+        let (a_train, a_test) = train_test_split(&ds, SplitConfig::default());
+        let (b_train, b_test) = train_test_split(&ds, SplitConfig::default());
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_test, b_test);
+        let (c_train, _) = train_test_split(
+            &ds,
+            SplitConfig {
+                seed: 999,
+                ..SplitConfig::default()
+            },
+        );
+        assert_ne!(a_train, c_train);
+    }
+
+    #[test]
+    fn splits_are_disjoint_by_count() {
+        // Same (timestamp, frame, label) triple may legitimately never
+        // repeat, so per-class counts must add up exactly.
+        let ds = dataset();
+        let (train, test) = train_test_split(&ds, SplitConfig::default());
+        for label in Label::all() {
+            assert_eq!(
+                train.class_count(label) + test.class_count(label),
+                ds.class_count(label)
+            );
+        }
+    }
+
+    #[test]
+    fn unstratified_split_also_partitions() {
+        let ds = dataset();
+        let (train, test) = train_test_split(
+            &ds,
+            SplitConfig {
+                stratified: false,
+                ..SplitConfig::default()
+            },
+        );
+        assert_eq!(train.len() + test.len(), ds.len());
+    }
+
+    #[test]
+    fn extreme_fractions() {
+        let ds = dataset();
+        let (train, test) = train_test_split(
+            &ds,
+            SplitConfig {
+                test_fraction: 0.0,
+                ..SplitConfig::default()
+            },
+        );
+        assert_eq!(test.len(), 0);
+        assert_eq!(train.len(), ds.len());
+        let (train, test) = train_test_split(
+            &ds,
+            SplitConfig {
+                test_fraction: 1.0,
+                ..SplitConfig::default()
+            },
+        );
+        assert_eq!(train.len(), 0);
+        assert_eq!(test.len(), ds.len());
+    }
+}

@@ -1,0 +1,168 @@
+//! Capture statistics: class balance, identifier census, inter-arrival
+//! behaviour — the sanity checks run before training.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use canids_can::time::SimTime;
+
+use crate::generator::Dataset;
+use crate::record::Label;
+
+/// Aggregate statistics of a capture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Total record count.
+    pub total: usize,
+    /// Record count per label.
+    pub per_label: BTreeMap<String, usize>,
+    /// Distinct identifiers seen.
+    pub distinct_ids: usize,
+    /// Capture span (first to last timestamp).
+    pub span: SimTime,
+    /// Mean frame rate over the span, frames/second.
+    pub mean_rate_hz: f64,
+    /// Mean inter-arrival time between consecutive frames.
+    pub mean_inter_arrival: SimTime,
+    /// Frames per identifier.
+    pub per_id: BTreeMap<u32, usize>,
+}
+
+impl DatasetStats {
+    /// Computes statistics over a capture.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use canids_dataset::prelude::*;
+    /// use canids_can::time::SimTime;
+    ///
+    /// let ds = DatasetBuilder::new(TrafficConfig {
+    ///     duration: SimTime::from_millis(200),
+    ///     ..TrafficConfig::default()
+    /// })
+    /// .build();
+    /// let stats = DatasetStats::of(&ds);
+    /// assert_eq!(stats.total, ds.len());
+    /// assert!(stats.mean_rate_hz > 100.0);
+    /// ```
+    pub fn of(dataset: &Dataset) -> Self {
+        let total = dataset.len();
+        let mut per_label = BTreeMap::new();
+        for label in Label::all() {
+            let n = dataset.class_count(label);
+            if n > 0 {
+                per_label.insert(label.to_string(), n);
+            }
+        }
+        let mut per_id: BTreeMap<u32, usize> = BTreeMap::new();
+        for r in dataset.iter() {
+            *per_id.entry(r.frame.id().raw()).or_insert(0) += 1;
+        }
+        let span = match (dataset.records().first(), dataset.records().last()) {
+            (Some(first), Some(last)) => last.timestamp.saturating_sub(first.timestamp),
+            _ => SimTime::ZERO,
+        };
+        let mean_rate_hz = if span > SimTime::ZERO && total > 1 {
+            (total - 1) as f64 / span.as_secs_f64()
+        } else {
+            0.0
+        };
+        let mean_inter_arrival = if total > 1 {
+            SimTime::from_nanos(span.as_nanos() / (total as u64 - 1))
+        } else {
+            SimTime::ZERO
+        };
+        DatasetStats {
+            total,
+            per_label,
+            distinct_ids: per_id.len(),
+            span,
+            mean_rate_hz,
+            mean_inter_arrival,
+            per_id,
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} frames over {} ({:.0} frames/s, {} ids)",
+            self.total, self.span, self.mean_rate_hz, self.distinct_ids
+        )?;
+        for (label, n) in &self.per_label {
+            writeln!(
+                f,
+                "  {label:>10}: {n:>8} ({:.2}%)",
+                100.0 * *n as f64 / self.total.max(1) as f64
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{AttackProfile, BurstSchedule};
+    use crate::generator::{DatasetBuilder, TrafficConfig};
+
+    fn capture(attack: Option<AttackProfile>) -> Dataset {
+        DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            attack,
+            seed: 21,
+            ..TrafficConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn totals_and_labels_consistent() {
+        let ds = capture(Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)));
+        let stats = DatasetStats::of(&ds);
+        assert_eq!(stats.total, ds.len());
+        let sum: usize = stats.per_label.values().sum();
+        assert_eq!(sum, ds.len());
+        assert!(stats.per_label.contains_key("dos"));
+        assert!(stats.per_label.contains_key("normal"));
+    }
+
+    #[test]
+    fn id_census_covers_catalogue() {
+        let ds = capture(None);
+        let stats = DatasetStats::of(&ds);
+        assert!(stats.distinct_ids >= 15, "ids = {}", stats.distinct_ids);
+        let sum: usize = stats.per_id.values().sum();
+        assert_eq!(sum, stats.total);
+    }
+
+    #[test]
+    fn rate_reflects_catalogue() {
+        let ds = capture(None);
+        let stats = DatasetStats::of(&ds);
+        assert!(
+            stats.mean_rate_hz > 400.0 && stats.mean_rate_hz < 3_000.0,
+            "rate = {}",
+            stats.mean_rate_hz
+        );
+    }
+
+    #[test]
+    fn empty_dataset_stats_are_zero() {
+        let stats = DatasetStats::of(&Dataset::default());
+        assert_eq!(stats.total, 0);
+        assert_eq!(stats.mean_rate_hz, 0.0);
+        assert_eq!(stats.span, SimTime::ZERO);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let ds = capture(None);
+        let s = DatasetStats::of(&ds).to_string();
+        assert!(s.contains("frames over"));
+        assert!(s.contains("normal"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Block/window views of a capture, as consumed by the block-based
+//! literature IDSs (DCNN: 29×29 identifier-bit grids; TCAN: 64-frame
+//! feature windows). The paper's QMLP is per-message, so these views
+//! exist to drive the baseline comparisons.
+
+use crate::features::{FrameEncoder, IdPayloadBytes};
+use crate::generator::Dataset;
+use crate::record::LabeledFrame;
+
+/// A labelled block of consecutive frames.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrameBlock {
+    /// The frames, in capture order.
+    pub frames: Vec<LabeledFrame>,
+    /// `true` when any frame in the block is an attack (block-level
+    /// ground truth, as the block-based papers define it).
+    pub contains_attack: bool,
+}
+
+impl FrameBlock {
+    /// The DCNN input: a `width × width` grid where row `i` is frame
+    /// `i`'s identifier expanded to `width` bits (zero-padded).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the block length differs from `width`.
+    pub fn id_grid(&self, width: usize) -> Vec<f32> {
+        assert_eq!(self.frames.len(), width, "block length must equal width");
+        let mut grid = vec![0.0f32; width * width];
+        for (row, rec) in self.frames.iter().enumerate() {
+            let id = rec.frame.id().base_id();
+            for col in 0..width.min(11) {
+                grid[row * width + col] = f32::from((id >> (10 - col)) & 1);
+            }
+        }
+        grid
+    }
+
+    /// The TCAN-style window: one compact feature row per frame.
+    pub fn feature_rows(&self) -> Vec<Vec<f32>> {
+        let enc = IdPayloadBytes::default();
+        self.frames.iter().map(|r| enc.encode(&r.frame)).collect()
+    }
+}
+
+/// Non-overlapping blocks of `len` consecutive frames (the trailing
+/// partial block is dropped, as the block-based papers do).
+pub fn blocks(dataset: &Dataset, len: usize) -> Vec<FrameBlock> {
+    dataset
+        .records()
+        .chunks_exact(len.max(1))
+        .map(|chunk| FrameBlock {
+            frames: chunk.to_vec(),
+            contains_attack: chunk.iter().any(|r| r.label.is_attack()),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::{AttackProfile, BurstSchedule};
+    use crate::generator::{DatasetBuilder, TrafficConfig};
+    use canids_can::time::SimTime;
+
+    fn capture(attack: bool) -> Dataset {
+        DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            attack: attack
+                .then(|| AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+            seed: 5,
+            ..TrafficConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn blocks_partition_without_remainder() {
+        let ds = capture(false);
+        let bs = blocks(&ds, 29);
+        assert_eq!(bs.len(), ds.len() / 29);
+        assert!(bs.iter().all(|b| b.frames.len() == 29));
+        assert!(bs.iter().all(|b| !b.contains_attack));
+    }
+
+    #[test]
+    fn attack_blocks_are_flagged() {
+        let ds = capture(true);
+        let bs = blocks(&ds, 29);
+        let flagged = bs.iter().filter(|b| b.contains_attack).count();
+        // The continuous DoS flood touches essentially every block.
+        assert!(flagged * 10 > bs.len() * 9, "{flagged}/{}", bs.len());
+    }
+
+    #[test]
+    fn id_grid_shape_and_content() {
+        let ds = capture(false);
+        let b = &blocks(&ds, 29)[0];
+        let grid = b.id_grid(29);
+        assert_eq!(grid.len(), 29 * 29);
+        assert!(grid.iter().all(|&v| v == 0.0 || v == 1.0));
+        // Row 0 encodes frame 0's identifier MSB-first.
+        let id = b.frames[0].frame.id().base_id();
+        assert_eq!(grid[0], f32::from((id >> 10) & 1));
+    }
+
+    #[test]
+    fn feature_rows_match_block_length() {
+        let ds = capture(false);
+        let b = &blocks(&ds, 64)[0];
+        let rows = b.feature_rows();
+        assert_eq!(rows.len(), 64);
+        assert!(rows.iter().all(|r| r.len() == 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "block length")]
+    fn id_grid_validates_width() {
+        let ds = capture(false);
+        let b = &blocks(&ds, 29)[0];
+        let _ = b.id_grid(16);
+    }
+}

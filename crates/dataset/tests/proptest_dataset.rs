@@ -1,0 +1,101 @@
+//! Property-based tests of capture generation, splitting and the CSV
+//! codec.
+
+use canids_can::time::SimTime;
+use canids_dataset::csv::{from_csv, to_csv};
+use canids_dataset::prelude::*;
+use proptest::prelude::*;
+
+fn arb_attack() -> impl Strategy<Value = Option<AttackProfile>> {
+    prop_oneof![
+        Just(None),
+        Just(Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous))),
+        Just(Some(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous))),
+        Just(Some(AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous))),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn captures_are_deterministic_and_ordered(
+        seed in 0u64..1_000,
+        attack in arb_attack(),
+    ) {
+        let mk = || DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(150),
+            attack,
+            seed,
+            ..TrafficConfig::default()
+        }).build();
+        let a = mk();
+        let b = mk();
+        prop_assert_eq!(&a, &b, "same seed, same capture");
+        for w in a.records().windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn split_partitions_and_preserves_balance(
+        seed in 0u64..1_000,
+        frac in 0.1f64..0.5,
+    ) {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(200),
+            attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+            seed,
+            ..TrafficConfig::default()
+        }).build();
+        let (train, test) = train_test_split(&ds, SplitConfig {
+            test_fraction: frac,
+            seed,
+            stratified: true,
+        });
+        prop_assert_eq!(train.len() + test.len(), ds.len());
+        let d = (train.attack_fraction() - ds.attack_fraction()).abs();
+        prop_assert!(d < 0.05, "balance drift {d}");
+    }
+
+    #[test]
+    fn csv_round_trip_any_capture(seed in 0u64..1_000, attack in arb_attack()) {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(120),
+            attack,
+            seed,
+            ..TrafficConfig::default()
+        }).build();
+        let label = attack.map(|a| a.kind.label()).unwrap_or(Label::Dos);
+        let back = from_csv(&to_csv(&ds), label).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.iter().zip(back.iter()) {
+            prop_assert_eq!(a.frame, b.frame);
+            prop_assert_eq!(a.label.is_attack(), b.label.is_attack());
+        }
+    }
+
+    #[test]
+    fn feature_encoding_is_injective_on_distinct_frames(
+        seed in 0u64..1_000,
+    ) {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(100),
+            seed,
+            ..TrafficConfig::default()
+        }).build();
+        let enc = IdBitsPayloadBits::default();
+        for w in ds.records().windows(2) {
+            if w[0].frame != w[1].frame {
+                // Distinct (id, payload) implies distinct bit features
+                // unless only the DLC differs with zero padding — the
+                // encoding is padded, so check id/payload content.
+                if w[0].frame.id() != w[1].frame.id()
+                    || w[0].frame.data_padded() != w[1].frame.data_padded()
+                {
+                    prop_assert_ne!(enc.encode(&w[0].frame), enc.encode(&w[1].frame));
+                }
+            }
+        }
+    }
+}

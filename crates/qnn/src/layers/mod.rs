@@ -1,0 +1,11 @@
+//! Quantisation-aware layers: [`QuantLinear`], [`BatchNorm1d`] and
+//! [`QuantReLU`] — the Brevitas-style building blocks the paper's MLP is
+//! assembled from.
+
+mod batchnorm;
+mod linear;
+mod relu;
+
+pub use batchnorm::BatchNorm1d;
+pub use linear::QuantLinear;
+pub use relu::QuantReLU;

@@ -1,0 +1,182 @@
+//! Softmax cross-entropy loss with optional class weighting.
+//!
+//! Class weighting matters here: CAN IDS captures are imbalanced (attack
+//! frames are a minority in fuzzy captures), and the paper-level
+//! false-negative rates require the minority class to carry proportionate
+//! gradient.
+
+use crate::error::QnnError;
+use crate::tensor::Matrix;
+
+/// Computes the mean softmax cross-entropy and the logit gradient.
+///
+/// `class_weights`, when given, rescales each sample's contribution by
+/// the weight of its target class (mean taken over the weighted batch).
+///
+/// Returns `(loss, dlogits)` where `dlogits` has the shape of `logits`.
+///
+/// # Errors
+///
+/// * [`QnnError::EmptyDataset`] for an empty batch,
+/// * [`QnnError::DimensionMismatch`] when `targets.len() != logits.rows()`
+///   or the weight vector length differs from the class count,
+/// * [`QnnError::LabelOutOfRange`] for a target ≥ the class count.
+///
+/// # Example
+///
+/// ```
+/// use canids_qnn::loss::softmax_cross_entropy;
+/// use canids_qnn::tensor::Matrix;
+///
+/// let logits = Matrix::from_rows(&[&[2.0, -2.0], &[-2.0, 2.0]]);
+/// let (loss, grad) = softmax_cross_entropy(&logits, &[0, 1], None)?;
+/// assert!(loss < 0.1, "confident correct predictions give low loss");
+/// assert_eq!(grad.rows(), 2);
+/// # Ok::<(), canids_qnn::QnnError>(())
+/// ```
+pub fn softmax_cross_entropy(
+    logits: &Matrix,
+    targets: &[usize],
+    class_weights: Option<&[f32]>,
+) -> Result<(f32, Matrix), QnnError> {
+    let (n, c) = (logits.rows(), logits.cols());
+    if n == 0 {
+        return Err(QnnError::EmptyDataset);
+    }
+    if targets.len() != n {
+        return Err(QnnError::DimensionMismatch {
+            context: "cross-entropy targets",
+            expected: n,
+            actual: targets.len(),
+        });
+    }
+    if let Some(w) = class_weights {
+        if w.len() != c {
+            return Err(QnnError::DimensionMismatch {
+                context: "class weights",
+                expected: c,
+                actual: w.len(),
+            });
+        }
+    }
+
+    let mut dlogits = Matrix::zeros(n, c);
+    let mut loss = 0.0f64;
+    let mut weight_sum = 0.0f64;
+
+    for r in 0..n {
+        let t = targets[r];
+        if t >= c {
+            return Err(QnnError::LabelOutOfRange { label: t, classes: c });
+        }
+        let w = class_weights.map_or(1.0, |cw| cw[t]);
+        let row = logits.row(r);
+        let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
+        let mut denom = 0.0f32;
+        for &v in row {
+            denom += (v - max).exp();
+        }
+        let log_denom = denom.ln();
+        loss += f64::from(w) * f64::from(log_denom - (row[t] - max));
+        weight_sum += f64::from(w);
+        for j in 0..c {
+            let p = (row[j] - max).exp() / denom;
+            dlogits[(r, j)] = w * (p - if j == t { 1.0 } else { 0.0 });
+        }
+    }
+
+    // Normalise by the total weight so the step size is balance-invariant.
+    let norm = (weight_sum.max(1e-12)) as f32;
+    for g in dlogits.as_mut_slice() {
+        *g /= norm;
+    }
+    Ok(((loss / weight_sum.max(1e-12)) as f32, dlogits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Matrix::zeros(4, 3);
+        let (loss, _) = softmax_cross_entropy(&logits, &[0, 1, 2, 0], None).unwrap();
+        assert!((loss - (3.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_rows_sum_to_zero() {
+        let logits = Matrix::from_rows(&[&[1.0, -0.5, 0.2], &[0.0, 2.0, -1.0]]);
+        let (_, grad) = softmax_cross_entropy(&logits, &[2, 1], None).unwrap();
+        for r in 0..2 {
+            let s: f32 = grad.row(r).iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Matrix::from_rows(&[&[0.3, -1.2], &[0.9, 0.4]]);
+        let targets = [1usize, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &targets, None).unwrap();
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for j in 0..2 {
+                let mut lp = logits.clone();
+                lp[(r, j)] += eps;
+                let mut lm = logits.clone();
+                lm[(r, j)] -= eps;
+                let (fp, _) = softmax_cross_entropy(&lp, &targets, None).unwrap();
+                let (fm, _) = softmax_cross_entropy(&lm, &targets, None).unwrap();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (grad[(r, j)] - numeric).abs() < 1e-3,
+                    "grad[{r}][{j}] = {} vs {numeric}",
+                    grad[(r, j)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn class_weights_rebalance() {
+        // Up-weighting class 1 increases its gradient share.
+        let logits = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]);
+        let (_, g_plain) = softmax_cross_entropy(&logits, &[0, 1], None).unwrap();
+        let (_, g_weighted) =
+            softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0, 3.0])).unwrap();
+        let r1_plain = g_plain[(1, 1)].abs();
+        let r1_weighted = g_weighted[(1, 1)].abs();
+        assert!(r1_weighted > r1_plain, "{r1_weighted} !> {r1_plain}");
+    }
+
+    #[test]
+    fn numerically_stable_for_large_logits() {
+        let logits = Matrix::from_rows(&[&[1000.0, -1000.0]]);
+        let (loss, grad) = softmax_cross_entropy(&logits, &[0], None).unwrap();
+        assert!(loss.is_finite());
+        assert!(grad.as_slice().iter().all(|g| g.is_finite()));
+        assert!(loss < 1e-4);
+    }
+
+    #[test]
+    fn errors_on_bad_input() {
+        let logits = Matrix::zeros(2, 2);
+        assert_eq!(
+            softmax_cross_entropy(&Matrix::zeros(0, 2), &[], None).unwrap_err(),
+            QnnError::EmptyDataset
+        );
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0], None).unwrap_err(),
+            QnnError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            softmax_cross_entropy(&logits, &[0, 5], None).unwrap_err(),
+            QnnError::LabelOutOfRange { label: 5, classes: 2 }
+        );
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0])).unwrap_err(),
+            QnnError::DimensionMismatch { .. }
+        ));
+    }
+}

@@ -1,0 +1,252 @@
+//! Optimisers: SGD with momentum and Adam.
+//!
+//! State is keyed on the position of each tensor in the parameter list,
+//! which [`crate::mlp::QuantMlp::param_tensors_mut`] guarantees is stable
+//! across steps.
+
+use crate::params::ParamTensor;
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// weight decay.
+///
+/// # Example
+///
+/// ```
+/// use canids_qnn::optim::Sgd;
+/// use canids_qnn::params::ParamTensor;
+///
+/// let mut p = ParamTensor::from_values(vec![1.0]);
+/// p.grad[0] = 0.5;
+/// let mut opt = Sgd::new(0.1).with_momentum(0.0);
+/// opt.step(&mut [&mut p]);
+/// assert!((p.data[0] - 0.95).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate (momentum 0.9 by default).
+    pub fn new(lr: f32) -> Self {
+        Sgd {
+            lr,
+            momentum: 0.9,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
+    }
+
+    /// Sets the momentum coefficient (builder style).
+    pub fn with_momentum(mut self, momentum: f32) -> Self {
+        self.momentum = momentum;
+        self
+    }
+
+    /// Sets decoupled weight decay (builder style).
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to the parameter list.
+    pub fn step(&mut self, params: &mut [&mut ParamTensor]) {
+        if self.velocity.len() < params.len() {
+            for p in params.iter().skip(self.velocity.len()) {
+                self.velocity.push(vec![0.0; p.len()]);
+            }
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            let v = &mut self.velocity[i];
+            debug_assert_eq!(v.len(), p.len(), "parameter order must be stable");
+            for j in 0..p.data.len() {
+                let g = p.grad[j] + self.weight_decay * p.data[j];
+                v[j] = self.momentum * v[j] + g;
+                p.data[j] -= self.lr * v[j];
+            }
+        }
+    }
+}
+
+/// Adam optimiser (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+    t: u32,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (β₁ 0.9, β₂ 0.999, ε 1e-8).
+    pub fn new(lr: f32) -> Self {
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            m: Vec::new(),
+            v: Vec::new(),
+            t: 0,
+        }
+    }
+
+    /// Sets decoupled weight decay (builder style).
+    pub fn with_weight_decay(mut self, weight_decay: f32) -> Self {
+        self.weight_decay = weight_decay;
+        self
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Replaces the learning rate (for schedules).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to the parameter list.
+    pub fn step(&mut self, params: &mut [&mut ParamTensor]) {
+        while self.m.len() < params.len() {
+            let p = &params[self.m.len()];
+            self.m.push(vec![0.0; p.len()]);
+            self.v.push(vec![0.0; p.len()]);
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let (m, v) = (&mut self.m[i], &mut self.v[i]);
+            debug_assert_eq!(m.len(), p.len(), "parameter order must be stable");
+            for j in 0..p.data.len() {
+                let g = p.grad[j] + self.weight_decay * p.data[j];
+                m[j] = self.beta1 * m[j] + (1.0 - self.beta1) * g;
+                v[j] = self.beta2 * v[j] + (1.0 - self.beta2) * g * g;
+                let mhat = m[j] / bc1;
+                let vhat = v[j] / bc2;
+                p.data[j] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+}
+
+/// The optimiser selection exposed in the trainer configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimizerKind {
+    /// SGD with the given momentum.
+    Sgd {
+        /// Momentum coefficient.
+        momentum: f32,
+    },
+    /// Adam with default betas.
+    Adam,
+}
+
+impl Default for OptimizerKind {
+    fn default() -> Self {
+        OptimizerKind::Adam
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_step<F: FnMut(&mut [&mut ParamTensor])>(mut step: F) -> f32 {
+        // Minimise f(x) = (x-3)^2 from x=0; gradient 2(x-3).
+        let mut p = ParamTensor::from_values(vec![0.0]);
+        for _ in 0..200 {
+            p.grad[0] = 2.0 * (p.data[0] - 3.0);
+            step(&mut [&mut p]);
+        }
+        p.data[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.05).with_momentum(0.9);
+        let x = quadratic_step(|ps| opt.step(ps));
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.1);
+        let x = quadratic_step(|ps| opt.step(ps));
+        assert!((x - 3.0).abs() < 1e-2, "x = {x}");
+    }
+
+    #[test]
+    fn plain_sgd_is_exact_update() {
+        let mut p = ParamTensor::from_values(vec![2.0]);
+        p.grad[0] = 1.0;
+        let mut opt = Sgd::new(0.5).with_momentum(0.0);
+        opt.step(&mut [&mut p]);
+        assert!((p.data[0] - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut p = ParamTensor::from_values(vec![1.0]);
+        p.grad[0] = 0.0;
+        let mut opt = Sgd::new(0.1).with_momentum(0.0).with_weight_decay(0.1);
+        opt.step(&mut [&mut p]);
+        assert!(p.data[0] < 1.0);
+    }
+
+    #[test]
+    fn momentum_accumulates_velocity() {
+        let mut p = ParamTensor::from_values(vec![0.0]);
+        let mut opt = Sgd::new(0.1).with_momentum(0.5);
+        p.grad[0] = 1.0;
+        opt.step(&mut [&mut p]);
+        let first = -p.data[0];
+        p.grad[0] = 1.0;
+        opt.step(&mut [&mut p]);
+        let second = -p.data[0] - first;
+        assert!(second > first, "second step larger under momentum");
+    }
+
+    #[test]
+    fn state_grows_with_late_params() {
+        let mut a = ParamTensor::from_values(vec![1.0]);
+        let mut opt = Adam::new(0.01);
+        a.grad[0] = 1.0;
+        opt.step(&mut [&mut a]);
+        let mut b = ParamTensor::from_values(vec![1.0, 2.0]);
+        a.grad[0] = 1.0;
+        b.grad = vec![1.0, 1.0];
+        opt.step(&mut [&mut a, &mut b]);
+        assert!(b.data[0] < 1.0);
+    }
+
+    #[test]
+    fn lr_setter() {
+        let mut opt = Sgd::new(0.1);
+        opt.set_lr(0.01);
+        assert_eq!(opt.lr(), 0.01);
+        let mut adam = Adam::new(0.1);
+        adam.set_lr(0.2);
+        assert_eq!(adam.lr(), 0.2);
+    }
+}

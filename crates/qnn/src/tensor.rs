@@ -1,0 +1,360 @@
+//! Minimal dense-matrix kernels for MLP training.
+//!
+//! Everything the trainer needs reduces to three fused linear-layer
+//! kernels, each written so the inner loop walks contiguous rows
+//! (`x` rows and `W` rows are both contiguous in the `y = x Wᵀ + b`
+//! layout), which keeps the pure-Rust implementation within a small
+//! factor of a BLAS on these layer sizes.
+
+use std::fmt;
+
+/// A row-major `rows × cols` matrix of `f32`.
+///
+/// # Example
+///
+/// ```
+/// use canids_qnn::tensor::Matrix;
+///
+/// let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+/// assert_eq!(m.rows(), 2);
+/// assert_eq!(m[(1, 0)], 3.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// Creates a zero-filled matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Wraps an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when rows have unequal lengths.
+    pub fn from_rows(rows: &[&[f32]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// The backing row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the backing buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Row `r` as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows`.
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `r >= rows`.
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Fills the matrix with zeros (reuse between minibatches).
+    pub fn fill_zero(&mut self) {
+        self.data.iter_mut().for_each(|v| *v = 0.0);
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for Matrix {
+    type Output = f32;
+    fn index(&self, (r, c): (usize, usize)) -> &f32 {
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{}", self.rows, self.cols)?;
+        for r in 0..self.rows.min(8) {
+            write!(f, " [")?;
+            for c in 0..self.cols.min(12) {
+                write!(f, " {:8.4}", self[(r, c)])?;
+            }
+            writeln!(f, "{}]", if self.cols > 12 { " …" } else { "" })?;
+        }
+        if self.rows > 8 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+/// `y = x · Wᵀ + b` — the linear-layer forward pass.
+///
+/// Shapes: `x` is `batch × in`, `w` is `out × in`, `b` has `out` entries;
+/// the result is `batch × out`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn linear_forward(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
+    assert_eq!(x.cols, w.cols, "x cols must equal w cols (input dim)");
+    assert_eq!(b.len(), w.rows, "bias length must equal w rows (output dim)");
+    let mut y = Matrix::zeros(x.rows, w.rows);
+    for r in 0..x.rows {
+        let xr = x.row(r);
+        let yr = y.row_mut(r);
+        for (o, yo) in yr.iter_mut().enumerate() {
+            let wr = w.row(o);
+            let mut acc = 0.0f32;
+            for k in 0..xr.len() {
+                acc += xr[k] * wr[k];
+            }
+            *yo = acc + b[o];
+        }
+    }
+    y
+}
+
+/// `dx = dy · W` — gradient with respect to the layer input.
+///
+/// Shapes: `dy` is `batch × out`, `w` is `out × in`; result `batch × in`.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn linear_backward_input(dy: &Matrix, w: &Matrix) -> Matrix {
+    assert_eq!(dy.cols, w.rows, "dy cols must equal w rows");
+    let mut dx = Matrix::zeros(dy.rows, w.cols);
+    for r in 0..dy.rows {
+        let dyr = dy.row(r);
+        let dxr = dx.row_mut(r);
+        for (o, &g) in dyr.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let wr = w.row(o);
+            for k in 0..dxr.len() {
+                dxr[k] += g * wr[k];
+            }
+        }
+    }
+    dx
+}
+
+/// Accumulates `dw += dyᵀ · x` and `db += Σ dy` — parameter gradients.
+///
+/// Shapes: `dy` is `batch × out`, `x` is `batch × in`, `dw` is `out × in`
+/// flattened, `db` has `out` entries.
+///
+/// # Panics
+///
+/// Panics on shape mismatch.
+pub fn linear_backward_params(dy: &Matrix, x: &Matrix, dw: &mut [f32], db: &mut [f32]) {
+    assert_eq!(dy.rows, x.rows, "batch sizes must match");
+    assert_eq!(dw.len(), dy.cols * x.cols, "dw must be out*in");
+    assert_eq!(db.len(), dy.cols, "db must be out");
+    let in_dim = x.cols;
+    for r in 0..dy.rows {
+        let dyr = dy.row(r);
+        let xr = x.row(r);
+        for (o, &g) in dyr.iter().enumerate() {
+            db[o] += g;
+            if g == 0.0 {
+                continue;
+            }
+            let dwr = &mut dw[o * in_dim..(o + 1) * in_dim];
+            for k in 0..in_dim {
+                dwr[k] += g * xr[k];
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_forward(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
+        let mut y = Matrix::zeros(x.rows(), w.rows());
+        for r in 0..x.rows() {
+            for o in 0..w.rows() {
+                let mut acc = b[o];
+                for k in 0..x.cols() {
+                    acc += x[(r, k)] * w[(o, k)];
+                }
+                y[(r, o)] = acc;
+            }
+        }
+        y
+    }
+
+    fn pseudo_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+        let mut state = seed | 1;
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            data.push(((state >> 16) as f32 / 32768.0) - 1.0);
+        }
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn indexing_is_row_major() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(m[(0, 2)], 3.0);
+        assert_eq!(m[(1, 0)], 4.0);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn forward_matches_naive() {
+        let x = pseudo_matrix(5, 7, 1);
+        let w = pseudo_matrix(3, 7, 2);
+        let b = vec![0.1, -0.2, 0.3];
+        let got = linear_forward(&x, &w, &b);
+        let want = naive_forward(&x, &w, &b);
+        for (g, w_) in got.as_slice().iter().zip(want.as_slice()) {
+            assert!((g - w_).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn backward_input_matches_finite_difference() {
+        let x = pseudo_matrix(2, 4, 3);
+        let w = pseudo_matrix(3, 4, 4);
+        let b = vec![0.0; 3];
+        // Loss = sum(y); dL/dy = 1; dL/dx[r][k] = sum_o w[o][k].
+        let dy = Matrix::from_vec(2, 3, vec![1.0; 6]);
+        let dx = linear_backward_input(&dy, &w);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for k in 0..4 {
+                let mut xp = x.clone();
+                xp[(r, k)] += eps;
+                let mut xm = x.clone();
+                xm[(r, k)] -= eps;
+                let fp: f32 = linear_forward(&xp, &w, &b).as_slice().iter().sum();
+                let fm: f32 = linear_forward(&xm, &w, &b).as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!(
+                    (dx[(r, k)] - numeric).abs() < 1e-2,
+                    "dx[{r}][{k}] = {} vs {numeric}",
+                    dx[(r, k)]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn backward_params_matches_finite_difference() {
+        let x = pseudo_matrix(3, 4, 5);
+        let w = pseudo_matrix(2, 4, 6);
+        let b = vec![0.05, -0.07];
+        let dy = Matrix::from_vec(3, 2, vec![1.0; 6]);
+        let mut dw = vec![0.0f32; 8];
+        let mut db = vec![0.0f32; 2];
+        linear_backward_params(&dy, &x, &mut dw, &mut db);
+        let eps = 1e-3f32;
+        for o in 0..2 {
+            for k in 0..4 {
+                let mut wp = w.clone();
+                wp[(o, k)] += eps;
+                let mut wm = w.clone();
+                wm[(o, k)] -= eps;
+                let fp: f32 = linear_forward(&x, &wp, &b).as_slice().iter().sum();
+                let fm: f32 = linear_forward(&x, &wm, &b).as_slice().iter().sum();
+                let numeric = (fp - fm) / (2.0 * eps);
+                assert!((dw[o * 4 + k] - numeric).abs() < 1e-2);
+            }
+            // db[o] = batch size (each row contributes 1).
+            assert!((db[o] - 3.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn zero_gradient_rows_skipped_correctly() {
+        let w = pseudo_matrix(3, 4, 7);
+        let dy = Matrix::from_vec(1, 3, vec![0.0, 2.0, 0.0]);
+        let dx = linear_backward_input(&dy, &w);
+        for k in 0..4 {
+            assert!((dx[(0, k)] - 2.0 * w[(1, k)]).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "x cols must equal w cols")]
+    fn forward_validates_shapes() {
+        let x = Matrix::zeros(1, 3);
+        let w = Matrix::zeros(2, 4);
+        linear_forward(&x, &w, &[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer length")]
+    fn from_vec_validates_length() {
+        let _ = Matrix::from_vec(2, 3, vec![0.0; 5]);
+    }
+
+    #[test]
+    fn fill_zero_resets() {
+        let mut m = pseudo_matrix(3, 3, 8);
+        m.fill_zero();
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn display_does_not_panic_on_large() {
+        let m = pseudo_matrix(20, 40, 9);
+        let s = m.to_string();
+        assert!(s.contains("Matrix 20x40"));
+    }
+}

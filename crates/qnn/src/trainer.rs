@@ -1,0 +1,444 @@
+//! The quantisation-aware training loop.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::error::QnnError;
+use crate::loss::softmax_cross_entropy;
+use crate::metrics::ConfusionMatrix;
+use crate::mlp::QuantMlp;
+use crate::optim::{Adam, OptimizerKind, Sgd};
+use crate::tensor::Matrix;
+
+/// Training hyper-parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// Minibatch size.
+    pub batch_size: usize,
+    /// Initial learning rate.
+    pub lr: f32,
+    /// Per-epoch learning-rate multiplier.
+    pub lr_decay: f32,
+    /// Optimiser selection.
+    pub optimizer: OptimizerKind,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+    /// Rebalance the loss by inverse class frequency (CAN captures are
+    /// heavily imbalanced).
+    pub balance_classes: bool,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 64,
+            lr: 2e-3,
+            lr_decay: 0.85,
+            optimizer: OptimizerKind::Adam,
+            weight_decay: 1e-5,
+            seed: 0x7EA1,
+            balance_classes: true,
+        }
+    }
+}
+
+/// Summary of a completed training run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainReport {
+    /// Mean loss per epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Accuracy on the training set after the final epoch.
+    pub train_accuracy: f64,
+    /// Number of epochs executed.
+    pub epochs_run: usize,
+}
+
+enum AnyOpt {
+    Sgd(Sgd),
+    Adam(Adam),
+}
+
+impl AnyOpt {
+    fn step(&mut self, params: &mut [&mut crate::params::ParamTensor]) {
+        match self {
+            AnyOpt::Sgd(o) => o.step(params),
+            AnyOpt::Adam(o) => o.step(params),
+        }
+    }
+    fn set_lr(&mut self, lr: f32) {
+        match self {
+            AnyOpt::Sgd(o) => o.set_lr(lr),
+            AnyOpt::Adam(o) => o.set_lr(lr),
+        }
+    }
+}
+
+/// Runs quantisation-aware training of a [`QuantMlp`].
+///
+/// # Example
+///
+/// ```
+/// use canids_qnn::prelude::*;
+///
+/// // Learn y = x0 (a trivially separable problem). Batch norm is off:
+/// // with one minibatch per epoch its running statistics would not have
+/// // converged for eval mode — real captures provide thousands of
+/// // batches.
+/// let xs: Vec<Vec<f32>> = (0..64).map(|i| vec![(i % 2) as f32, 0.5]).collect();
+/// let ys: Vec<usize> = (0..64).map(|i| i % 2).collect();
+/// let mut mlp = QuantMlp::new(MlpConfig {
+///     input_dim: 2,
+///     hidden: vec![8],
+///     batch_norm: false,
+///     ..MlpConfig::default()
+/// })?;
+/// let report = Trainer::new(TrainConfig {
+///     epochs: 20,
+///     ..TrainConfig::default()
+/// })
+/// .fit(&mut mlp, &xs, &ys)?;
+/// assert!(report.train_accuracy > 0.95);
+/// # Ok::<(), canids_qnn::QnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Trainer {
+    config: TrainConfig,
+}
+
+impl Trainer {
+    /// Creates a trainer with the given hyper-parameters.
+    pub fn new(config: TrainConfig) -> Self {
+        Trainer { config }
+    }
+
+    /// The hyper-parameters.
+    pub fn config(&self) -> &TrainConfig {
+        &self.config
+    }
+
+    /// Trains `mlp` on `(xs, ys)`.
+    ///
+    /// # Errors
+    ///
+    /// * [`QnnError::EmptyDataset`] for an empty set,
+    /// * [`QnnError::DimensionMismatch`] when feature length ≠ model input
+    ///   or `xs.len() != ys.len()`,
+    /// * [`QnnError::LabelOutOfRange`] for labels ≥ the class count.
+    pub fn fit(
+        &self,
+        mlp: &mut QuantMlp,
+        xs: &[Vec<f32>],
+        ys: &[usize],
+    ) -> Result<TrainReport, QnnError> {
+        if xs.is_empty() {
+            return Err(QnnError::EmptyDataset);
+        }
+        if xs.len() != ys.len() {
+            return Err(QnnError::DimensionMismatch {
+                context: "training labels",
+                expected: xs.len(),
+                actual: ys.len(),
+            });
+        }
+        let input_dim = mlp.config().input_dim;
+        let classes = mlp.config().classes;
+        for x in xs {
+            if x.len() != input_dim {
+                return Err(QnnError::DimensionMismatch {
+                    context: "training feature vector",
+                    expected: input_dim,
+                    actual: x.len(),
+                });
+            }
+        }
+        for &y in ys {
+            if y >= classes {
+                return Err(QnnError::LabelOutOfRange { label: y, classes });
+            }
+        }
+
+        let class_weights = if self.config.balance_classes {
+            let mut counts = vec![0usize; classes];
+            for &y in ys {
+                counts[y] += 1;
+            }
+            let total = ys.len() as f32;
+            Some(
+                counts
+                    .iter()
+                    .map(|&c| {
+                        if c == 0 {
+                            1.0
+                        } else {
+                            total / (classes as f32 * c as f32)
+                        }
+                    })
+                    .collect::<Vec<f32>>(),
+            )
+        } else {
+            None
+        };
+
+        let mut opt = match self.config.optimizer {
+            OptimizerKind::Sgd { momentum } => AnyOpt::Sgd(
+                Sgd::new(self.config.lr)
+                    .with_momentum(momentum)
+                    .with_weight_decay(self.config.weight_decay),
+            ),
+            OptimizerKind::Adam => {
+                AnyOpt::Adam(Adam::new(self.config.lr).with_weight_decay(self.config.weight_decay))
+            }
+        };
+
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        let mut epoch_losses = Vec::with_capacity(self.config.epochs);
+        let batch = self.config.batch_size.max(1);
+        let mut lr = self.config.lr;
+
+        for _epoch in 0..self.config.epochs {
+            order.shuffle(&mut rng);
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            for chunk in order.chunks(batch) {
+                let mut x = Matrix::zeros(chunk.len(), input_dim);
+                let mut y = Vec::with_capacity(chunk.len());
+                for (r, &idx) in chunk.iter().enumerate() {
+                    x.row_mut(r).copy_from_slice(&xs[idx]);
+                    y.push(ys[idx]);
+                }
+                let logits = mlp.forward(&x, true);
+                let (loss, dlogits) =
+                    softmax_cross_entropy(&logits, &y, class_weights.as_deref())?;
+                mlp.zero_grad();
+                mlp.backward(&dlogits);
+                opt.step(&mut mlp.param_tensors_mut());
+                loss_sum += f64::from(loss);
+                batches += 1;
+            }
+            epoch_losses.push((loss_sum / batches.max(1) as f64) as f32);
+            lr *= self.config.lr_decay;
+            opt.set_lr(lr);
+        }
+
+        let cm = evaluate(mlp, xs, ys);
+        Ok(TrainReport {
+            epoch_losses,
+            train_accuracy: cm.accuracy(),
+            epochs_run: self.config.epochs,
+        })
+    }
+}
+
+/// Evaluates a model on a labelled set, returning the binary confusion
+/// matrix (class 0 = normal, anything else = attack).
+pub fn evaluate(mlp: &mut QuantMlp, xs: &[Vec<f32>], ys: &[usize]) -> ConfusionMatrix {
+    let input_dim = mlp.config().input_dim;
+    let mut cm = ConfusionMatrix::new();
+    for chunk in xs.chunks(256).zip(ys.chunks(256)) {
+        let (cx, cy) = chunk;
+        let mut x = Matrix::zeros(cx.len(), input_dim);
+        for (r, xi) in cx.iter().enumerate() {
+            x.row_mut(r).copy_from_slice(xi);
+        }
+        let preds = mlp.predict_batch(&x);
+        for (&p, &t) in preds.iter().zip(cy) {
+            cm.record(p != 0, t != 0);
+        }
+    }
+    cm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mlp::MlpConfig;
+    use crate::quant::BitWidth;
+    use rand::Rng;
+
+    /// Two-cluster toy problem: class = MSB of the feature block.
+    fn toy_data(n: usize, dim: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut xs = Vec::with_capacity(n);
+        let mut ys = Vec::with_capacity(n);
+        for _ in 0..n {
+            let y = usize::from(rng.gen_bool(0.5));
+            let mut x = vec![0.0f32; dim];
+            for (i, v) in x.iter_mut().enumerate() {
+                let base = if y == 1 { (i % 2) as f32 } else { ((i + 1) % 2) as f32 };
+                // 10% feature noise.
+                *v = if rng.gen_bool(0.1) { 1.0 - base } else { base };
+            }
+            xs.push(x);
+            ys.push(y);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_separable_problem_at_4_bits() {
+        let (xs, ys) = toy_data(800, 16, 5);
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 16,
+            hidden: vec![16],
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let report = Trainer::new(TrainConfig {
+            epochs: 8,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &xs, &ys)
+        .unwrap();
+        assert!(
+            report.train_accuracy > 0.97,
+            "accuracy = {}",
+            report.train_accuracy
+        );
+        assert_eq!(report.epoch_losses.len(), 8);
+    }
+
+    #[test]
+    fn loss_decreases_over_epochs() {
+        let (xs, ys) = toy_data(400, 8, 6);
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 8,
+            hidden: vec![12],
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let report = Trainer::new(TrainConfig {
+            epochs: 6,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &xs, &ys)
+        .unwrap();
+        let first = report.epoch_losses[0];
+        let last = *report.epoch_losses.last().unwrap();
+        assert!(last < first, "loss {first} -> {last}");
+    }
+
+    #[test]
+    fn sgd_also_learns() {
+        let (xs, ys) = toy_data(400, 8, 7);
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 8,
+            hidden: vec![12],
+            weight_bits: BitWidth::W8,
+            act_bits: BitWidth::W8,
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let report = Trainer::new(TrainConfig {
+            epochs: 10,
+            lr: 0.05,
+            optimizer: OptimizerKind::Sgd { momentum: 0.9 },
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &xs, &ys)
+        .unwrap();
+        assert!(report.train_accuracy > 0.9, "{}", report.train_accuracy);
+    }
+
+    #[test]
+    fn imbalanced_data_with_weighting_finds_minority() {
+        // 95/5 imbalance; balanced loss should still detect the minority.
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..600 {
+            let y = usize::from(rng.gen_bool(0.05));
+            let x = if y == 1 {
+                vec![1.0, 1.0, 0.0, 0.0]
+            } else {
+                vec![0.0, 0.0, 1.0, 1.0]
+            };
+            xs.push(x);
+            ys.push(y);
+        }
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![8],
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        Trainer::new(TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        })
+        .fit(&mut mlp, &xs, &ys)
+        .unwrap();
+        let cm = evaluate(&mut mlp, &xs, &ys);
+        assert!(cm.recall() > 0.95, "recall = {}", cm.recall());
+        assert!(cm.precision() > 0.95, "precision = {}", cm.precision());
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![4],
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let trainer = Trainer::new(TrainConfig::default());
+        assert_eq!(
+            trainer.fit(&mut mlp, &[], &[]).unwrap_err(),
+            QnnError::EmptyDataset
+        );
+        assert!(matches!(
+            trainer
+                .fit(&mut mlp, &[vec![0.0; 4]], &[0, 1])
+                .unwrap_err(),
+            QnnError::DimensionMismatch { .. }
+        ));
+        assert!(matches!(
+            trainer.fit(&mut mlp, &[vec![0.0; 3]], &[0]).unwrap_err(),
+            QnnError::DimensionMismatch { .. }
+        ));
+        assert_eq!(
+            trainer.fit(&mut mlp, &[vec![0.0; 4]], &[7]).unwrap_err(),
+            QnnError::LabelOutOfRange { label: 7, classes: 2 }
+        );
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let (xs, ys) = toy_data(200, 8, 9);
+        let run = || {
+            let mut mlp = QuantMlp::new(MlpConfig {
+                input_dim: 8,
+                hidden: vec![8],
+                ..MlpConfig::default()
+            })
+            .unwrap();
+            Trainer::new(TrainConfig {
+                epochs: 3,
+                ..TrainConfig::default()
+            })
+            .fit(&mut mlp, &xs, &ys)
+            .unwrap()
+            .epoch_losses
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn evaluate_counts_everything() {
+        let (xs, ys) = toy_data(300, 8, 10);
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 8,
+            hidden: vec![8],
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let cm = evaluate(&mut mlp, &xs, &ys);
+        assert_eq!(cm.total(), 300);
+    }
+}

@@ -1,0 +1,222 @@
+//! The CAN controller peripheral (Xilinx CANPS-style).
+//!
+//! A memory-mapped wrapper around [`canids_can::CanController`]: received
+//! frames land in the hardware RX FIFO and the PS reads them out through
+//! the ID/DLC/DW1/DW2 register sequence, exactly as the `canps` driver
+//! does on a real Zynq. The IDS ECU's "scan every message" configuration
+//! uses an empty acceptance-filter bank.
+
+use canids_can::frame::{CanFrame, CanId};
+use canids_can::node::{CanController, RxFrame};
+use canids_can::time::SimTime;
+
+use crate::axi::MmioDevice;
+use crate::error::SocError;
+
+/// Interrupt-status register offset.
+pub const ISR: u32 = 0x1C;
+/// Status register offset.
+pub const SR: u32 = 0x18;
+/// RX FIFO identifier register.
+pub const RXFIFO_ID: u32 = 0x50;
+/// RX FIFO DLC register.
+pub const RXFIFO_DLC: u32 = 0x54;
+/// RX FIFO data word 1 (bytes 0..4).
+pub const RXFIFO_DW1: u32 = 0x58;
+/// RX FIFO data word 2 (bytes 4..8); reading it pops the frame.
+pub const RXFIFO_DW2: u32 = 0x5C;
+
+/// `ISR`/`SR` bit: RX FIFO not empty.
+pub const RXNEMP: u32 = 1 << 7;
+
+/// The memory-mapped CAN controller.
+#[derive(Debug, Clone)]
+pub struct CanPeripheral {
+    controller: CanController,
+    /// Frame currently latched at the FIFO head register window.
+    head: Option<RxFrame>,
+}
+
+impl CanPeripheral {
+    /// Wraps a protocol controller as a peripheral.
+    pub fn new(controller: CanController) -> Self {
+        CanPeripheral {
+            controller,
+            head: None,
+        }
+    }
+
+    /// The wrapped protocol controller (e.g. to inspect statistics).
+    pub fn controller(&self) -> &CanController {
+        &self.controller
+    }
+
+    /// Delivers a frame from the bus side at `timestamp`.
+    pub fn deliver(&mut self, timestamp: SimTime, frame: CanFrame) {
+        self.controller.on_rx(timestamp, frame);
+    }
+
+    /// Frames waiting (FIFO plus latched head).
+    pub fn rx_pending(&self) -> usize {
+        self.controller.rx_pending() + usize::from(self.head.is_some())
+    }
+
+    fn latch_head(&mut self) -> Option<&RxFrame> {
+        if self.head.is_none() {
+            self.head = self.controller.pop_rx();
+        }
+        self.head.as_ref()
+    }
+}
+
+impl MmioDevice for CanPeripheral {
+    fn read(&mut self, offset: u32, _now: SimTime) -> Result<u32, SocError> {
+        match offset {
+            ISR | SR => {
+                let mut bits = 0;
+                if self.rx_pending() > 0 {
+                    bits |= RXNEMP;
+                }
+                Ok(bits)
+            }
+            RXFIFO_ID => match self.latch_head() {
+                // CANPS layout: standard ID in bits [31:21].
+                Some(rx) => Ok(u32::from(rx.frame.id().base_id()) << 21),
+                None => Err(SocError::AccessViolation {
+                    addr: u64::from(offset),
+                    reason: "RX FIFO empty",
+                }),
+            },
+            RXFIFO_DLC => match self.latch_head() {
+                Some(rx) => Ok(u32::from(rx.frame.dlc().value()) << 28),
+                None => Err(SocError::AccessViolation {
+                    addr: u64::from(offset),
+                    reason: "RX FIFO empty",
+                }),
+            },
+            RXFIFO_DW1 => match self.latch_head() {
+                Some(rx) => {
+                    let d = rx.frame.data_padded();
+                    Ok(u32::from_be_bytes([d[0], d[1], d[2], d[3]]))
+                }
+                None => Err(SocError::AccessViolation {
+                    addr: u64::from(offset),
+                    reason: "RX FIFO empty",
+                }),
+            },
+            RXFIFO_DW2 => match self.latch_head().cloned() {
+                Some(rx) => {
+                    let d = rx.frame.data_padded();
+                    self.head = None; // reading DW2 pops the frame
+                    Ok(u32::from_be_bytes([d[4], d[5], d[6], d[7]]))
+                }
+                None => Err(SocError::AccessViolation {
+                    addr: u64::from(offset),
+                    reason: "RX FIFO empty",
+                }),
+            },
+            o => Err(SocError::AccessViolation {
+                addr: u64::from(o),
+                reason: "unknown register",
+            }),
+        }
+    }
+
+    fn write(&mut self, offset: u32, _value: u32, _now: SimTime) -> Result<(), SocError> {
+        match offset {
+            // Mode/config writes are accepted and ignored by this model.
+            0x00 | 0x04 | 0x08 | ISR => Ok(()),
+            o => Err(SocError::AccessViolation {
+                addr: u64::from(o),
+                reason: "register is read-only or unknown",
+            }),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "canps"
+    }
+}
+
+/// Reads one frame out of the peripheral through the register sequence,
+/// as the kernel driver would. Returns `None` when the FIFO is empty.
+pub fn read_frame(dev: &mut CanPeripheral, now: SimTime) -> Option<CanFrame> {
+    if dev.read(ISR, now).ok()? & RXNEMP == 0 {
+        return None;
+    }
+    let id_reg = dev.read(RXFIFO_ID, now).ok()?;
+    let dlc_reg = dev.read(RXFIFO_DLC, now).ok()?;
+    let dw1 = dev.read(RXFIFO_DW1, now).ok()?;
+    let dw2 = dev.read(RXFIFO_DW2, now).ok()?;
+    let id = ((id_reg >> 21) & 0x7FF) as u16;
+    let dlc = ((dlc_reg >> 28) & 0xF) as usize;
+    let b1 = dw1.to_be_bytes();
+    let b2 = dw2.to_be_bytes();
+    let payload = [b1[0], b1[1], b1[2], b1[3], b2[0], b2[1], b2[2], b2[3]];
+    CanFrame::new(
+        CanId::standard(id).ok()?,
+        &payload[..dlc.min(8)],
+    )
+    .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16, payload: &[u8]) -> CanFrame {
+        CanFrame::new(CanId::standard(id).unwrap(), payload).unwrap()
+    }
+
+    #[test]
+    fn delivered_frame_reads_back_exactly() {
+        let mut dev = CanPeripheral::new(CanController::default());
+        let f = frame(0x316, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        dev.deliver(SimTime::from_micros(5), f);
+        assert_eq!(read_frame(&mut dev, SimTime::ZERO), Some(f));
+        assert_eq!(read_frame(&mut dev, SimTime::ZERO), None);
+    }
+
+    #[test]
+    fn short_frames_preserve_dlc() {
+        let mut dev = CanPeripheral::new(CanController::default());
+        let f = frame(0x43F, &[0xAA, 0xBB]);
+        dev.deliver(SimTime::ZERO, f);
+        let back = read_frame(&mut dev, SimTime::ZERO).unwrap();
+        assert_eq!(back.dlc().value(), 2);
+        assert_eq!(back.data(), &[0xAA, 0xBB]);
+    }
+
+    #[test]
+    fn isr_reports_rx_not_empty() {
+        let mut dev = CanPeripheral::new(CanController::default());
+        assert_eq!(dev.read(ISR, SimTime::ZERO).unwrap() & RXNEMP, 0);
+        dev.deliver(SimTime::ZERO, frame(0x1, &[]));
+        assert_ne!(dev.read(ISR, SimTime::ZERO).unwrap() & RXNEMP, 0);
+    }
+
+    #[test]
+    fn empty_fifo_reads_are_violations() {
+        let mut dev = CanPeripheral::new(CanController::default());
+        assert!(dev.read(RXFIFO_ID, SimTime::ZERO).is_err());
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut dev = CanPeripheral::new(CanController::default());
+        for id in [0x100u16, 0x200, 0x300] {
+            dev.deliver(SimTime::ZERO, frame(id, &[id as u8]));
+        }
+        for id in [0x100u16, 0x200, 0x300] {
+            let f = read_frame(&mut dev, SimTime::ZERO).unwrap();
+            assert_eq!(f.id().raw(), u32::from(id));
+        }
+    }
+
+    #[test]
+    fn mode_writes_accepted() {
+        let mut dev = CanPeripheral::new(CanController::default());
+        dev.write(0x00, 1, SimTime::ZERO).unwrap();
+        assert!(dev.write(0x70, 1, SimTime::ZERO).is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! AXI-Stream DMA batch inference (driver-overhead ablation).
+//!
+//! The paper's 0.12 ms per-message path pays the runtime dispatch on
+//! every frame. A DMA engine amortises it: the driver prepares a buffer
+//! of `n` packed frames, starts one transfer, and the accelerator
+//! streams through them back-to-back at its initiation interval. This
+//! module models that alternative integration — used by the ablation
+//! tests to show *why* the paper's per-message latency is
+//! software-bound, and what a batched deployment would buy.
+
+use canids_can::time::SimTime;
+use canids_dataflow::ip::AcceleratorIp;
+
+use crate::cpu::CpuModel;
+use crate::error::SocError;
+
+/// DMA engine parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DmaConfig {
+    /// Sustained stream bandwidth between DDR and the PL (bytes/s).
+    pub bandwidth_bytes_per_s: f64,
+    /// One-off descriptor setup cost per transfer (software).
+    pub setup: SimTime,
+    /// Completion-interrupt service cost per transfer.
+    pub completion_irq: SimTime,
+}
+
+impl Default for DmaConfig {
+    fn default() -> Self {
+        DmaConfig {
+            // HP port at 128 bit × 200 MHz, conservatively derated.
+            bandwidth_bytes_per_s: 1.6e9,
+            setup: SimTime::from_micros(20),
+            completion_irq: SimTime::from_micros(12),
+        }
+    }
+}
+
+/// Result of one batched inference transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchReport {
+    /// Classes, one per frame in the batch.
+    pub classes: Vec<usize>,
+    /// Wall time of the whole transfer (software + stream + compute).
+    pub total: SimTime,
+    /// Amortised per-frame latency.
+    pub per_frame: SimTime,
+}
+
+/// Runs a batch of packed feature vectors through the IP via a modelled
+/// DMA transfer.
+///
+/// # Errors
+///
+/// [`SocError::InputDimension`] when any vector has the wrong width.
+pub fn run_batch(
+    ip: &AcceleratorIp,
+    cpu: &CpuModel,
+    dma: DmaConfig,
+    batch: &[Vec<f32>],
+) -> Result<BatchReport, SocError> {
+    let dim = ip.input_dim();
+    for b in batch {
+        if b.len() != dim {
+            return Err(SocError::InputDimension {
+                expected: dim,
+                actual: b.len(),
+            });
+        }
+    }
+    // Functional results from the (bit-exact) IP model.
+    let classes: Vec<usize> = batch
+        .iter()
+        .map(|bits| {
+            let x: Vec<u32> = bits.iter().map(|&v| u32::from(v >= 0.5)).collect();
+            ip.infer(&x).0
+        })
+        .collect();
+
+    // Timing: one dispatch + descriptor setup, then the stream runs at
+    // min(DMA bandwidth, accelerator II).
+    let n = batch.len() as u64;
+    let bytes = n * u64::from(ip.input_words()) * 4;
+    let stream_s = bytes as f64 / dma.bandwidth_bytes_per_s;
+    let ii_s = ip.initiation_interval() as f64 / ip.clock_hz() as f64;
+    let pipeline_s = ip.latency_secs() + ii_s * (n.saturating_sub(1)) as f64;
+    let compute_s = pipeline_s.max(stream_s);
+    let total = cpu.runtime_dispatch
+        + dma.setup
+        + SimTime::from_secs_f64(compute_s)
+        + dma.completion_irq;
+    let per_frame = SimTime::from_nanos(total.as_nanos() / n.max(1));
+    Ok(BatchReport {
+        classes,
+        total,
+        per_frame,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canids_dataflow::ip::CompileConfig;
+    use canids_qnn::prelude::*;
+
+    fn ip() -> AcceleratorIp {
+        let mlp = QuantMlp::new(MlpConfig::paper_4bit()).unwrap();
+        AcceleratorIp::compile(&mlp.export().unwrap(), CompileConfig::default()).unwrap()
+    }
+
+    fn batch(n: usize) -> Vec<Vec<f32>> {
+        (0..n)
+            .map(|i| (0..75).map(|j| f32::from((i + j) % 2 == 0)).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batch_amortises_dispatch() {
+        let ip = ip();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let one = run_batch(&ip, &cpu, DmaConfig::default(), &batch(1)).unwrap();
+        let many = run_batch(&ip, &cpu, DmaConfig::default(), &batch(256)).unwrap();
+        assert!(many.per_frame < one.per_frame);
+        // 256-frame batches push per-frame cost to the microsecond range.
+        assert!(
+            many.per_frame < SimTime::from_micros(5),
+            "per-frame {}",
+            many.per_frame
+        );
+    }
+
+    #[test]
+    fn classes_match_functional_model() {
+        let ip = ip();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let frames = batch(16);
+        let report = run_batch(&ip, &cpu, DmaConfig::default(), &frames).unwrap();
+        for (bits, &class) in frames.iter().zip(&report.classes) {
+            let x: Vec<u32> = bits.iter().map(|&v| u32::from(v >= 0.5)).collect();
+            assert_eq!(class, ip.infer(&x).0);
+        }
+    }
+
+    #[test]
+    fn per_message_mode_still_wins_on_detection_delay() {
+        // The ablation's flip side (and the paper's design point): batch
+        // mode amortises cost but delays the verdict of the *first* frame
+        // by the whole batch. Per-message latency of batch-256 total must
+        // exceed the single-message driver path.
+        let ip = ip();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let many = run_batch(&ip, &cpu, DmaConfig::default(), &batch(256)).unwrap();
+        assert!(
+            many.total > SimTime::from_micros(120),
+            "batch verdict delay {}",
+            many.total
+        );
+    }
+
+    #[test]
+    fn input_validation() {
+        let ip = ip();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let err = run_batch(&ip, &cpu, DmaConfig::default(), &[vec![0.0; 10]]).unwrap_err();
+        assert!(matches!(err, SocError::InputDimension { .. }));
+    }
+}

@@ -1,0 +1,215 @@
+//! The userspace accelerator driver (PYNQ-runtime equivalent).
+//!
+//! FINN deployments drive the stitched IP from Linux through `mmap`-ed
+//! AXI-Lite registers: pack inputs, write them, pulse start, poll the
+//! done bit, read the result. Each step costs software time from the
+//! [`CpuModel`]; the sum — dominated by the fixed runtime-dispatch
+//! overhead — is what the paper reports as the 0.12 ms per-message
+//! processing latency.
+
+use canids_can::time::SimTime;
+use canids_dataflow::ip::RegisterMap;
+
+use crate::accel::{CTRL_START, STATUS_DONE};
+use crate::axi::AxiInterconnect;
+use crate::cpu::CpuModel;
+use crate::error::SocError;
+
+/// Watchdog: maximum status polls before declaring the IP hung.
+pub const MAX_POLLS: usize = 100_000;
+
+/// Where one inference call's time went.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InferenceBreakdown {
+    /// Fixed runtime/driver dispatch overhead.
+    pub dispatch: SimTime,
+    /// Register reads and writes (input words, control, result).
+    pub mmio: SimTime,
+    /// Time spent in the status-poll loop waiting for the datapath.
+    pub compute_wait: SimTime,
+}
+
+impl InferenceBreakdown {
+    /// Total call time.
+    pub fn total(&self) -> SimTime {
+        self.dispatch + self.mmio + self.compute_wait
+    }
+}
+
+/// The result of one driver-mediated inference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferenceRecord {
+    /// Predicted class.
+    pub class: usize,
+    /// Call entry time.
+    pub started_at: SimTime,
+    /// Call return time.
+    pub completed_at: SimTime,
+    /// Time breakdown.
+    pub breakdown: InferenceBreakdown,
+}
+
+impl InferenceRecord {
+    /// Wall-clock call duration.
+    pub fn latency(&self) -> SimTime {
+        self.completed_at - self.started_at
+    }
+}
+
+/// Runs one inference against the accelerator mapped at `base`,
+/// advancing `now` by every software and wait cost incurred.
+///
+/// # Errors
+///
+/// Propagates bus/peripheral errors; returns [`SocError::PollTimeout`]
+/// when the done bit never rises within [`MAX_POLLS`].
+pub fn run_inference(
+    bus: &mut AxiInterconnect,
+    cpu: &CpuModel,
+    now: &mut SimTime,
+    base: u64,
+    input_words: &[u32],
+) -> Result<InferenceRecord, SocError> {
+    let started_at = *now;
+    let mut mmio = SimTime::ZERO;
+
+    // Runtime dispatch: buffer checks, driver entry (the fixed PYNQ cost).
+    *now += cpu.runtime_dispatch;
+
+    // Write the packed input words.
+    for (i, &w) in input_words.iter().enumerate() {
+        *now += cpu.mmio_write;
+        mmio += cpu.mmio_write;
+        bus.write(base + u64::from(RegisterMap::INPUT_BASE) + 4 * i as u64, w, *now)?;
+    }
+
+    // Pulse start.
+    *now += cpu.mmio_write;
+    mmio += cpu.mmio_write;
+    bus.write(base + u64::from(RegisterMap::CTRL), CTRL_START, *now)?;
+
+    // Poll the done bit.
+    let wait_start = *now;
+    let mut polls = 0usize;
+    loop {
+        *now += cpu.mmio_read;
+        let status = bus.read(base + u64::from(RegisterMap::STATUS), *now)?;
+        if status & STATUS_DONE != 0 {
+            break;
+        }
+        polls += 1;
+        if polls > MAX_POLLS {
+            return Err(SocError::PollTimeout);
+        }
+        *now += cpu.poll_interval;
+    }
+    let compute_wait = *now - wait_start;
+
+    // Read the class register.
+    *now += cpu.mmio_read;
+    mmio += cpu.mmio_read;
+    let class = bus.read(base + u64::from(RegisterMap::OUT_CLASS), *now)? as usize;
+
+    Ok(InferenceRecord {
+        class,
+        started_at,
+        completed_at: *now,
+        breakdown: InferenceBreakdown {
+            dispatch: cpu.runtime_dispatch,
+            mmio,
+            compute_wait,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::{pack_features, AccelPeripheral};
+    use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
+    use canids_qnn::prelude::*;
+
+    fn setup() -> (AxiInterconnect, u64, AcceleratorIp) {
+        let mlp = QuantMlp::new(MlpConfig::default()).unwrap();
+        let ip =
+            AcceleratorIp::compile(&mlp.export().unwrap(), CompileConfig::default()).unwrap();
+        let mut bus = AxiInterconnect::new();
+        let base = 0xA000_0000u64;
+        bus.map(base, 0x1_0000, Box::new(AccelPeripheral::new(ip.clone())))
+            .unwrap();
+        (bus, base, ip)
+    }
+
+    #[test]
+    fn inference_latency_is_about_0_12_ms() {
+        let (mut bus, base, _) = setup();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let mut now = SimTime::ZERO;
+        let words = pack_features(&vec![1.0f32; 75]);
+        let rec = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
+        let ms = rec.latency().as_millis_f64();
+        assert!(
+            (0.09..0.13).contains(&ms),
+            "driver latency {ms} ms vs paper-scale 0.1-0.12 ms"
+        );
+        assert_eq!(rec.latency(), rec.breakdown.total());
+    }
+
+    #[test]
+    fn class_matches_functional_model() {
+        let (mut bus, base, ip) = setup();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let mut now = SimTime::ZERO;
+        for seed in 0u64..16 {
+            let bits: Vec<f32> = (0..75)
+                .map(|i| f32::from((seed.wrapping_mul(i as u64 + 13) >> 2) & 1 == 1))
+                .collect();
+            let words = pack_features(&bits);
+            let rec = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
+            let x: Vec<u32> = bits.iter().map(|&b| u32::from(b >= 0.5)).collect();
+            assert_eq!(rec.class, ip.infer(&x).0, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn dispatch_dominates_breakdown() {
+        let (mut bus, base, _) = setup();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let mut now = SimTime::ZERO;
+        let words = pack_features(&vec![0.0f32; 75]);
+        let rec = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
+        assert!(rec.breakdown.dispatch > rec.breakdown.mmio);
+        assert!(rec.breakdown.dispatch > rec.breakdown.compute_wait);
+        assert!(rec.breakdown.compute_wait > SimTime::ZERO);
+    }
+
+    #[test]
+    fn baremetal_cpu_is_much_faster() {
+        let (mut bus, base, _) = setup();
+        let words = pack_features(&vec![0.0f32; 75]);
+        let mut now = SimTime::ZERO;
+        let linux =
+            run_inference(&mut bus, &CpuModel::zynqmp_a53_linux(), &mut now, base, &words)
+                .unwrap();
+        let bm = run_inference(
+            &mut bus,
+            &CpuModel::zynqmp_a53_baremetal(),
+            &mut now,
+            base,
+            &words,
+        )
+        .unwrap();
+        assert!(bm.latency().as_nanos() * 5 < linux.latency().as_nanos());
+    }
+
+    #[test]
+    fn consecutive_inferences_advance_time() {
+        let (mut bus, base, _) = setup();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let mut now = SimTime::ZERO;
+        let words = pack_features(&vec![0.0f32; 75]);
+        let a = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
+        let b = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
+        assert!(b.started_at >= a.completed_at);
+    }
+}

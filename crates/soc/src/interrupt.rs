@@ -1,0 +1,116 @@
+//! A GIC-style interrupt controller model.
+//!
+//! Only the facilities the ECU path needs: level interrupt lines (CAN RX,
+//! accelerator done), per-line enables, and a claim/ack cycle.
+
+/// Interrupt line assigned to CAN0 RX (mirrors the ZynqMP GIC SPI).
+pub const IRQ_CAN0: u32 = 55;
+/// Interrupt line assigned to the first PL accelerator.
+pub const IRQ_ACCEL0: u32 = 121;
+
+/// A simple 128-line interrupt controller.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct InterruptController {
+    pending: u128,
+    enabled: u128,
+}
+
+impl InterruptController {
+    /// Creates a controller with all lines disabled and idle.
+    pub fn new() -> Self {
+        InterruptController::default()
+    }
+
+    /// Enables or disables a line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line >= 128`.
+    pub fn set_enabled(&mut self, line: u32, enabled: bool) {
+        assert!(line < 128, "line out of range");
+        if enabled {
+            self.enabled |= 1 << line;
+        } else {
+            self.enabled &= !(1 << line);
+        }
+    }
+
+    /// Raises a line (edge from a peripheral).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line >= 128`.
+    pub fn raise(&mut self, line: u32) {
+        assert!(line < 128, "line out of range");
+        self.pending |= 1 << line;
+    }
+
+    /// Highest-priority (lowest-numbered) pending *and enabled* line.
+    pub fn claim(&self) -> Option<u32> {
+        let active = self.pending & self.enabled;
+        if active == 0 {
+            None
+        } else {
+            Some(active.trailing_zeros())
+        }
+    }
+
+    /// Acknowledges (clears) a pending line.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `line >= 128`.
+    pub fn ack(&mut self, line: u32) {
+        assert!(line < 128, "line out of range");
+        self.pending &= !(1 << line);
+    }
+
+    /// Whether a line is pending (regardless of enable).
+    pub fn is_pending(&self, line: u32) -> bool {
+        line < 128 && self.pending & (1 << line) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_lines_are_not_claimed() {
+        let mut gic = InterruptController::new();
+        gic.raise(IRQ_CAN0);
+        assert_eq!(gic.claim(), None);
+        gic.set_enabled(IRQ_CAN0, true);
+        assert_eq!(gic.claim(), Some(IRQ_CAN0));
+    }
+
+    #[test]
+    fn claim_returns_lowest_line() {
+        let mut gic = InterruptController::new();
+        gic.set_enabled(IRQ_CAN0, true);
+        gic.set_enabled(IRQ_ACCEL0, true);
+        gic.raise(IRQ_ACCEL0);
+        gic.raise(IRQ_CAN0);
+        assert_eq!(gic.claim(), Some(IRQ_CAN0));
+        gic.ack(IRQ_CAN0);
+        assert_eq!(gic.claim(), Some(IRQ_ACCEL0));
+        gic.ack(IRQ_ACCEL0);
+        assert_eq!(gic.claim(), None);
+    }
+
+    #[test]
+    fn pending_is_tracked_independently_of_enable() {
+        let mut gic = InterruptController::new();
+        gic.raise(3);
+        assert!(gic.is_pending(3));
+        assert!(!gic.is_pending(4));
+        assert_eq!(gic.claim(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "line out of range")]
+    fn out_of_range_line_panics() {
+        let mut gic = InterruptController::new();
+        gic.raise(128);
+    }
+}

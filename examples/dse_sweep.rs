@@ -1,0 +1,44 @@
+//! The paper's design-space exploration: sweep uniform quantisation from
+//! 2 to 8 bits and report accuracy vs resource cost. 4-bit should sit at
+//! the knee (full accuracy, near-minimal cost).
+//!
+//! ```sh
+//! cargo run --release -p canids-core --example dse_sweep
+//! ```
+
+use canids_core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let config = PipelineConfig {
+        capture_duration: SimTime::from_secs(4),
+        ..PipelineConfig::fuzzy()
+    };
+    let capture = IdsPipeline::new(config.clone()).generate_capture();
+    println!("capture: {}", DatasetStats::of(&capture));
+
+    let report = sweep_bitwidths(&config, &capture, &[2, 3, 4, 6, 8])?;
+
+    let mut table = Table::new(
+        "DSE: uniform quantisation width (Fuzzy detector)",
+        &["bits", "precision", "recall", "F1", "FNR", "LUT", "BRAM", "ZCU104 util"],
+    );
+    for p in &report.points {
+        let (prec, rec, f1, fnr) = p.cm.table_row();
+        table.push_row(&[
+            format!("{}", p.bits),
+            pct(prec),
+            pct(rec),
+            pct(f1),
+            pct(fnr),
+            format!("{}", p.luts),
+            format!("{}", p.bram36),
+            format!("{:.2}%", p.utilization * 100.0),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "selected: {}-bit (paper selects 4-bit uniform quantisation)",
+        report.selected_point().bits
+    );
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! Full Fuzzy experiment: random-identifier/payload injection every
+//! 0.5 ms, trained and evaluated end to end.
+//!
+//! ```sh
+//! cargo run --release -p canids-core --example fuzzy_detection
+//! ```
+
+use canids_core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    let config = PipelineConfig {
+        capture_duration: SimTime::from_secs(10),
+        ..PipelineConfig::fuzzy()
+    };
+    let pipeline = IdsPipeline::new(config);
+
+    let capture = pipeline.generate_capture();
+    println!("capture: {}", DatasetStats::of(&capture));
+
+    let detector = pipeline.train(&capture)?;
+    let (p, r, f1, fnr) = detector.test_cm.table_row();
+    println!("ours  : precision {p:.2}  recall {r:.2}  f1 {f1:.2}  fnr {fnr:.2}");
+    println!("paper : precision 99.68  recall 99.93  f1 99.80  fnr 0.07");
+
+    let ip = pipeline.compile(&detector.int_mlp)?;
+    let (ecu, _) = pipeline.deploy_and_replay(ip, &detector.test_set)?;
+    println!(
+        "latency {:.3} ms, power {:.2} W, energy {:.3} mJ/msg",
+        ecu.mean_latency.as_millis_f64(),
+        ecu.mean_power_w,
+        ecu.energy_per_message_j * 1e3
+    );
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Generate a synthetic Car-Hacking-style capture and emit it in the
+//! published CSV format (to stdout summary + a temp file).
+//!
+//! ```sh
+//! cargo run --release -p canids-core --example generate_dataset
+//! ```
+
+use canids_core::prelude::*;
+use canids_dataset::csv::to_csv;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for (name, attack) in [
+        ("normal", None),
+        ("dos", Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous))),
+        ("fuzzy", Some(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous))),
+        ("gear-spoof", Some(AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous))),
+    ] {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_secs(2),
+            attack,
+            seed: 0xDA7A,
+            ..TrafficConfig::default()
+        })
+        .build();
+        println!("--- {name} ---");
+        print!("{}", DatasetStats::of(&ds));
+        let csv = to_csv(&ds);
+        let path = std::env::temp_dir().join(format!("canids_{name}.csv"));
+        std::fs::write(&path, &csv)?;
+        println!("written: {} ({} rows)\n", path.display(), ds.len());
+    }
+    Ok(())
+}

@@ -1,0 +1,48 @@
+//! Quickstart: train a 4-bit QMLP DoS detector, compile it to a
+//! FINN-style IP, deploy it on the simulated ZCU104 ECU and print the
+//! paper's headline numbers.
+//!
+//! ```sh
+//! cargo run --release -p canids-core --example quickstart
+//! ```
+
+use canids_core::prelude::*;
+
+fn main() -> Result<(), CoreError> {
+    println!("canids quickstart — 4-bit QMLP DoS IDS\n");
+
+    let pipeline = IdsPipeline::new(PipelineConfig::dos().quick());
+    let report = pipeline.run()?;
+
+    let (p, r, f1, fnr) = report.detector.test_cm.table_row();
+    println!("classification (integer model, held-out test set):");
+    println!("  precision {p:6.2}%   recall {r:6.2}%   F1 {f1:6.2}%   FNR {fnr:5.2}%");
+    println!("  paper:     99.99%          99.99%      99.99%       0.01%\n");
+
+    println!("hardware IP:");
+    println!("  compute latency : {:.2} us", report.ip.latency_secs() * 1e6);
+    println!("  resources       : {}", report.ip.resources());
+    println!(
+        "  ZCU104 usage    : {}",
+        report.ip.utilization(Device::ZCU104)
+    );
+
+    println!("\nECU replay (full software path):");
+    println!(
+        "  per-message latency : {:.3} ms   (paper: 0.12 ms)",
+        report.ecu.mean_latency.as_millis_f64()
+    );
+    println!(
+        "  board power         : {:.2} W     (paper: 2.09 W)",
+        report.ecu.mean_power_w
+    );
+    println!(
+        "  energy per message  : {:.3} mJ   (paper: 0.25 mJ)",
+        report.ecu.energy_per_message_j * 1e3
+    );
+    println!(
+        "  verdict agreement   : {:.2}%",
+        report.replay_agreement * 100.0
+    );
+    Ok(())
+}

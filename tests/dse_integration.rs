@@ -1,0 +1,53 @@
+//! Design-space-exploration integration: the sweep trains real models,
+//! compiles real IPs and orders costs sensibly.
+
+use canids_core::dse::sweep_bitwidths;
+use canids_core::prelude::*;
+
+#[test]
+fn sweep_over_widths_is_cost_monotone_and_accurate() {
+    let config = PipelineConfig::dos().quick();
+    let capture = IdsPipeline::new(config.clone()).generate_capture();
+    let report = sweep_bitwidths(&config, &capture, &[2, 4, 8]).expect("sweep");
+
+    assert_eq!(report.points.len(), 3);
+    // Resource cost never shrinks with wider datapaths.
+    assert!(report.points[0].luts <= report.points[1].luts);
+    assert!(report.points[1].luts <= report.points[2].luts);
+
+    // The DoS problem is separable at every width ≥ 2 (the paper's DSE
+    // finds no accuracy loss at 4 bits).
+    for p in &report.points {
+        assert!(
+            p.cm.accuracy() > 0.95,
+            "{}-bit accuracy {}",
+            p.bits,
+            p.cm.accuracy()
+        );
+    }
+
+    // The selected point is never dominated: no other point has both
+    // higher F1 and lower utilisation.
+    let sel = report.selected_point();
+    for p in &report.points {
+        let dominates = p.cm.f1() > sel.cm.f1() + 1e-9 && p.utilization < sel.utilization;
+        assert!(!dominates, "{}-bit dominates the selection", p.bits);
+    }
+}
+
+#[test]
+fn four_bit_matches_eight_bit_accuracy_at_lower_cost() {
+    // The core DSE claim: 4-bit ≈ 8-bit accuracy with a cheaper design.
+    let config = PipelineConfig::fuzzy().quick();
+    let capture = IdsPipeline::new(config.clone()).generate_capture();
+    let report = sweep_bitwidths(&config, &capture, &[4, 8]).expect("sweep");
+    let four = &report.points[0];
+    let eight = &report.points[1];
+    assert!(
+        four.cm.f1() >= eight.cm.f1() - 0.01,
+        "4-bit f1 {} vs 8-bit {}",
+        four.cm.f1(),
+        eight.cm.f1()
+    );
+    assert!(four.luts <= eight.luts);
+}

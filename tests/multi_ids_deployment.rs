@@ -1,0 +1,110 @@
+//! Multi-model deployment integration: DoS + Fuzzy detectors on one
+//! board, replaying mixed traffic.
+
+use canids_core::prelude::*;
+
+fn quick_detector(config: PipelineConfig) -> (AttackKind, canids_qnn::IntegerMlp) {
+    let pipeline = IdsPipeline::new(config.clone());
+    let capture = pipeline.generate_capture();
+    let detector = pipeline.train(&capture).expect("training");
+    (config.attack.kind, detector.int_mlp)
+}
+
+#[test]
+fn dual_model_ecu_detects_both_attacks() {
+    let (dos_kind, dos_model) = quick_detector(PipelineConfig::dos().quick());
+    let (fuzzy_kind, fuzzy_model) = quick_detector(PipelineConfig::fuzzy().quick());
+
+    let mut deployment = deploy_multi_ids(
+        &[
+            DetectorBundle {
+                kind: dos_kind,
+                model: dos_model,
+            },
+            DetectorBundle {
+                kind: fuzzy_kind,
+                model: fuzzy_model,
+            },
+        ],
+        CompileConfig::default(),
+    )
+    .expect("deployment");
+
+    // Both IPs fit with plenty of headroom (paper: <4% each).
+    assert!(deployment.utilization < 0.08, "{}", deployment.utilization);
+    assert!(deployment.headroom >= 4);
+
+    // Replay a capture with DoS injection; the DoS model must flag it.
+    let capture = DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(600),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed: 0xABCD,
+        ..TrafficConfig::default()
+    })
+    .build();
+    let frames: Vec<(SimTime, CanFrame)> =
+        capture.iter().map(|r| (r.timestamp, r.frame)).collect();
+    let encoder = IdBitsPayloadBits::default();
+    let report = deployment
+        .ecu
+        .process_capture(&frames, &|f: &CanFrame| encoder.encode(f))
+        .expect("replay");
+
+    let truth_attacks = capture.iter().filter(|r| r.label.is_attack()).count();
+    let flagged = report.detections.iter().filter(|d| d.flagged).count();
+    let ratio = flagged as f64 / truth_attacks.max(1) as f64;
+    assert!(
+        (0.9..1.3).contains(&ratio),
+        "flagged {flagged} vs {truth_attacks} attack frames"
+    );
+}
+
+#[test]
+fn dual_model_latency_overhead_is_small() {
+    let (kind_a, model_a) = quick_detector(PipelineConfig::dos().quick());
+    let frames: Vec<(SimTime, CanFrame)> = (0..30)
+        .map(|i| {
+            (
+                SimTime::from_micros(250 * i as u64),
+                CanFrame::new(CanId::standard(0x200).unwrap(), &[i as u8; 8]).unwrap(),
+            )
+        })
+        .collect();
+    let encoder = IdBitsPayloadBits::default();
+    let featurize = |f: &CanFrame| encoder.encode(f);
+
+    let mut single = deploy_multi_ids(
+        &[DetectorBundle {
+            kind: kind_a,
+            model: model_a.clone(),
+        }],
+        CompileConfig::default(),
+    )
+    .unwrap();
+    let single_report = single.ecu.process_capture(&frames, &featurize).unwrap();
+
+    let (kind_b, model_b) = quick_detector(PipelineConfig::fuzzy().quick());
+    let mut dual = deploy_multi_ids(
+        &[
+            DetectorBundle {
+                kind: kind_a,
+                model: model_a,
+            },
+            DetectorBundle {
+                kind: kind_b,
+                model: model_b,
+            },
+        ],
+        CompileConfig::default(),
+    )
+    .unwrap();
+    let dual_report = dual.ecu.process_capture(&frames, &featurize).unwrap();
+
+    let ratio = dual_report.mean_latency.as_secs_f64()
+        / single_report.mean_latency.as_secs_f64();
+    assert!(
+        (1.0..1.25).contains(&ratio),
+        "dual/single latency ratio {ratio} (paper: slightly higher cost)"
+    );
+    assert!(dual_report.mean_power_w > single_report.mean_power_w);
+}
