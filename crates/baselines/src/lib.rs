@@ -37,7 +37,9 @@ pub mod nn;
 pub mod platform;
 pub mod workload;
 
-pub use literature::{paper_headlines, table1_dos, table1_fuzzy, table2_rows, AccuracyRow, LatencyRow};
+pub use literature::{
+    paper_headlines, table1_dos, table1_fuzzy, table2_rows, AccuracyRow, LatencyRow,
+};
 pub use models::{Dcnn, GruIds, MlidsLstm, NovelAds, TcanIds};
 pub use mth::{DecisionTree, Knn, MthIds};
 pub use platform::Platform;

@@ -23,22 +23,85 @@ pub struct AccuracyRow {
 /// Table I, DoS section (literature rows, ours excluded).
 pub fn table1_dos() -> Vec<AccuracyRow> {
     vec![
-        AccuracyRow { model: "DCNN [4]", precision: 100.0, recall: 99.89, f1: 99.95, fnr: Some(0.13) },
-        AccuracyRow { model: "MLIDS [3]", precision: 99.9, recall: 100.0, f1: 99.9, fnr: None },
-        AccuracyRow { model: "NovelADS [10]", precision: 99.97, recall: 99.91, f1: 99.94, fnr: None },
-        AccuracyRow { model: "TCAN-IDS [11]", precision: 100.0, recall: 99.97, f1: 99.98, fnr: None },
-        AccuracyRow { model: "GRU [2]", precision: 99.93, recall: 99.91, f1: 99.92, fnr: None },
+        AccuracyRow {
+            model: "DCNN [4]",
+            precision: 100.0,
+            recall: 99.89,
+            f1: 99.95,
+            fnr: Some(0.13),
+        },
+        AccuracyRow {
+            model: "MLIDS [3]",
+            precision: 99.9,
+            recall: 100.0,
+            f1: 99.9,
+            fnr: None,
+        },
+        AccuracyRow {
+            model: "NovelADS [10]",
+            precision: 99.97,
+            recall: 99.91,
+            f1: 99.94,
+            fnr: None,
+        },
+        AccuracyRow {
+            model: "TCAN-IDS [11]",
+            precision: 100.0,
+            recall: 99.97,
+            f1: 99.98,
+            fnr: None,
+        },
+        AccuracyRow {
+            model: "GRU [2]",
+            precision: 99.93,
+            recall: 99.91,
+            f1: 99.92,
+            fnr: None,
+        },
     ]
 }
 
 /// Table I, Fuzzy section (literature rows, ours excluded).
 pub fn table1_fuzzy() -> Vec<AccuracyRow> {
     vec![
-        AccuracyRow { model: "DCNN [4]", precision: 99.95, recall: 99.65, f1: 99.80, fnr: Some(0.5) },
-        AccuracyRow { model: "MLIDS [3]", precision: 99.9, recall: 99.9, f1: 99.9, fnr: None },
-        AccuracyRow { model: "NovelADS [10]", precision: 99.99, recall: 100.0, f1: 100.0, fnr: None },
-        AccuracyRow { model: "TCAN-IDS [11]", precision: 99.96, recall: 99.89, f1: 99.22, fnr: None },
-        AccuracyRow { model: "GRU [2]", precision: 99.32, recall: 99.13, f1: 99.22, fnr: None },
+        AccuracyRow {
+            model: "DCNN [4]",
+            precision: 99.95,
+            recall: 99.65,
+            f1: 99.80,
+            fnr: Some(0.5),
+        },
+        AccuracyRow {
+            model: "MLIDS [3]",
+            precision: 99.9,
+            recall: 99.9,
+            f1: 99.9,
+            fnr: None,
+        },
+        AccuracyRow {
+            model: "NovelADS [10]",
+            precision: 99.99,
+            recall: 100.0,
+            f1: 100.0,
+            fnr: None,
+        },
+        AccuracyRow {
+            model: "TCAN-IDS [11]",
+            precision: 99.96,
+            recall: 99.89,
+            // 99.92 = harmonic mean of P/R; the seed carried 99.22
+            // (copy of the GRU row), which is impossible — F1 is
+            // bounded by [min(P, R), max(P, R)].
+            f1: 99.92,
+            fnr: None,
+        },
+        AccuracyRow {
+            model: "GRU [2]",
+            precision: 99.32,
+            recall: 99.13,
+            f1: 99.22,
+            fnr: None,
+        },
     ]
 }
 
@@ -46,8 +109,20 @@ pub fn table1_fuzzy() -> Vec<AccuracyRow> {
 /// our measured reproduction).
 pub fn table1_qmlp_paper() -> (AccuracyRow, AccuracyRow) {
     (
-        AccuracyRow { model: "4-bit-QMLP (paper)", precision: 99.99, recall: 99.99, f1: 99.99, fnr: Some(0.01) },
-        AccuracyRow { model: "4-bit-QMLP (paper)", precision: 99.68, recall: 99.93, f1: 99.80, fnr: Some(0.07) },
+        AccuracyRow {
+            model: "4-bit-QMLP (paper)",
+            precision: 99.99,
+            recall: 99.99,
+            f1: 99.99,
+            fnr: Some(0.01),
+        },
+        AccuracyRow {
+            model: "4-bit-QMLP (paper)",
+            precision: 99.68,
+            recall: 99.93,
+            f1: 99.80,
+            fnr: Some(0.07),
+        },
     )
 }
 
@@ -74,12 +149,42 @@ impl LatencyRow {
 /// Table II, literature rows (ours excluded).
 pub fn table2_rows() -> Vec<LatencyRow> {
     vec![
-        LatencyRow { model: "GRU [2]", latency: SimTime::from_millis(890), frames: 5_000, platform: "Jetson Xavier NX" },
-        LatencyRow { model: "MLIDS [3]", latency: SimTime::from_millis(275), frames: 1, platform: "GTX Titan X" },
-        LatencyRow { model: "NovelADS [10]", latency: SimTime::from_micros(128_700), frames: 100, platform: "Jetson Nano" },
-        LatencyRow { model: "DCNN [4]", latency: SimTime::from_millis(5), frames: 29, platform: "Tesla K80" },
-        LatencyRow { model: "TCAN-IDS [11]", latency: SimTime::from_micros(3_400), frames: 64, platform: "Jetson AGX" },
-        LatencyRow { model: "MTH-IDS [9]", latency: SimTime::from_micros(574), frames: 1, platform: "Raspberry Pi 3" },
+        LatencyRow {
+            model: "GRU [2]",
+            latency: SimTime::from_millis(890),
+            frames: 5_000,
+            platform: "Jetson Xavier NX",
+        },
+        LatencyRow {
+            model: "MLIDS [3]",
+            latency: SimTime::from_millis(275),
+            frames: 1,
+            platform: "GTX Titan X",
+        },
+        LatencyRow {
+            model: "NovelADS [10]",
+            latency: SimTime::from_micros(128_700),
+            frames: 100,
+            platform: "Jetson Nano",
+        },
+        LatencyRow {
+            model: "DCNN [4]",
+            latency: SimTime::from_millis(5),
+            frames: 29,
+            platform: "Tesla K80",
+        },
+        LatencyRow {
+            model: "TCAN-IDS [11]",
+            latency: SimTime::from_micros(3_400),
+            frames: 64,
+            platform: "Jetson AGX",
+        },
+        LatencyRow {
+            model: "MTH-IDS [9]",
+            latency: SimTime::from_micros(574),
+            frames: 1,
+            platform: "Raspberry Pi 3",
+        },
     ]
 }
 
@@ -162,9 +267,11 @@ mod tests {
         for row in &per_frame {
             assert!(mth.latency <= row.latency, "{}", row.model);
         }
-        let speedup =
-            mth.latency.as_secs_f64() / table2_qmlp_paper().latency.as_secs_f64();
-        assert!((4.0..5.5).contains(&speedup), "speedup {speedup} vs paper 4.8x");
+        let speedup = mth.latency.as_secs_f64() / table2_qmlp_paper().latency.as_secs_f64();
+        assert!(
+            (4.0..5.5).contains(&speedup),
+            "speedup {speedup} vs paper 4.8x"
+        );
     }
 
     #[test]

@@ -8,8 +8,7 @@
 //! quotes literature accuracy numbers rather than re-running them.
 
 use crate::nn::{
-    attention_macs, global_avg_pool, max_pool2, self_attention, Conv2d, GruCell, LstmCell,
-    Volume,
+    attention_macs, global_avg_pool, max_pool2, self_attention, Conv2d, GruCell, LstmCell, Volume,
 };
 
 /// DCNN (Song, Woo & Kim 2020): a reduced Inception-ResNet on a 29×29
@@ -124,9 +123,11 @@ impl MlidsLstm {
 
     /// Runs one frame (stateless per-message classification).
     pub fn forward(&self, x: &[f32]) -> Vec<f32> {
-        let (h, _) = self
-            .cell
-            .step(x, &vec![0.0; self.cell.hidden], &vec![0.0; self.cell.hidden]);
+        let (h, _) = self.cell.step(
+            x,
+            &vec![0.0; self.cell.hidden],
+            &vec![0.0; self.cell.hidden],
+        );
         h
     }
 }
@@ -223,9 +224,9 @@ mod tests {
     fn dcnn_macs_and_forward() {
         let m = Dcnn::song2020();
         assert!(m.macs() > 1_000_000, "DCNN is the heavy block model");
-        let out = m.forward(&vec![0.0; 29 * 29]);
+        let out = m.forward(&[0.0; 29 * 29]);
         assert_eq!(out.len(), 128);
-        let out1 = m.forward(&vec![1.0; 29 * 29]);
+        let out1 = m.forward(&[1.0; 29 * 29]);
         assert_ne!(out, out1);
     }
 
@@ -241,7 +242,7 @@ mod tests {
     #[test]
     fn mlids_is_per_frame() {
         let m = MlidsLstm::desta2020();
-        let h = m.forward(&vec![0.5; 75]);
+        let h = m.forward(&[0.5; 75]);
         assert_eq!(h.len(), 128);
         assert!(m.macs_per_frame() > 50_000);
     }

@@ -99,8 +99,7 @@ impl Conv2d {
                                 if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
                                     continue;
                                 }
-                                let wv = self.weights[((oc * self.in_channels + ic)
-                                    * self.kernel
+                                let wv = self.weights[((oc * self.in_channels + ic) * self.kernel
                                     + ky)
                                     * self.kernel
                                     + kx];
@@ -293,9 +292,7 @@ pub fn self_attention(seq: &[Vec<f32>]) -> Vec<Vec<f32>> {
     for q in seq {
         let mut scores: Vec<f32> = seq
             .iter()
-            .map(|k| {
-                q.iter().zip(k).map(|(a, b)| a * b).sum::<f32>() / d.sqrt()
-            })
+            .map(|k| q.iter().zip(k).map(|(a, b)| a * b).sum::<f32>() / d.sqrt())
             .collect();
         let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let mut denom = 0.0;
@@ -330,7 +327,7 @@ mod tests {
         let input = Volume::zeros(1, 29, 29);
         let out = conv.forward(&input);
         assert_eq!((out.channels, out.height, out.width), (8, 29, 29));
-        assert_eq!(conv.macs(29, 29), (1 * 8 * 9 * 29 * 29) as u64);
+        assert_eq!(conv.macs(29, 29), (8 * 9 * 29 * 29) as u64);
     }
 
     #[test]
@@ -391,7 +388,7 @@ mod tests {
     fn lstm_step_bounded_and_stateful() {
         let cell = LstmCell::new(8, 16, 5);
         let x = vec![0.5; 8];
-        let (h1, c1) = cell.step(&x, &vec![0.0; 16], &vec![0.0; 16]);
+        let (h1, c1) = cell.step(&x, &[0.0; 16], &[0.0; 16]);
         let (h2, _) = cell.step(&x, &h1, &c1);
         assert_ne!(h1, h2);
         assert!(h1.iter().all(|v| v.abs() <= 1.0 + 1e-5));

@@ -29,7 +29,8 @@ pub struct BaselineWorkload {
 impl BaselineWorkload {
     /// Modelled latency per invocation.
     pub fn latency_per_invocation(&self) -> SimTime {
-        self.platform.invocation_latency(self.macs, self.sw_overhead)
+        self.platform
+            .invocation_latency(self.macs, self.sw_overhead)
     }
 
     /// Modelled latency normalised per CAN frame.
@@ -41,7 +42,8 @@ impl BaselineWorkload {
 
     /// Modelled energy per frame in joules.
     pub fn energy_per_frame_j(&self) -> f64 {
-        self.platform.invocation_energy_j(self.macs, self.sw_overhead)
+        self.platform
+            .invocation_energy_j(self.macs, self.sw_overhead)
             / f64::from(self.frames_per_invocation.max(1))
     }
 }
@@ -125,10 +127,18 @@ mod tests {
         let mth = rows.iter().find(|w| w.model.starts_with("MTH")).unwrap();
         let mlids = rows.iter().find(|w| w.model.starts_with("MLIDS")).unwrap();
         for w in rows.iter().filter(|w| w.frames_per_invocation == 1) {
-            assert!(mth.latency_per_frame() <= w.latency_per_frame(), "{}", w.model);
+            assert!(
+                mth.latency_per_frame() <= w.latency_per_frame(),
+                "{}",
+                w.model
+            );
         }
         for w in &rows {
-            assert!(mlids.latency_per_frame() >= w.latency_per_frame(), "{}", w.model);
+            assert!(
+                mlids.latency_per_frame() >= w.latency_per_frame(),
+                "{}",
+                w.model
+            );
         }
     }
 

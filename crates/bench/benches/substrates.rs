@@ -15,7 +15,9 @@ fn bench_substrates(c: &mut Criterion) {
     let mut group = c.benchmark_group("substrates");
     group.bench_function("crc15_98bits", |b| b.iter(|| crc15(black_box(&bits))));
     group.bench_function("stuff_98bits", |b| b.iter(|| stuff(black_box(&bits))));
-    group.bench_function("destuff", |b| b.iter(|| destuff(black_box(&stuffed)).unwrap()));
+    group.bench_function("destuff", |b| {
+        b.iter(|| destuff(black_box(&stuffed)).unwrap())
+    });
 
     // The QAT hot loop: batch-64 forward through the first paper layer.
     let x = Matrix::zeros(64, 75);

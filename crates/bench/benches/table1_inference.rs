@@ -2,8 +2,8 @@
 //! integer model and the cycle-accurate accelerator simulator.
 
 use canids_bench::{untrained_ip, untrained_model};
-use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 use canids_can::frame::{CanFrame, CanId};
+use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -11,7 +11,7 @@ fn bench_table1(c: &mut Criterion) {
     let model = untrained_model();
     let ip = untrained_ip();
     let sim = ip.simulator();
-    let encoder = IdBitsPayloadBits::default();
+    let encoder = IdBitsPayloadBits;
     let frame = CanFrame::new(
         CanId::standard(0x316).unwrap(),
         &[0x05, 0x21, 0x68, 0x09, 0x21, 0x21, 0x00, 0x6F],

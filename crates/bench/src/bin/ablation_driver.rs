@@ -34,7 +34,10 @@ fn main() -> Result<(), CoreError> {
         breakdown.push_row(&[
             name.to_owned(),
             format!("{t}"),
-            format!("{:.1}%", 100.0 * t.as_secs_f64() / (total + rx.as_secs_f64())),
+            format!(
+                "{:.1}%",
+                100.0 * t.as_secs_f64() / (total + rx.as_secs_f64())
+            ),
         ]);
     }
     println!("{breakdown}");

@@ -15,7 +15,16 @@ fn run_sweep(name: &str, config: PipelineConfig) -> Result<DseReport, CoreError>
     let report = sweep_bitwidths(&config, &capture, &[1, 2, 3, 4, 6, 8])?;
     let mut table = Table::new(
         format!("E6 — DSE over quantisation width ({name})"),
-        &["bits", "Precision", "Recall", "F1", "FNR", "LUT", "util %", "merit"],
+        &[
+            "bits",
+            "Precision",
+            "Recall",
+            "F1",
+            "FNR",
+            "LUT",
+            "util %",
+            "merit",
+        ],
     );
     for p in &report.points {
         let (prec, rec, f1, fnr) = p.cm.table_row();

@@ -64,16 +64,12 @@ fn main() -> Result<(), CoreError> {
     let mut board = Zcu104Board::new(BoardConfig::default());
     let idx = board.attach_accelerator(ip)?;
     let mut ecu = IdsEcu::new(board, vec![idx], EcuConfig::default());
-    let frames: Vec<(SimTime, CanFrame)> =
-        hs_events.iter().map(|e| (e.time, e.frame)).collect();
-    let encoder = IdBitsPayloadBits::default();
+    let frames: Vec<(SimTime, CanFrame)> = hs_events.iter().map(|e| (e.time, e.frame)).collect();
+    let encoder = IdBitsPayloadBits;
     let report = ecu.process_capture(&frames, &|f: &CanFrame| encoder.encode(f))?;
 
     let flagged = report.detections.iter().filter(|d| d.flagged).count();
-    let dos_frames = hs_events
-        .iter()
-        .filter(|e| e.frame.id().raw() == 0)
-        .count();
+    let dos_frames = hs_events.iter().filter(|e| e.frame.id().raw() == 0).count();
     println!("\nIDS ECU (high-speed segment):");
     println!("  scanned  : {} frames", report.detections.len());
     println!("  flagged  : {flagged} (ground truth: {dos_frames} DoS frames)");

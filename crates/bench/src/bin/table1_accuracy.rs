@@ -60,7 +60,7 @@ fn measured_mth(config: &PipelineConfig) -> ConfusionMatrix {
     let pipeline = IdsPipeline::new(config.clone());
     let capture = pipeline.generate_capture();
     let (train, test) = train_test_split(&capture, SplitConfig::default());
-    let enc = IdPayloadBytes::default();
+    let enc = IdPayloadBytes;
     let (xs, ys) = train.to_xy(&enc);
     let model = MthIds::fit(&xs, &ys);
     let (txs, tys) = test.to_xy(&enc);

@@ -53,8 +53,7 @@ fn main() -> Result<(), CoreError> {
         .iter()
         .find(|r| r.model.starts_with("MTH"))
         .expect("MTH row present");
-    let speedup =
-        mth.latency.as_secs_f64() / report.ecu.mean_latency.as_secs_f64();
+    let speedup = mth.latency.as_secs_f64() / report.ecu.mean_latency.as_secs_f64();
     println!(
         "measured per-message latency {:.3} ms -> {speedup:.1}x vs MTH-IDS (paper: 4.8x)",
         report.ecu.mean_latency.as_millis_f64()

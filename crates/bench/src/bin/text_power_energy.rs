@@ -5,9 +5,9 @@
 //! cargo run --release -p canids-bench --bin text_power_energy
 //! ```
 
+use canids_baselines::platform::Platform;
 use canids_bench::harness_dos;
 use canids_core::prelude::*;
-use canids_baselines::platform::Platform;
 
 fn main() -> Result<(), CoreError> {
     eprintln!("[power] running pipeline ...");
@@ -30,7 +30,7 @@ fn main() -> Result<(), CoreError> {
         .enumerate()
         .map(|(i, r)| (line_period.mul_u64(i as u64), r.frame))
         .collect();
-    let encoder = IdBitsPayloadBits::default();
+    let encoder = IdBitsPayloadBits;
     let ecu_report = ecu.process_capture(&frames, &|f: &CanFrame| encoder.encode(f))?;
 
     let mut table = Table::new(
@@ -50,7 +50,11 @@ fn main() -> Result<(), CoreError> {
     let pl = ip.power(0.125);
     table.push_row(&[
         "PL (accelerator) share".to_owned(),
-        format!("{:.2} W ({:.0} mW dynamic)", pl.total_w(), pl.dynamic_w * 1e3),
+        format!(
+            "{:.2} W ({:.0} mW dynamic)",
+            pl.total_w(),
+            pl.dynamic_w * 1e3
+        ),
         "-".to_owned(),
     ]);
 
@@ -66,8 +70,6 @@ fn main() -> Result<(), CoreError> {
     println!("{table}");
 
     let ratio = gpu_energy / ecu_report.energy_per_message_j;
-    println!(
-        "GPU/FPGA energy ratio: {ratio:.0}x (paper: 9.12 J / 0.25 mJ = ~36,000x)"
-    );
+    println!("GPU/FPGA energy ratio: {ratio:.0}x (paper: 9.12 J / 0.25 mJ = ~36,000x)");
     Ok(())
 }

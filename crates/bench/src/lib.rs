@@ -2,8 +2,8 @@
 //! configurations and quick model constructors used by both the
 //! table-generator binaries and the Criterion benches.
 
-use canids_core::pipeline::PipelineConfig;
 use canids_can::time::SimTime;
+use canids_core::pipeline::PipelineConfig;
 use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
 use canids_qnn::export::IntegerMlp;
 use canids_qnn::mlp::{MlpConfig, QuantMlp};

@@ -206,7 +206,7 @@ pub fn encode_frame(frame: &CanFrame) -> FrameBits {
     bits.push(true); // CRC delimiter
     bits.push(false); // ACK slot (acknowledged)
     bits.push(true); // ACK delimiter
-    bits.extend(std::iter::repeat(true).take(7)); // EOF
+    bits.extend(std::iter::repeat_n(true, 7)); // EOF
     FrameBits {
         bits,
         stuff_bits,
@@ -374,10 +374,7 @@ pub fn decode_frame(bits: &[bool]) -> Result<CanFrame, CanError> {
     }
 
     let frame = if remote {
-        CanFrame::remote(
-            id,
-            Dlc::new(dlc_raw.min(8)).expect("clamped to <= 8"),
-        )
+        CanFrame::remote(id, Dlc::new(dlc_raw.min(8)).expect("clamped to <= 8"))
     } else {
         CanFrame::new(id, &data[..data_len]).expect("length validated")
     };
@@ -405,7 +402,7 @@ mod tests {
         // (run restarted at the stuff bit).
         let stuffed = stuff(&[true; 9]);
         assert_eq!(stuffed.len(), 10);
-        assert_eq!(stuffed[5], false);
+        assert!(!stuffed[5]);
     }
 
     #[test]
@@ -496,7 +493,10 @@ mod tests {
         let f = std_frame(0x123, &[1, 2, 3, 4]);
         let enc = encode_frame(&f);
         let err = decode_frame(&enc.bits()[..enc.len() - 8]).unwrap_err();
-        assert!(matches!(err, CanError::Truncated { .. } | CanError::Form { .. }));
+        assert!(matches!(
+            err,
+            CanError::Truncated { .. } | CanError::Form { .. }
+        ));
     }
 
     #[test]

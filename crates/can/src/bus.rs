@@ -242,14 +242,12 @@ impl Bus {
                     Some((t, frame)) if t <= self.now => {
                         match slot.controller.queue_tx(frame) {
                             Ok(()) => {
-                                slot.staged =
-                                    slot.source.as_mut().and_then(|s| s.next_frame());
+                                slot.staged = slot.source.as_mut().and_then(|s| s.next_frame());
                             }
                             Err(CanError::TxQueueFull) => break, // stall the source
                             Err(CanError::BusOff) => {
                                 self.stats.release_drops += 1;
-                                slot.staged =
-                                    slot.source.as_mut().and_then(|s| s.next_frame());
+                                slot.staged = slot.source.as_mut().and_then(|s| s.next_frame());
                             }
                             Err(_) => unreachable!("queue_tx returns only queue/bus-off errors"),
                         }

@@ -26,7 +26,10 @@ impl fmt::Display for FrameError {
                 write!(f, "extended identifier {id:#x} exceeds 29 bits")
             }
             FrameError::PayloadTooLong(len) => {
-                write!(f, "payload of {len} bytes exceeds the 8-byte classic CAN limit")
+                write!(
+                    f,
+                    "payload of {len} bytes exceeds the 8-byte classic CAN limit"
+                )
             }
             FrameError::DlcRange(dlc) => write!(f, "DLC {dlc} exceeds 8"),
         }
@@ -105,7 +108,7 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("0x1234"));
         assert!(msg.contains("0x0fff"));
-        assert!(msg.starts_with(char::is_uppercase) == false || msg.starts_with("CRC"));
+        assert!(!msg.starts_with(char::is_uppercase) || msg.starts_with("CRC"));
     }
 
     #[test]

@@ -153,7 +153,10 @@ mod tests {
         for id in [0x000u16, 0x001, 0x3FF, 0x7FF] {
             assert!(f.accepts(&sf(id)));
         }
-        assert!(!f.accepts(&ef(0x100)), "extended frames need an extended filter");
+        assert!(
+            !f.accepts(&ef(0x100)),
+            "extended frames need an extended filter"
+        );
     }
 
     #[test]

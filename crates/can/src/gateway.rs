@@ -91,13 +91,13 @@ impl Gateway {
         events_b: &[BusEvent],
     ) {
         let forward = |events: &[BusEvent],
-                           own_node: usize,
-                           filters: &FilterBank,
-                           dst: &mut Bus,
-                           dst_node: usize,
-                           count: &mut u64,
-                           filtered: &mut u64,
-                           delay: SimTime| {
+                       own_node: usize,
+                       filters: &FilterBank,
+                       dst: &mut Bus,
+                       dst_node: usize,
+                       count: &mut u64,
+                       filtered: &mut u64,
+                       delay: SimTime| {
             let frames: Vec<(SimTime, CanFrame)> = events
                 .iter()
                 .filter(|e| e.sender != own_node)
@@ -173,7 +173,10 @@ mod tests {
         let sink = b.add_node(CanController::default());
         let mut gw = Gateway::attach(&mut a, &mut b, GatewayConfig::default());
 
-        let frames = vec![(SimTime::ZERO, frame(0x123)), (SimTime::from_micros(500), frame(0x456))];
+        let frames = vec![
+            (SimTime::ZERO, frame(0x123)),
+            (SimTime::from_micros(500), frame(0x456)),
+        ];
         a.attach_source(src, Box::new(frames.into_iter()));
         a.run_until(SimTime::from_millis(2));
         let ev_a = a.take_events();
@@ -201,7 +204,10 @@ mod tests {
             },
         );
 
-        let frames = vec![(SimTime::ZERO, frame(0x123)), (SimTime::from_micros(400), frame(0x456))];
+        let frames = vec![
+            (SimTime::ZERO, frame(0x123)),
+            (SimTime::from_micros(400), frame(0x456)),
+        ];
         a.attach_source(src, Box::new(frames.into_iter()));
         a.run_until(SimTime::from_millis(2));
         let ev_a = a.take_events();
@@ -220,7 +226,10 @@ mod tests {
         let _sink_b = b.add_node(CanController::default());
         let mut gw = Gateway::attach(&mut a, &mut b, GatewayConfig::default());
 
-        a.attach_source(src, Box::new(vec![(SimTime::ZERO, frame(0x100))].into_iter()));
+        a.attach_source(
+            src,
+            Box::new(vec![(SimTime::ZERO, frame(0x100))].into_iter()),
+        );
         a.run_until(SimTime::from_millis(1));
         let ev_a = a.take_events();
         gw.pump(&mut a, &mut b, &ev_a, &[]);
@@ -247,7 +256,10 @@ mod tests {
                 ..GatewayConfig::default()
             },
         );
-        a.attach_source(src, Box::new(vec![(SimTime::ZERO, frame(0x42))].into_iter()));
+        a.attach_source(
+            src,
+            Box::new(vec![(SimTime::ZERO, frame(0x42))].into_iter()),
+        );
         a.run_until(SimTime::from_millis(1));
         let ev_a = a.take_events();
         let arrival_on_a = ev_a[0].time;

@@ -54,13 +54,13 @@ pub mod time;
 pub mod timing;
 
 pub use arbitration::{arbitrate, ArbitrationField};
-pub use bits::{decode_frame, encode_frame, destuff, stuff, FrameBits};
+pub use bits::{decode_frame, destuff, encode_frame, stuff, FrameBits};
 pub use bus::{Bus, BusConfig, BusEvent, BusStats, TrafficSource};
 pub use crc::crc15;
 pub use error::{CanError, FrameError};
 pub use filter::AcceptanceFilter;
-pub use gateway::{Gateway, GatewayConfig, GatewayStats};
 pub use frame::{CanFrame, CanId, Dlc};
+pub use gateway::{Gateway, GatewayConfig, GatewayStats};
 pub use node::{CanController, ControllerConfig, ControllerStats, ErrorState};
 pub use time::SimTime;
 pub use timing::{

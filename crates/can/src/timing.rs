@@ -116,7 +116,7 @@ impl BitTiming {
         // Aim for 16 tq per bit when divisible, otherwise fall back.
         for tq_per_bit in [16u32, 20, 10, 8, 25, 12, 40] {
             let div = bitrate * tq_per_bit;
-            if div != 0 && can_clock_hz % div == 0 {
+            if div != 0 && can_clock_hz.is_multiple_of(div) {
                 let prescaler = (can_clock_hz / div) as u16;
                 // Sample point ~87.5%: SYNC(1) + PROP + PS1 = 0.875 * tq
                 let before = ((tq_per_bit as f64 * 0.875).round() as u32).max(3);
@@ -207,8 +207,7 @@ pub fn max_frame_rate(rate: Bitrate, payload_len: usize) -> Result<f64, FrameErr
             *byte = (state >> 24) as u8;
         }
         let id = CanId::Standard((0x100 + (i as u16 * 13) % 0x400) & 0x7FF);
-        let frame =
-            CanFrame::new(id, &payload[..payload_len]).expect("payload_len validated <= 8");
+        let frame = CanFrame::new(id, &payload[..payload_len]).expect("payload_len validated <= 8");
         total_bits += frame_bit_count(&frame) + INTERFRAME_BITS;
     }
     let mean_bits = total_bits as f64 / SAMPLES as f64;
@@ -281,7 +280,11 @@ mod tests {
     #[test]
     fn bit_timing_sample_point_near_875() {
         let bt = BitTiming::for_bitrate(40_000_000, 500_000);
-        assert!((bt.sample_point() - 0.875).abs() < 0.08, "{}", bt.sample_point());
+        assert!(
+            (bt.sample_point() - 0.875).abs() < 0.08,
+            "{}",
+            bt.sample_point()
+        );
         assert_eq!(bt.bitrate(40_000_000).bits_per_sec(), 500_000);
     }
 

@@ -14,11 +14,13 @@ fn arb_standard_frame() -> impl Strategy<Value = CanFrame> {
 }
 
 fn arb_extended_frame() -> impl Strategy<Value = CanFrame> {
-    (0u32..=0x1FFF_FFFF, proptest::collection::vec(any::<u8>(), 0..=8)).prop_map(
-        |(id, payload)| {
-            CanFrame::new(CanId::extended(id).expect("masked"), &payload).expect("len <= 8")
-        },
+    (
+        0u32..=0x1FFF_FFFF,
+        proptest::collection::vec(any::<u8>(), 0..=8),
     )
+        .prop_map(|(id, payload)| {
+            CanFrame::new(CanId::extended(id).expect("masked"), &payload).expect("len <= 8")
+        })
 }
 
 fn arb_remote_frame() -> impl Strategy<Value = CanFrame> {

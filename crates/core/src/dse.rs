@@ -64,8 +64,8 @@ impl DseReport {
 
 /// Sweeps uniform quantisation widths on one capture.
 ///
-/// Training runs are independent, so they execute on a crossbeam scope
-/// across available cores.
+/// Training runs are independent, so they execute on a scoped-thread
+/// pool across available cores.
 ///
 /// # Errors
 ///
@@ -76,14 +76,14 @@ pub fn sweep_bitwidths(
     widths: &[u8],
 ) -> Result<DseReport, CoreError> {
     let (train_set, test_set) = train_test_split(capture, config.split);
-    let encoder = IdBitsPayloadBits::default();
+    let encoder = IdBitsPayloadBits;
     let (xs, ys) = train_set.to_xy(&encoder);
     let (txs, tys) = test_set.to_xy(&encoder);
 
     let mut results: Vec<Option<Result<DsePoint, CoreError>>> = Vec::new();
     results.resize_with(widths.len(), || None);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         let mut handles = Vec::new();
         for (i, &bits) in widths.iter().enumerate() {
             let xs = &xs;
@@ -93,7 +93,7 @@ pub fn sweep_bitwidths(
             let config = &*config;
             handles.push((
                 i,
-                scope.spawn(move |_| -> Result<DsePoint, CoreError> {
+                scope.spawn(move || -> Result<DsePoint, CoreError> {
                     let width = BitWidth::new(bits)?;
                     let mlp_config = config.mlp.clone().with_bits(width);
                     let mut mlp = QuantMlp::new(mlp_config)?;
@@ -119,8 +119,7 @@ pub fn sweep_bitwidths(
         for (i, handle) in handles {
             results[i] = Some(handle.join().expect("sweep thread panicked"));
         }
-    })
-    .expect("crossbeam scope");
+    });
 
     let mut points = Vec::with_capacity(widths.len());
     for r in results {
@@ -150,7 +149,12 @@ mod tests {
         assert!(report.points[0].luts <= report.points[2].luts);
         // All sweep points of a separable DoS capture stay accurate.
         for p in &report.points {
-            assert!(p.cm.accuracy() > 0.95, "{}-bit acc {}", p.bits, p.cm.accuracy());
+            assert!(
+                p.cm.accuracy() > 0.95,
+                "{}-bit acc {}",
+                p.bits,
+                p.cm.accuracy()
+            );
         }
     }
 

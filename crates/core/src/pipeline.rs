@@ -8,12 +8,12 @@
 //! 4. deploy on the simulated ZCU104 ECU,
 //! 5. evaluate accuracy, latency, throughput, power and energy.
 
+use canids_can::time::SimTime;
 use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
 use canids_dataset::attacks::{AttackProfile, BurstSchedule};
 use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 use canids_dataset::generator::{Dataset, DatasetBuilder, TrafficConfig};
 use canids_dataset::split::{train_test_split, SplitConfig};
-use canids_can::time::SimTime;
 use canids_qnn::export::IntegerMlp;
 use canids_qnn::metrics::ConfusionMatrix;
 use canids_qnn::mlp::{MlpConfig, QuantMlp};
@@ -165,7 +165,7 @@ impl IdsPipeline {
             return Err(CoreError::DegenerateCapture { attacks, normals });
         }
         let (train_set, test_set) = train_test_split(capture, self.config.split);
-        let encoder = IdBitsPayloadBits::default();
+        let encoder = IdBitsPayloadBits;
         let (xs, ys) = train_set.to_xy(&encoder);
         let mut mlp = QuantMlp::new(self.config.mlp.clone())?;
         Trainer::new(self.config.train.clone()).fit(&mut mlp, &xs, &ys)?;
@@ -191,7 +191,10 @@ impl IdsPipeline {
     ///
     /// Propagates compilation/verification errors.
     pub fn compile(&self, int_mlp: &IntegerMlp) -> Result<AcceleratorIp, CoreError> {
-        Ok(AcceleratorIp::compile(int_mlp, self.config.compile.clone())?)
+        Ok(AcceleratorIp::compile(
+            int_mlp,
+            self.config.compile.clone(),
+        )?)
     }
 
     /// Stage 4+5: deploy on the ECU and replay the test capture.
@@ -207,13 +210,9 @@ impl IdsPipeline {
         let mut board = Zcu104Board::new(BoardConfig::default());
         let idx = board.attach_accelerator(ip)?;
         let mut ecu = IdsEcu::new(board, vec![idx], EcuConfig::default());
-        let frames: Vec<_> = test_set
-            .iter()
-            .map(|r| (r.timestamp, r.frame))
-            .collect();
-        let encoder = IdBitsPayloadBits::default();
-        let featurize =
-            move |f: &canids_can::frame::CanFrame| encoder.encode(f);
+        let frames: Vec<_> = test_set.iter().map(|r| (r.timestamp, r.frame)).collect();
+        let encoder = IdBitsPayloadBits;
+        let featurize = move |f: &canids_can::frame::CanFrame| encoder.encode(f);
         let report = ecu.process_capture(&frames, &featurize)?;
 
         // Verdict agreement with ground truth over the replay.
@@ -247,8 +246,7 @@ impl IdsPipeline {
         let capture = self.generate_capture();
         let detector = self.train(&capture)?;
         let ip = self.compile(&detector.int_mlp)?;
-        let (ecu, replay_agreement) =
-            self.deploy_and_replay(ip.clone(), &detector.test_set)?;
+        let (ecu, replay_agreement) = self.deploy_and_replay(ip.clone(), &detector.test_set)?;
         Ok(PipelineReport {
             detector,
             ip,
@@ -264,10 +262,16 @@ mod tests {
 
     #[test]
     fn quick_dos_pipeline_end_to_end() {
-        let report = IdsPipeline::new(PipelineConfig::dos().quick()).run().unwrap();
+        let report = IdsPipeline::new(PipelineConfig::dos().quick())
+            .run()
+            .unwrap();
         let cm = report.detector.test_cm;
         assert!(cm.accuracy() > 0.99, "accuracy {}", cm.accuracy());
-        assert!(report.replay_agreement > 0.99, "{}", report.replay_agreement);
+        assert!(
+            report.replay_agreement > 0.99,
+            "{}",
+            report.replay_agreement
+        );
         let ms = report.ecu.mean_latency.as_millis_f64();
         assert!((0.09..0.14).contains(&ms), "latency {ms} ms");
     }
@@ -290,9 +294,7 @@ mod tests {
         let detector = pipeline.train(&capture).unwrap();
         let ip = pipeline.compile(&detector.int_mlp).unwrap();
         assert_eq!(ip.input_dim(), 75);
-        let (ecu, agreement) = pipeline
-            .deploy_and_replay(ip, &detector.test_set)
-            .unwrap();
+        let (ecu, agreement) = pipeline.deploy_and_replay(ip, &detector.test_set).unwrap();
         assert!(!ecu.detections.is_empty());
         assert!(agreement > 0.9);
     }

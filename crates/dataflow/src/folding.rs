@@ -119,7 +119,7 @@ pub enum FoldingGoal {
 }
 
 fn divisors(n: usize) -> Vec<usize> {
-    let mut d: Vec<usize> = (1..=n).filter(|k| n % k == 0).collect();
+    let mut d: Vec<usize> = (1..=n).filter(|&k| n.is_multiple_of(k)).collect();
     d.sort_unstable();
     d
 }
@@ -254,20 +254,14 @@ mod tests {
     fn validate_catches_bad_divisors() {
         let g = graph(&[(75, 64)]);
         let bad_pe = FoldingConfig {
-            layers: vec![
-                LayerFolding { pe: 7, simd: 1 },
-                LayerFolding::SEQUENTIAL,
-            ],
+            layers: vec![LayerFolding { pe: 7, simd: 1 }, LayerFolding::SEQUENTIAL],
         };
         assert!(matches!(
             bad_pe.validate(&g),
             Err(DataflowError::PeNotDivisor { .. })
         ));
         let bad_simd = FoldingConfig {
-            layers: vec![
-                LayerFolding { pe: 1, simd: 7 },
-                LayerFolding::SEQUENTIAL,
-            ],
+            layers: vec![LayerFolding { pe: 1, simd: 7 }, LayerFolding::SEQUENTIAL],
         };
         assert!(matches!(
             bad_simd.validate(&g),
@@ -358,10 +352,7 @@ mod tests {
         let mut last = u64::MAX;
         for pe in [1usize, 2, 4, 8, 16] {
             let f = FoldingConfig {
-                layers: vec![
-                    LayerFolding { pe, simd: 1 },
-                    LayerFolding::SEQUENTIAL,
-                ],
+                layers: vec![LayerFolding { pe, simd: 1 }, LayerFolding::SEQUENTIAL],
             };
             f.validate(&g).unwrap();
             let fold = f.fold_cycles(&g)[0];

@@ -336,10 +336,7 @@ mod tests {
         let model = small_model();
         let g = DataflowGraph::from_integer_mlp(&model).unwrap();
         let w_bits: usize = 4;
-        assert_eq!(
-            g.mvtus[0].weight_mem_bits(),
-            10 * 8 * w_bits
-        );
+        assert_eq!(g.mvtus[0].weight_mem_bits(), 10 * 8 * w_bits);
         assert!(g.total_mem_bits() > 0);
         assert_eq!(g.mvtus[0].out_bits(), 4);
     }

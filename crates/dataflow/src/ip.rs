@@ -303,7 +303,11 @@ mod tests {
     fn trained_model() -> IntegerMlp {
         let mut rng = StdRng::seed_from_u64(21);
         let xs: Vec<Vec<f32>> = (0..300)
-            .map(|_| (0..75).map(|_| f32::from(rng.gen_bool(0.5) as u8)).collect())
+            .map(|_| {
+                (0..75)
+                    .map(|_| f32::from(rng.gen_bool(0.5) as u8))
+                    .collect()
+            })
             .collect();
         let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
         let mut mlp = QuantMlp::new(MlpConfig::default()).unwrap();

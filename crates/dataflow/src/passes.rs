@@ -47,8 +47,7 @@ pub fn round_and_clip_thresholds(graph: &mut DataflowGraph) -> usize {
 pub fn validate_thresholds_sorted(graph: &DataflowGraph) -> Result<(), DataflowError> {
     for (layer, node) in graph.mvtus.iter().enumerate() {
         for j in 0..node.out_dim {
-            let row =
-                &node.thresholds[j * node.levels as usize..(j + 1) * node.levels as usize];
+            let row = &node.thresholds[j * node.levels as usize..(j + 1) * node.levels as usize];
             if row.windows(2).any(|w| w[0] > w[1]) {
                 return Err(DataflowError::VerificationFailed {
                     sample: layer,

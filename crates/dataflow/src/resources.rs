@@ -122,17 +122,17 @@ impl Device {
     /// multi-model deployment headroom).
     pub fn fit_count(&self, usage: ResourceEstimate) -> u64 {
         let mut n = u64::MAX;
-        if usage.lut > 0 {
-            n = n.min(self.luts / usage.lut);
+        if let Some(q) = self.luts.checked_div(usage.lut) {
+            n = n.min(q);
         }
-        if usage.ff > 0 {
-            n = n.min(self.ffs / usage.ff);
+        if let Some(q) = self.ffs.checked_div(usage.ff) {
+            n = n.min(q);
         }
-        if usage.bram36 > 0 {
-            n = n.min(self.bram36 / usage.bram36);
+        if let Some(q) = self.bram36.checked_div(usage.bram36) {
+            n = n.min(q);
         }
-        if usage.dsp > 0 {
-            n = n.min(self.dsps / usage.dsp);
+        if let Some(q) = self.dsps.checked_div(usage.dsp) {
+            n = n.min(q);
         }
         if n == u64::MAX {
             0
@@ -196,18 +196,42 @@ fn memory_cost(bits: usize) -> ResourceEstimate {
     }
 }
 
-/// Estimates the resources of one folded MVTU stage.
-fn mvtu_cost(
+/// The shape and bit-level parameters of one folded MVTU stage, as fed
+/// to the cost model.
+struct MvtuStage {
+    /// Matrix height (output neurons).
     mh: usize,
+    /// Matrix width (input features).
     mw: usize,
+    /// Processing elements (row parallelism).
     pe: usize,
+    /// SIMD lanes per PE (column parallelism).
     simd: usize,
+    /// Weight precision.
     weight_bits: u8,
+    /// Input activation precision.
     act_bits: u32,
+    /// Accumulator width.
     acc_bits: u32,
+    /// Threshold levels per output (0 for the label-select stage).
     levels: u32,
+    /// Total threshold memory footprint in bits.
     threshold_bits: usize,
-) -> ResourceEstimate {
+}
+
+/// Estimates the resources of one folded MVTU stage.
+fn mvtu_cost(stage: MvtuStage) -> ResourceEstimate {
+    let MvtuStage {
+        mh,
+        mw,
+        pe,
+        simd,
+        weight_bits,
+        act_bits,
+        acc_bits,
+        levels,
+        threshold_bits,
+    } = stage;
     let lanes = (pe * simd) as u64;
     let wb = u64::from(weight_bits);
     let ab = u64::from(act_bits.max(1));
@@ -264,20 +288,22 @@ pub fn estimate_resources(graph: &DataflowGraph, folding: &FoldingConfig) -> Res
         dsp: 0,
     };
     for (i, node) in graph.mvtus.iter().enumerate() {
-        let f = folding.layers.get(i).copied().unwrap_or(
-            crate::folding::LayerFolding::SEQUENTIAL,
-        );
-        total += mvtu_cost(
-            node.out_dim,
-            node.in_dim,
-            f.pe,
-            f.simd,
-            node.weight_bits,
-            32 - node.in_levels.leading_zeros(),
-            node.acc_bits(),
-            node.levels,
-            node.threshold_mem_bits(),
-        );
+        let f = folding
+            .layers
+            .get(i)
+            .copied()
+            .unwrap_or(crate::folding::LayerFolding::SEQUENTIAL);
+        total += mvtu_cost(MvtuStage {
+            mh: node.out_dim,
+            mw: node.in_dim,
+            pe: f.pe,
+            simd: f.simd,
+            weight_bits: node.weight_bits,
+            act_bits: 32 - node.in_levels.leading_zeros(),
+            acc_bits: node.acc_bits(),
+            levels: node.levels,
+            threshold_bits: node.threshold_mem_bits(),
+        });
         // Inter-stage FIFO (shallow, LUTRAM).
         total += ResourceEstimate {
             lut: 40,
@@ -292,17 +318,17 @@ pub fn estimate_resources(graph: &DataflowGraph, folding: &FoldingConfig) -> Res
         .last()
         .copied()
         .unwrap_or(crate::folding::LayerFolding::SEQUENTIAL);
-    total += mvtu_cost(
-        ls.classes,
-        ls.in_dim,
-        f.pe.min(ls.classes.max(1)),
-        f.simd,
-        ls.weight_bits,
-        32 - ls.in_levels.leading_zeros(),
-        24,
-        0,
-        0,
-    );
+    total += mvtu_cost(MvtuStage {
+        mh: ls.classes,
+        mw: ls.in_dim,
+        pe: f.pe.min(ls.classes.max(1)),
+        simd: f.simd,
+        weight_bits: ls.weight_bits,
+        act_bits: 32 - ls.in_levels.leading_zeros(),
+        acc_bits: 24,
+        levels: 0,
+        threshold_bits: 0,
+    });
     total
 }
 

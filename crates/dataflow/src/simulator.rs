@@ -173,12 +173,13 @@ impl AcceleratorSim {
         let mut collected = 0usize;
         let mut stall_cycles = 0u64;
         let mut cycle: u64 = 0;
-        let budget: u64 = (self.folds.iter().sum::<u64>() + 16)
-            * (inputs.len() as u64 + 4)
-            + 1_000;
+        let budget: u64 = (self.folds.iter().sum::<u64>() + 16) * (inputs.len() as u64 + 4) + 1_000;
 
         while collected < inputs.len() {
-            assert!(cycle < budget, "simulation exceeded cycle budget (deadlock?)");
+            assert!(
+                cycle < budget,
+                "simulation exceeded cycle budget (deadlock?)"
+            );
 
             // Feed external inputs into stage 0.
             while let Some((idx, x)) = pending.front() {
@@ -211,8 +212,7 @@ impl AcceleratorSim {
                 if stages[s].busy > 0 {
                     stages[s].busy -= 1;
                     if stages[s].busy == 0 {
-                        let (tag, input) =
-                            stages[s].inflight.take().expect("busy stage has work");
+                        let (tag, input) = stages[s].inflight.take().expect("busy stage has work");
                         let result = self.compute_stage(s, &input);
                         if s + 1 == n_stages {
                             // Final stage: the output port never stalls.
@@ -232,8 +232,7 @@ impl AcceleratorSim {
                 }
                 // C. Start new work when the unit is idle and no completed
                 // result is parked (backpressure stalls the stage).
-                if stages[s].busy == 0 && stages[s].inflight.is_none() && stages[s].done.is_none()
-                {
+                if stages[s].busy == 0 && stages[s].inflight.is_none() && stages[s].done.is_none() {
                     if let Some((tag, input)) = stages[s].fifo.pop_front() {
                         stages[s].inflight = Some((tag, input));
                         stages[s].busy = stages[s].fold;
@@ -314,7 +313,11 @@ mod tests {
         // Light training so thresholds are calibrated and non-trivial.
         let mut rng = StdRng::seed_from_u64(3);
         let xs: Vec<Vec<f32>> = (0..200)
-            .map(|_| (0..input_dim).map(|_| f32::from(rng.gen_bool(0.5) as u8)).collect())
+            .map(|_| {
+                (0..input_dim)
+                    .map(|_| f32::from(rng.gen_bool(0.5) as u8))
+                    .collect()
+            })
             .collect();
         let ys: Vec<usize> = xs.iter().map(|x| usize::from(x[0] > 0.5)).collect();
         Trainer::new(TrainConfig {
@@ -333,14 +336,15 @@ mod tests {
             .collect()
     }
 
-    fn sim(input_dim: usize, hidden: Vec<usize>, goal: FoldingGoal) -> (AcceleratorSim, IntegerMlp) {
+    fn sim(
+        input_dim: usize,
+        hidden: Vec<usize>,
+        goal: FoldingGoal,
+    ) -> (AcceleratorSim, IntegerMlp) {
         let m = model(input_dim, hidden);
         let g = DataflowGraph::from_integer_mlp(&m).unwrap();
         let f = auto_fold(&g, goal).unwrap();
-        (
-            AcceleratorSim::new(g, &f, SimConfig::default()).unwrap(),
-            m,
-        )
+        (AcceleratorSim::new(g, &f, SimConfig::default()).unwrap(), m)
     }
 
     #[test]

@@ -245,11 +245,8 @@ impl AttackSource {
                 let id = self.rng.gen_range(0..=0x7FFu16);
                 let mut payload = [0u8; 8];
                 self.rng.fill(&mut payload);
-                CanFrame::new(
-                    CanId::standard(id).expect("masked to 11 bits"),
-                    &payload,
-                )
-                .expect("8-byte payload")
+                CanFrame::new(CanId::standard(id).expect("masked to 11 bits"), &payload)
+                    .expect("8-byte payload")
             }
             AttackKind::GearSpoof => {
                 // Forged "neutral" gear status, fixed payload.
@@ -287,7 +284,6 @@ impl TrafficSource for AttackSource {
 #[cfg(test)]
 mod tests {
     use super::*;
-
 
     #[test]
     fn dos_frames_are_zero_id_zero_payload() {
@@ -360,10 +356,7 @@ mod tests {
             on: SimTime::from_millis(5),
             off: SimTime::from_millis(5),
         };
-        assert_eq!(
-            sched.next_active(SimTime::ZERO),
-            SimTime::from_millis(10)
-        );
+        assert_eq!(sched.next_active(SimTime::ZERO), SimTime::from_millis(10));
         assert_eq!(
             sched.next_active(SimTime::from_millis(12)),
             SimTime::from_millis(12)

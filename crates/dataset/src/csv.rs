@@ -104,21 +104,27 @@ pub fn from_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvError> {
         if fields.len() < 4 {
             return Err(CsvError::MissingField { line: i + 1 });
         }
-        let ts: f64 = fields[0]
-            .parse()
-            .map_err(|_| CsvError::BadNumber { line: i + 1, field: "timestamp" })?;
-        let id = u16::from_str_radix(fields[1], 16)
-            .map_err(|_| CsvError::BadNumber { line: i + 1, field: "id" })?;
-        let dlc: usize = fields[2]
-            .parse()
-            .map_err(|_| CsvError::BadNumber { line: i + 1, field: "dlc" })?;
+        let ts: f64 = fields[0].parse().map_err(|_| CsvError::BadNumber {
+            line: i + 1,
+            field: "timestamp",
+        })?;
+        let id = u16::from_str_radix(fields[1], 16).map_err(|_| CsvError::BadNumber {
+            line: i + 1,
+            field: "id",
+        })?;
+        let dlc: usize = fields[2].parse().map_err(|_| CsvError::BadNumber {
+            line: i + 1,
+            field: "dlc",
+        })?;
         if fields.len() < 3 + dlc + 1 {
             return Err(CsvError::MissingField { line: i + 1 });
         }
         let mut payload = [0u8; 8];
         for (j, byte) in payload.iter_mut().enumerate().take(dlc.min(8)) {
-            *byte = u8::from_str_radix(fields[3 + j], 16)
-                .map_err(|_| CsvError::BadNumber { line: i + 1, field: "payload" })?;
+            *byte = u8::from_str_radix(fields[3 + j], 16).map_err(|_| CsvError::BadNumber {
+                line: i + 1,
+                field: "payload",
+            })?;
         }
         let flag = fields[3 + dlc.min(8)];
         let label = match flag {
@@ -187,11 +193,17 @@ mod tests {
         );
         assert_eq!(
             from_csv("x,0316,0,R", Label::Dos).unwrap_err(),
-            CsvError::BadNumber { line: 1, field: "timestamp" }
+            CsvError::BadNumber {
+                line: 1,
+                field: "timestamp"
+            }
         );
         assert_eq!(
             from_csv("1.0,ZZZZ,0,R", Label::Dos).unwrap_err(),
-            CsvError::BadNumber { line: 1, field: "id" }
+            CsvError::BadNumber {
+                line: 1,
+                field: "id"
+            }
         );
         assert_eq!(
             from_csv("1.0,0316,0,X", Label::Dos).unwrap_err(),

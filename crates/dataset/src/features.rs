@@ -45,7 +45,7 @@ pub trait FrameEncoder {
 /// use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 /// use canids_can::frame::{CanFrame, CanId};
 ///
-/// let enc = IdBitsPayloadBits::default();
+/// let enc = IdBitsPayloadBits;
 /// let f = CanFrame::new(CanId::standard(0x400)?, &[0x80])?;
 /// let x = enc.encode(&f);
 /// assert_eq!(x.len(), 75);
@@ -68,10 +68,14 @@ impl FrameEncoder for IdBitsPayloadBits {
     }
 
     fn encode_into(&self, frame: &CanFrame, out: &mut [f32]) {
-        assert_eq!(out.len(), FEATURE_BITS_DIM, "output buffer has wrong length");
+        assert_eq!(
+            out.len(),
+            FEATURE_BITS_DIM,
+            "output buffer has wrong length"
+        );
         let id = frame.id().base_id();
-        for i in 0..11 {
-            out[i] = f32::from((id >> (10 - i)) & 1);
+        for (i, slot) in out.iter_mut().take(11).enumerate() {
+            *slot = f32::from((id >> (10 - i)) & 1);
         }
         let payload = frame.data_padded();
         for (b, &byte) in payload.iter().enumerate() {
@@ -143,7 +147,10 @@ mod tests {
         let dos = enc.encode(&frame(0x000, &[0; 8]));
         let normal = enc.encode(&frame(0x316, &[5, 32, 14, 2, 16, 39, 3, 61]));
         assert_ne!(dos, normal);
-        assert!(dos.iter().all(|&v| v == 0.0), "DoS frame encodes to all zeros");
+        assert!(
+            dos.iter().all(|&v| v == 0.0),
+            "DoS frame encodes to all zeros"
+        );
     }
 
     #[test]

@@ -119,11 +119,7 @@ impl Dataset {
             .iter()
             .map(|r| encoder.encode(&r.frame))
             .collect();
-        let ys = self
-            .records
-            .iter()
-            .map(|r| r.label.class_index())
-            .collect();
+        let ys = self.records.iter().map(|r| r.label.class_index()).collect();
         (xs, ys)
     }
 
@@ -131,19 +127,21 @@ impl Dataset {
     /// binary class (normal/attack), preserving time order.
     pub fn subsample_balanced(&self, per_class: usize, seed: u64) -> Dataset {
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut normal: Vec<&LabeledFrame> =
-            self.records.iter().filter(|r| !r.label.is_attack()).collect();
-        let mut attack: Vec<&LabeledFrame> =
-            self.records.iter().filter(|r| r.label.is_attack()).collect();
+        let mut normal: Vec<&LabeledFrame> = self
+            .records
+            .iter()
+            .filter(|r| !r.label.is_attack())
+            .collect();
+        let mut attack: Vec<&LabeledFrame> = self
+            .records
+            .iter()
+            .filter(|r| r.label.is_attack())
+            .collect();
         normal.shuffle(&mut rng);
         attack.shuffle(&mut rng);
         normal.truncate(per_class);
         attack.truncate(per_class);
-        let mut records: Vec<LabeledFrame> = normal
-            .into_iter()
-            .chain(attack.into_iter())
-            .copied()
-            .collect();
+        let mut records: Vec<LabeledFrame> = normal.into_iter().chain(attack).copied().collect();
         records.sort_by_key(|r| r.timestamp);
         Dataset { records }
     }
@@ -326,7 +324,7 @@ mod tests {
     #[test]
     fn to_xy_shapes_match() {
         let ds = quick(200, Some(AttackProfile::dos()), 6);
-        let enc = IdBitsPayloadBits::default();
+        let enc = IdBitsPayloadBits;
         let (xs, ys) = ds.to_xy(&enc);
         assert_eq!(xs.len(), ds.len());
         assert_eq!(ys.len(), ds.len());

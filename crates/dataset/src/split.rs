@@ -54,23 +54,18 @@ pub fn train_test_split(dataset: &Dataset, config: SplitConfig) -> (Dataset, Dat
     let frac = config.test_fraction.clamp(0.0, 1.0);
     let mut rng = StdRng::seed_from_u64(config.seed);
 
-    let split_group = |group: Vec<&LabeledFrame>,
-                           rng: &mut StdRng|
-     -> (Vec<LabeledFrame>, Vec<LabeledFrame>) {
-        let mut group: Vec<LabeledFrame> = group.into_iter().copied().collect();
-        group.shuffle(rng);
-        let n_test = (group.len() as f64 * frac).round() as usize;
-        let test = group.split_off(group.len() - n_test.min(group.len()));
-        (group, test)
-    };
+    let split_group =
+        |group: Vec<&LabeledFrame>, rng: &mut StdRng| -> (Vec<LabeledFrame>, Vec<LabeledFrame>) {
+            let mut group: Vec<LabeledFrame> = group.into_iter().copied().collect();
+            group.shuffle(rng);
+            let n_test = (group.len() as f64 * frac).round() as usize;
+            let test = group.split_off(group.len() - n_test.min(group.len()));
+            (group, test)
+        };
 
     let (mut train, mut test) = if config.stratified {
-        let normal: Vec<&LabeledFrame> = dataset
-            .iter()
-            .filter(|r| !r.label.is_attack())
-            .collect();
-        let attack: Vec<&LabeledFrame> =
-            dataset.iter().filter(|r| r.label.is_attack()).collect();
+        let normal: Vec<&LabeledFrame> = dataset.iter().filter(|r| !r.label.is_attack()).collect();
+        let attack: Vec<&LabeledFrame> = dataset.iter().filter(|r| r.label.is_attack()).collect();
         let (mut train_n, mut test_n) = split_group(normal, &mut rng);
         let (train_a, test_a) = split_group(attack, &mut rng);
         train_n.extend(train_a);

@@ -121,7 +121,9 @@ mod tests {
 
     #[test]
     fn totals_and_labels_consistent() {
-        let ds = capture(Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)));
+        let ds = capture(Some(
+            AttackProfile::dos().with_schedule(BurstSchedule::Continuous),
+        ));
         let stats = DatasetStats::of(&ds);
         assert_eq!(stats.total, ds.len());
         let sum: usize = stats.per_label.values().sum();

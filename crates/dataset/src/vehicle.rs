@@ -134,57 +134,232 @@ impl VehicleModel {
         let specs = vec![
             // Powertrain, 10 ms.
             MessageSpec::constant(0x316, ms(10), 8, [0x05, 0x20, 0, 0, 0x10, 0x27, 0x00, 0x7F])
-                .with_signal(RandomWalk { byte_hi: 2, min: 600, max: 6500, max_step: 60 })
-                .with_signal(AliveCounter { byte: 6, modulus: 16 })
+                .with_signal(RandomWalk {
+                    byte_hi: 2,
+                    min: 600,
+                    max: 6500,
+                    max_step: 60,
+                })
+                .with_signal(AliveCounter {
+                    byte: 6,
+                    modulus: 16,
+                })
                 .with_signal(ChecksumXor { byte: 7 }),
-            MessageSpec::constant(0x43F, ms(10), 8, [0x01, 0x45, 0x60, 0xFF, 0x65, 0x00, 0x00, 0x00])
-                .with_signal(ToggleFlags { byte: 0, mask: 0x0F, period_frames: 180 })
-                .with_signal(AliveCounter { byte: 5, modulus: 16 }),
-            MessageSpec::constant(0x260, ms(10), 8, [0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 0, min: 0, max: 28000, max_step: 120 })
-                .with_signal(AliveCounter { byte: 6, modulus: 16 })
-                .with_signal(ChecksumXor { byte: 7 }),
-            MessageSpec::constant(0x2C0, ms(10), 8, [0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 1, min: 0, max: 255 * 16, max_step: 40 }),
+            MessageSpec::constant(
+                0x43F,
+                ms(10),
+                8,
+                [0x01, 0x45, 0x60, 0xFF, 0x65, 0x00, 0x00, 0x00],
+            )
+            .with_signal(ToggleFlags {
+                byte: 0,
+                mask: 0x0F,
+                period_frames: 180,
+            })
+            .with_signal(AliveCounter {
+                byte: 5,
+                modulus: 16,
+            }),
+            MessageSpec::constant(
+                0x260,
+                ms(10),
+                8,
+                [0x00, 0x00, 0x00, 0x00, 0x00, 0xFF, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 0,
+                min: 0,
+                max: 28000,
+                max_step: 120,
+            })
+            .with_signal(AliveCounter {
+                byte: 6,
+                modulus: 16,
+            })
+            .with_signal(ChecksumXor { byte: 7 }),
+            MessageSpec::constant(
+                0x2C0,
+                ms(10),
+                8,
+                [0x14, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 1,
+                min: 0,
+                max: 255 * 16,
+                max_step: 40,
+            }),
             MessageSpec::constant(0x130, ms(10), 6, [0x08, 0x80, 0x00, 0xFF, 0x00, 0x00, 0, 0])
-                .with_signal(RandomWalk { byte_hi: 1, min: 0x7000, max: 0x9000, max_step: 48 })
-                .with_signal(AliveCounter { byte: 4, modulus: 16 }),
+                .with_signal(RandomWalk {
+                    byte_hi: 1,
+                    min: 0x7000,
+                    max: 0x9000,
+                    max_step: 48,
+                })
+                .with_signal(AliveCounter {
+                    byte: 4,
+                    modulus: 16,
+                }),
             MessageSpec::constant(0x140, ms(10), 8, [0x00; 8])
-                .with_signal(RandomWalk { byte_hi: 0, min: 0, max: 0x3FFF, max_step: 30 })
-                .with_signal(AliveCounter { byte: 3, modulus: 4 })
+                .with_signal(RandomWalk {
+                    byte_hi: 0,
+                    min: 0,
+                    max: 0x3FFF,
+                    max_step: 30,
+                })
+                .with_signal(AliveCounter {
+                    byte: 3,
+                    modulus: 4,
+                })
                 .with_signal(ChecksumXor { byte: 7 }),
             // Chassis, 20 ms.
-            MessageSpec::constant(0x153, ms(20), 8, [0x00, 0x20, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 2, min: 0, max: 1024, max_step: 12 })
-                .with_signal(ChecksumXor { byte: 6 }),
-            MessageSpec::constant(0x164, ms(20), 8, [0x00, 0x00, 0x00, 0x0C, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(ToggleFlags { byte: 0, mask: 0x03, period_frames: 64 }),
-            MessageSpec::constant(0x18F, ms(20), 8, [0xFE, 0x3B, 0x00, 0x00, 0x00, 0x3C, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 2, min: 0, max: 4000, max_step: 24 }),
+            MessageSpec::constant(
+                0x153,
+                ms(20),
+                8,
+                [0x00, 0x20, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 2,
+                min: 0,
+                max: 1024,
+                max_step: 12,
+            })
+            .with_signal(ChecksumXor { byte: 6 }),
+            MessageSpec::constant(
+                0x164,
+                ms(20),
+                8,
+                [0x00, 0x00, 0x00, 0x0C, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(ToggleFlags {
+                byte: 0,
+                mask: 0x03,
+                period_frames: 64,
+            }),
+            MessageSpec::constant(
+                0x18F,
+                ms(20),
+                8,
+                [0xFE, 0x3B, 0x00, 0x00, 0x00, 0x3C, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 2,
+                min: 0,
+                max: 4000,
+                max_step: 24,
+            }),
             MessageSpec::constant(0x220, ms(20), 8, [0x00; 8])
-                .with_signal(RandomWalk { byte_hi: 0, min: 0x1000, max: 0x2000, max_step: 8 })
-                .with_signal(RandomWalk { byte_hi: 4, min: 0x1000, max: 0x2000, max_step: 8 }),
+                .with_signal(RandomWalk {
+                    byte_hi: 0,
+                    min: 0x1000,
+                    max: 0x2000,
+                    max_step: 8,
+                })
+                .with_signal(RandomWalk {
+                    byte_hi: 4,
+                    min: 0x1000,
+                    max: 0x2000,
+                    max_step: 8,
+                }),
             // Body, 50 ms.
-            MessageSpec::constant(0x2A0, ms(50), 8, [0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 0, min: 0, max: 0xFF0, max_step: 16 })
-                .with_signal(AliveCounter { byte: 5, modulus: 16 }),
-            MessageSpec::constant(0x329, ms(50), 8, [0x40, 0x8A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 2, min: 0x40, max: 0xD0, max_step: 1 }),
-            MessageSpec::constant(0x350, ms(50), 8, [0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(ToggleFlags { byte: 2, mask: 0xC0, period_frames: 25 }),
+            MessageSpec::constant(
+                0x2A0,
+                ms(50),
+                8,
+                [0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 0,
+                min: 0,
+                max: 0xFF0,
+                max_step: 16,
+            })
+            .with_signal(AliveCounter {
+                byte: 5,
+                modulus: 16,
+            }),
+            MessageSpec::constant(
+                0x329,
+                ms(50),
+                8,
+                [0x40, 0x8A, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 2,
+                min: 0x40,
+                max: 0xD0,
+                max_step: 1,
+            }),
+            MessageSpec::constant(
+                0x350,
+                ms(50),
+                8,
+                [0x05, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(ToggleFlags {
+                byte: 2,
+                mask: 0xC0,
+                period_frames: 25,
+            }),
             // Comfort / instrumentation, 100 ms.
-            MessageSpec::constant(0x370, ms(100), 8, [0x00, 0x00, 0x20, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(ToggleFlags { byte: 0, mask: 0x01, period_frames: 10 }),
-            MessageSpec::constant(0x382, ms(100), 8, [0x22, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 1, min: 0, max: 200, max_step: 2 }),
-            MessageSpec::constant(0x430, ms(100), 8, [0x00, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00]),
+            MessageSpec::constant(
+                0x370,
+                ms(100),
+                8,
+                [0x00, 0x00, 0x20, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(ToggleFlags {
+                byte: 0,
+                mask: 0x01,
+                period_frames: 10,
+            }),
+            MessageSpec::constant(
+                0x382,
+                ms(100),
+                8,
+                [0x22, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 1,
+                min: 0,
+                max: 200,
+                max_step: 2,
+            }),
+            MessageSpec::constant(
+                0x430,
+                ms(100),
+                8,
+                [0x00, 0x40, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00],
+            ),
             // Slow diagnostics / gateway.
-            MessageSpec::constant(0x4B1, ms(200), 8, [0x00; 8])
-                .with_signal(AliveCounter { byte: 0, modulus: 255 }),
-            MessageSpec::constant(0x545, ms(200), 8, [0xD8, 0x00, 0x00, 0x8B, 0x00, 0x00, 0x00, 0x00])
-                .with_signal(RandomWalk { byte_hi: 1, min: 0, max: 0xFFF0, max_step: 4 }),
-            MessageSpec::constant(0x5A0, ms(500), 8, [0x00, 0x00, 0x00, 0x00, 0x00, 0x50, 0x00, 0x00])
-                .with_signal(ToggleFlags { byte: 6, mask: 0xFF, period_frames: 2 }),
+            MessageSpec::constant(0x4B1, ms(200), 8, [0x00; 8]).with_signal(AliveCounter {
+                byte: 0,
+                modulus: 255,
+            }),
+            MessageSpec::constant(
+                0x545,
+                ms(200),
+                8,
+                [0xD8, 0x00, 0x00, 0x8B, 0x00, 0x00, 0x00, 0x00],
+            )
+            .with_signal(RandomWalk {
+                byte_hi: 1,
+                min: 0,
+                max: 0xFFF0,
+                max_step: 4,
+            }),
+            MessageSpec::constant(
+                0x5A0,
+                ms(500),
+                8,
+                [0x00, 0x00, 0x00, 0x00, 0x00, 0x50, 0x00, 0x00],
+            )
+            .with_signal(ToggleFlags {
+                byte: 6,
+                mask: 0xFF,
+                period_frames: 2,
+            }),
             MessageSpec::constant(0x34A, ms(500), 4, [0x0A, 0x00, 0x00, 0x00, 0, 0, 0, 0]),
         ];
         VehicleModel { specs }
@@ -224,7 +399,12 @@ impl VehicleModel {
             .into_iter()
             .enumerate()
             .filter(|(_, g)| !g.is_empty())
-            .map(|(i, g)| VehicleSource::new(g, seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1))))
+            .map(|(i, g)| {
+                VehicleSource::new(
+                    g,
+                    seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64 + 1)),
+                )
+            })
             .collect()
     }
 }
@@ -295,8 +475,7 @@ impl MessageState {
                     let v = &mut self.walk_values[walk_idx];
                     walk_idx += 1;
                     let step = rng.gen_range(0..=i32::from(max_step) * 2) - i32::from(max_step);
-                    let next = (i32::from(*v) + step)
-                        .clamp(i32::from(min), i32::from(max)) as u16;
+                    let next = (i32::from(*v) + step).clamp(i32::from(min), i32::from(max)) as u16;
                     *v = next;
                     payload[byte_hi] = (next >> 8) as u8;
                     if byte_hi + 1 < 8 {
@@ -412,7 +591,6 @@ impl TrafficSource for VehicleSource {
 mod tests {
     use super::*;
 
-
     fn collect(src: &mut VehicleSource, n: usize) -> Vec<(SimTime, CanFrame)> {
         (0..n).map(|_| src.next_frame().unwrap()).collect()
     }
@@ -428,7 +606,9 @@ mod tests {
                 match *s {
                     Signal::AliveCounter { byte, .. } => assert!(byte < usize::from(spec.dlc)),
                     Signal::ChecksumXor { byte } => assert!(byte < usize::from(spec.dlc)),
-                    Signal::RandomWalk { byte_hi, min, max, .. } => {
+                    Signal::RandomWalk {
+                        byte_hi, min, max, ..
+                    } => {
                         assert!(byte_hi + 1 < 8);
                         assert!(min <= max);
                     }

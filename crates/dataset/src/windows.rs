@@ -38,7 +38,7 @@ impl FrameBlock {
 
     /// The TCAN-style window: one compact feature row per frame.
     pub fn feature_rows(&self) -> Vec<Vec<f32>> {
-        let enc = IdPayloadBytes::default();
+        let enc = IdPayloadBytes;
         self.frames.iter().map(|r| enc.encode(&r.frame)).collect()
     }
 }
@@ -66,8 +66,7 @@ mod tests {
     fn capture(attack: bool) -> Dataset {
         DatasetBuilder::new(TrafficConfig {
             duration: SimTime::from_millis(300),
-            attack: attack
-                .then(|| AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+            attack: attack.then(|| AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
             seed: 5,
             ..TrafficConfig::default()
         })

@@ -9,9 +9,15 @@ use proptest::prelude::*;
 fn arb_attack() -> impl Strategy<Value = Option<AttackProfile>> {
     prop_oneof![
         Just(None),
-        Just(Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous))),
-        Just(Some(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous))),
-        Just(Some(AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous))),
+        Just(Some(
+            AttackProfile::dos().with_schedule(BurstSchedule::Continuous)
+        )),
+        Just(Some(
+            AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous)
+        )),
+        Just(Some(
+            AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous)
+        )),
     ]
 }
 
@@ -84,7 +90,7 @@ proptest! {
             seed,
             ..TrafficConfig::default()
         }).build();
-        let enc = IdBitsPayloadBits::default();
+        let enc = IdBitsPayloadBits;
         for w in ds.records().windows(2) {
             if w[0].frame != w[1].frame {
                 // Distinct (id, payload) implies distinct bit features

@@ -219,11 +219,8 @@ impl IntegerMlp {
 
     /// `(in_dim, out_dim)` of every layer, hidden then output.
     pub fn layer_dims(&self) -> Vec<(usize, usize)> {
-        let mut dims: Vec<(usize, usize)> = self
-            .blocks
-            .iter()
-            .map(|b| (b.in_dim, b.out_dim))
-            .collect();
+        let mut dims: Vec<(usize, usize)> =
+            self.blocks.iter().map(|b| (b.in_dim, b.out_dim)).collect();
         dims.push((self.output.in_dim, self.output.out_dim));
         dims
     }
@@ -411,9 +408,7 @@ impl QuantMlp {
                             guard += 1;
                             debug_assert!(guard < 1_000, "threshold fix-up diverged");
                         }
-                        while t > i64::MIN + 1
-                            && folded_response(alpha, beta, levels, t - 1) >= k
-                        {
+                        while t > i64::MIN + 1 && folded_response(alpha, beta, levels, t - 1) >= k {
                             t -= 1;
                             guard += 1;
                             debug_assert!(guard < 1_000, "threshold fix-up diverged");
@@ -470,7 +465,11 @@ mod tests {
             let y = usize::from(rng.gen_bool(0.5));
             let x: Vec<f32> = (0..dim)
                 .map(|i| {
-                    let base = if y == 1 { (i % 2) as f32 } else { ((i + 1) % 2) as f32 };
+                    let base = if y == 1 {
+                        (i % 2) as f32
+                    } else {
+                        ((i + 1) % 2) as f32
+                    };
                     if rng.gen_bool(0.05) {
                         1.0 - base
                     } else {
@@ -572,7 +571,11 @@ mod tests {
             let y = usize::from(rng.gen_bool(0.5));
             let x: Vec<u32> = (0..dim)
                 .map(|i| {
-                    let base = if y == 1 { (i % 2) as u32 } else { ((i + 1) % 2) as u32 };
+                    let base = if y == 1 {
+                        (i % 2) as u32
+                    } else {
+                        ((i + 1) % 2) as u32
+                    };
                     if rng.gen_bool(0.05) {
                         1 - base
                     } else {
@@ -635,7 +638,11 @@ mod tests {
             for b in &int_mlp.blocks {
                 assert!(b.weights.iter().all(|&w| w.abs() <= max.max(1)));
             }
-            assert!(int_mlp.output.weights.iter().all(|&w| w.abs() <= max.max(1)));
+            assert!(int_mlp
+                .output
+                .weights
+                .iter()
+                .all(|&w| w.abs() <= max.max(1)));
         }
     }
 

@@ -274,13 +274,8 @@ mod tests {
         // non-uniform upstream gradient (a uniform one is annihilated by
         // the batch-mean subtraction and would make the check vacuous).
         let weights: Vec<f32> = vec![0.7, -1.2, 0.3, 2.0, -0.5, 1.1];
-        let loss = |y: &Matrix| -> f32 {
-            y.as_slice()
-                .iter()
-                .zip(&weights)
-                .map(|(v, w)| v * w)
-                .sum()
-        };
+        let loss =
+            |y: &Matrix| -> f32 { y.as_slice().iter().zip(&weights).map(|(v, w)| v * w).sum() };
         let fresh = || {
             let mut bn = BatchNorm1d::new(2);
             bn.gamma.data = vec![1.3, 0.7];

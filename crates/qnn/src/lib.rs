@@ -30,8 +30,12 @@
 //!     hidden: vec![8],
 //!     ..MlpConfig::default()
 //! })?;
-//! Trainer::new(TrainConfig { epochs: 10, ..TrainConfig::default() })
-//!     .fit(&mut mlp, &xs, &ys)?;
+//! Trainer::new(TrainConfig {
+//!     epochs: 10,
+//!     lr: 1e-2,
+//!     ..TrainConfig::default()
+//! })
+//! .fit(&mut mlp, &xs, &ys)?;
 //! let int_mlp = mlp.export()?;
 //! assert_eq!(int_mlp.infer(&[1, 0, 0, 1]).class, 1);
 //! # Ok::<(), canids_qnn::QnnError>(())

@@ -67,7 +67,10 @@ pub fn softmax_cross_entropy(
     for r in 0..n {
         let t = targets[r];
         if t >= c {
-            return Err(QnnError::LabelOutOfRange { label: t, classes: c });
+            return Err(QnnError::LabelOutOfRange {
+                label: t,
+                classes: c,
+            });
         }
         let w = class_weights.map_or(1.0, |cw| cw[t]);
         let row = logits.row(r);
@@ -143,8 +146,7 @@ mod tests {
         // Up-weighting class 1 increases its gradient share.
         let logits = Matrix::from_rows(&[&[0.0, 0.0], &[0.0, 0.0]]);
         let (_, g_plain) = softmax_cross_entropy(&logits, &[0, 1], None).unwrap();
-        let (_, g_weighted) =
-            softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0, 3.0])).unwrap();
+        let (_, g_weighted) = softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0, 3.0])).unwrap();
         let r1_plain = g_plain[(1, 1)].abs();
         let r1_weighted = g_weighted[(1, 1)].abs();
         assert!(r1_weighted > r1_plain, "{r1_weighted} !> {r1_plain}");
@@ -172,7 +174,10 @@ mod tests {
         ));
         assert_eq!(
             softmax_cross_entropy(&logits, &[0, 5], None).unwrap_err(),
-            QnnError::LabelOutOfRange { label: 5, classes: 2 }
+            QnnError::LabelOutOfRange {
+                label: 5,
+                classes: 2
+            }
         );
         assert!(matches!(
             softmax_cross_entropy(&logits, &[0, 1], Some(&[1.0])).unwrap_err(),

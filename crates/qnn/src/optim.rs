@@ -72,10 +72,10 @@ impl Sgd {
         for (i, p) in params.iter_mut().enumerate() {
             let v = &mut self.velocity[i];
             debug_assert_eq!(v.len(), p.len(), "parameter order must be stable");
-            for j in 0..p.data.len() {
+            for (j, vj) in v.iter_mut().enumerate() {
                 let g = p.grad[j] + self.weight_decay * p.data[j];
-                v[j] = self.momentum * v[j] + g;
-                p.data[j] -= self.lr * v[j];
+                *vj = self.momentum * *vj + g;
+                p.data[j] -= self.lr * *vj;
             }
         }
     }
@@ -151,7 +151,7 @@ impl Adam {
 }
 
 /// The optimiser selection exposed in the trainer configuration.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum OptimizerKind {
     /// SGD with the given momentum.
     Sgd {
@@ -159,13 +159,8 @@ pub enum OptimizerKind {
         momentum: f32,
     },
     /// Adam with default betas.
+    #[default]
     Adam,
-}
-
-impl Default for OptimizerKind {
-    fn default() -> Self {
-        OptimizerKind::Adam
-    }
 }
 
 #[cfg(test)]

@@ -59,7 +59,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have equal length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -146,7 +150,11 @@ impl fmt::Display for Matrix {
 /// Panics on shape mismatch.
 pub fn linear_forward(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
     assert_eq!(x.cols, w.cols, "x cols must equal w cols (input dim)");
-    assert_eq!(b.len(), w.rows, "bias length must equal w rows (output dim)");
+    assert_eq!(
+        b.len(),
+        w.rows,
+        "bias length must equal w rows (output dim)"
+    );
     let mut y = Matrix::zeros(x.rows, w.rows);
     for r in 0..x.rows {
         let xr = x.row(r);

@@ -85,9 +85,8 @@ impl AccelPeripheral {
         }
         let x = self.unpack_input();
         let (class, scores) = self.ip.infer(&x);
-        let latency = SimTime::from_nanos(
-            self.ip.latency_cycles() * 1_000_000_000 / self.ip.clock_hz(),
-        );
+        let latency =
+            SimTime::from_nanos(self.ip.latency_cycles() * 1_000_000_000 / self.ip.clock_hz());
         self.busy_until = Some(now + latency);
         self.busy_time += latency;
         self.result_class = class as u32;
@@ -216,7 +215,8 @@ mod tests {
 
     fn write_input(p: &mut AccelPeripheral, bits: &[f32], now: SimTime) {
         for (i, w) in pack_features(bits).into_iter().enumerate() {
-            p.write(RegisterMap::INPUT_BASE + 4 * i as u32, w, now).unwrap();
+            p.write(RegisterMap::INPUT_BASE + 4 * i as u32, w, now)
+                .unwrap();
         }
     }
 
@@ -238,7 +238,7 @@ mod tests {
         assert_ne!(status & STATUS_DONE, 0);
 
         let class = p.read(RegisterMap::OUT_CLASS, t1).unwrap();
-        let expect = p.ip().infer(&vec![1u32; 75]).0 as u32;
+        let expect = p.ip().infer(&[1u32; 75]).0 as u32;
         assert_eq!(class, expect);
         assert_eq!(p.inferences(), 1);
     }
@@ -247,7 +247,7 @@ mod tests {
     fn busy_device_rejects_start_and_input() {
         let mut p = peripheral();
         let t0 = SimTime::ZERO;
-        write_input(&mut p, &vec![0.0; 75], t0);
+        write_input(&mut p, &[0.0; 75], t0);
         p.write(RegisterMap::CTRL, CTRL_START, t0).unwrap();
         assert_eq!(
             p.write(RegisterMap::CTRL, CTRL_START, t0).unwrap_err(),
@@ -296,8 +296,9 @@ mod tests {
     fn busy_time_accumulates() {
         let mut p = peripheral();
         let before = p.busy_time();
-        write_input(&mut p, &vec![0.0; 75], SimTime::ZERO);
-        p.write(RegisterMap::CTRL, CTRL_START, SimTime::ZERO).unwrap();
+        write_input(&mut p, &[0.0; 75], SimTime::ZERO);
+        p.write(RegisterMap::CTRL, CTRL_START, SimTime::ZERO)
+            .unwrap();
         assert!(p.busy_time() > before);
     }
 

@@ -25,21 +25,16 @@ pub const ACCEL_BASE: u64 = 0xA000_0000;
 pub const ACCEL_STRIDE: u64 = 0x1_0000;
 
 /// Static board configuration.
-#[derive(Debug, Clone)]
+///
+/// The default is the paper's platform: the A53 running Linux
+/// ([`CpuModel::zynqmp_a53_linux`] is `CpuModel::default`) with the
+/// default CAN controller.
+#[derive(Debug, Clone, Default)]
 pub struct BoardConfig {
     /// CPU/OS cost model.
     pub cpu: CpuModel,
     /// CAN controller hardware configuration.
     pub can: ControllerConfig,
-}
-
-impl Default for BoardConfig {
-    fn default() -> Self {
-        BoardConfig {
-            cpu: CpuModel::zynqmp_a53_linux(),
-            can: ControllerConfig::default(),
-        }
-    }
 }
 
 /// Summary of an attached IP, kept board-side for power/resource
@@ -66,7 +61,7 @@ struct IpSummary {
 /// let ip = AcceleratorIp::compile(&mlp.export()?, CompileConfig::default())?;
 /// let mut board = Zcu104Board::new(BoardConfig::default());
 /// let idx = board.attach_accelerator(ip)?;
-/// let record = board.infer(idx, &vec![0.0; 75])?;
+/// let record = board.infer(idx, &[0.0; 75])?;
 /// assert!(record.latency().as_millis_f64() < 0.15);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
@@ -170,10 +165,7 @@ impl Zcu104Board {
     /// [`SocError::NoSuchAccelerator`], [`SocError::InputDimension`] or
     /// any driver/bus error.
     pub fn infer(&mut self, idx: usize, features: &[f32]) -> Result<InferenceRecord, SocError> {
-        let ip = self
-            .ips
-            .get(idx)
-            .ok_or(SocError::NoSuchAccelerator(idx))?;
+        let ip = self.ips.get(idx).ok_or(SocError::NoSuchAccelerator(idx))?;
         if features.len() != ip.input_dim {
             return Err(SocError::InputDimension {
                 expected: ip.input_dim,
@@ -222,7 +214,7 @@ mod tests {
         let mut board = Zcu104Board::new(BoardConfig::default());
         let a = board.attach_accelerator(ip("dos")).unwrap();
         assert_eq!(a, 0);
-        let rec = board.infer(a, &vec![1.0; 75]).unwrap();
+        let rec = board.infer(a, &[1.0; 75]).unwrap();
         assert!(rec.latency() > SimTime::from_micros(50));
         assert_eq!(board.accelerator_count(), 1);
     }
@@ -233,8 +225,8 @@ mod tests {
         let a = board.attach_accelerator(ip("dos")).unwrap();
         let b = board.attach_accelerator(ip("fuzzy")).unwrap();
         assert_ne!(a, b);
-        board.infer(a, &vec![0.0; 75]).unwrap();
-        board.infer(b, &vec![1.0; 75]).unwrap();
+        board.infer(a, &[0.0; 75]).unwrap();
+        board.infer(b, &[1.0; 75]).unwrap();
     }
 
     #[test]
@@ -242,14 +234,14 @@ mod tests {
         let mut board = Zcu104Board::new(BoardConfig::default());
         let a = board.attach_accelerator(ip("dos")).unwrap();
         assert_eq!(
-            board.infer(a, &vec![0.0; 10]).unwrap_err(),
+            board.infer(a, &[0.0; 10]).unwrap_err(),
             SocError::InputDimension {
                 expected: 75,
                 actual: 10
             }
         );
         assert_eq!(
-            board.infer(5, &vec![0.0; 75]).unwrap_err(),
+            board.infer(5, &[0.0; 75]).unwrap_err(),
             SocError::NoSuchAccelerator(5)
         );
     }
@@ -259,7 +251,7 @@ mod tests {
         let mut board = Zcu104Board::new(BoardConfig::default());
         let a = board.attach_accelerator(ip("dos")).unwrap();
         let t0 = board.now();
-        board.infer(a, &vec![0.0; 75]).unwrap();
+        board.infer(a, &[0.0; 75]).unwrap();
         assert!(board.now() > t0);
         board.set_now(SimTime::from_secs(1));
         assert_eq!(board.now(), SimTime::from_secs(1));

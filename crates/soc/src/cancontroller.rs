@@ -153,11 +153,7 @@ pub fn read_frame(dev: &mut CanPeripheral, now: SimTime) -> Option<CanFrame> {
     let b1 = dw1.to_be_bytes();
     let b2 = dw2.to_be_bytes();
     let payload = [b1[0], b1[1], b1[2], b1[3], b2[0], b2[1], b2[2], b2[3]];
-    CanFrame::new(
-        CanId::standard(id).ok()?,
-        &payload[..dlc.min(8)],
-    )
-    .ok()
+    CanFrame::new(CanId::standard(id).ok()?, &payload[..dlc.min(8)]).ok()
 }
 
 #[cfg(test)]

@@ -85,10 +85,8 @@ pub fn run_batch(
     let ii_s = ip.initiation_interval() as f64 / ip.clock_hz() as f64;
     let pipeline_s = ip.latency_secs() + ii_s * (n.saturating_sub(1)) as f64;
     let compute_s = pipeline_s.max(stream_s);
-    let total = cpu.runtime_dispatch
-        + dma.setup
-        + SimTime::from_secs_f64(compute_s)
-        + dma.completion_irq;
+    let total =
+        cpu.runtime_dispatch + dma.setup + SimTime::from_secs_f64(compute_s) + dma.completion_irq;
     let per_frame = SimTime::from_nanos(total.as_nanos() / n.max(1));
     Ok(BatchReport {
         classes,

@@ -80,7 +80,11 @@ pub fn run_inference(
     for (i, &w) in input_words.iter().enumerate() {
         *now += cpu.mmio_write;
         mmio += cpu.mmio_write;
-        bus.write(base + u64::from(RegisterMap::INPUT_BASE) + 4 * i as u64, w, *now)?;
+        bus.write(
+            base + u64::from(RegisterMap::INPUT_BASE) + 4 * i as u64,
+            w,
+            *now,
+        )?;
     }
 
     // Pulse start.
@@ -131,8 +135,7 @@ mod tests {
 
     fn setup() -> (AxiInterconnect, u64, AcceleratorIp) {
         let mlp = QuantMlp::new(MlpConfig::default()).unwrap();
-        let ip =
-            AcceleratorIp::compile(&mlp.export().unwrap(), CompileConfig::default()).unwrap();
+        let ip = AcceleratorIp::compile(&mlp.export().unwrap(), CompileConfig::default()).unwrap();
         let mut bus = AxiInterconnect::new();
         let base = 0xA000_0000u64;
         bus.map(base, 0x1_0000, Box::new(AccelPeripheral::new(ip.clone())))
@@ -145,7 +148,7 @@ mod tests {
         let (mut bus, base, _) = setup();
         let cpu = CpuModel::zynqmp_a53_linux();
         let mut now = SimTime::ZERO;
-        let words = pack_features(&vec![1.0f32; 75]);
+        let words = pack_features(&[1.0f32; 75]);
         let rec = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
         let ms = rec.latency().as_millis_f64();
         assert!(
@@ -176,7 +179,7 @@ mod tests {
         let (mut bus, base, _) = setup();
         let cpu = CpuModel::zynqmp_a53_linux();
         let mut now = SimTime::ZERO;
-        let words = pack_features(&vec![0.0f32; 75]);
+        let words = pack_features(&[0.0f32; 75]);
         let rec = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
         assert!(rec.breakdown.dispatch > rec.breakdown.mmio);
         assert!(rec.breakdown.dispatch > rec.breakdown.compute_wait);
@@ -186,11 +189,16 @@ mod tests {
     #[test]
     fn baremetal_cpu_is_much_faster() {
         let (mut bus, base, _) = setup();
-        let words = pack_features(&vec![0.0f32; 75]);
+        let words = pack_features(&[0.0f32; 75]);
         let mut now = SimTime::ZERO;
-        let linux =
-            run_inference(&mut bus, &CpuModel::zynqmp_a53_linux(), &mut now, base, &words)
-                .unwrap();
+        let linux = run_inference(
+            &mut bus,
+            &CpuModel::zynqmp_a53_linux(),
+            &mut now,
+            base,
+            &words,
+        )
+        .unwrap();
         let bm = run_inference(
             &mut bus,
             &CpuModel::zynqmp_a53_baremetal(),
@@ -207,7 +215,7 @@ mod tests {
         let (mut bus, base, _) = setup();
         let cpu = CpuModel::zynqmp_a53_linux();
         let mut now = SimTime::ZERO;
-        let words = pack_features(&vec![0.0f32; 75]);
+        let words = pack_features(&[0.0f32; 75]);
         let a = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
         let b = run_inference(&mut bus, &cpu, &mut now, base, &words).unwrap();
         assert!(b.started_at >= a.completed_at);

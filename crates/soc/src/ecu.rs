@@ -215,8 +215,7 @@ impl IdsEcu {
                 flagged |= rec.class != 0;
                 slowest = slowest.max(rec.latency());
             }
-            let service =
-                SimTime::from_secs_f64(slowest.as_secs_f64() * multi_factor);
+            let service = SimTime::from_secs_f64(slowest.as_secs_f64() * multi_factor);
             let completed_at = start + service;
             server_free_at = completed_at;
             busy += service + rx_cost;
@@ -238,7 +237,10 @@ impl IdsEcu {
             SimTime::ZERO
         } else {
             SimTime::from_nanos(
-                detections.iter().map(|d| d.latency().as_nanos()).sum::<u64>()
+                detections
+                    .iter()
+                    .map(|d| d.latency().as_nanos())
+                    .sum::<u64>()
                     / detections.len() as u64,
             )
         };
@@ -290,11 +292,8 @@ mod tests {
                 ..MlpConfig::default()
             })
             .unwrap();
-            let ip = AcceleratorIp::compile(
-                &mlp.export().unwrap(),
-                CompileConfig::default(),
-            )
-            .unwrap();
+            let ip =
+                AcceleratorIp::compile(&mlp.export().unwrap(), CompileConfig::default()).unwrap();
             idxs.push(board.attach_accelerator(ip).unwrap());
         }
         (board, idxs)
@@ -322,7 +321,10 @@ mod tests {
         // Frames every 200 µs: no queueing.
         let report = ecu.process_capture(&frames(50, 200), &zero_feat).unwrap();
         let ms = report.mean_latency.as_millis_f64();
-        assert!((0.10..0.14).contains(&ms), "latency {ms} ms vs paper 0.12 ms");
+        assert!(
+            (0.10..0.14).contains(&ms),
+            "latency {ms} ms vs paper 0.12 ms"
+        );
         assert_eq!(report.dropped, 0);
     }
 
@@ -380,8 +382,7 @@ mod tests {
         let (board1, idx1) = board_with(1);
         let mut ecu1 = IdsEcu::new(board1, idx1, EcuConfig::default());
         let one = ecu1.process_capture(&frames(40, 250), &zero_feat).unwrap();
-        let ratio =
-            two.mean_latency.as_secs_f64() / one.mean_latency.as_secs_f64();
+        let ratio = two.mean_latency.as_secs_f64() / one.mean_latency.as_secs_f64();
         assert!(ratio > 1.0 && ratio < 1.2, "multi-model ratio {ratio}");
     }
 

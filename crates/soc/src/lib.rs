@@ -30,7 +30,7 @@
 //! let idx = board.attach_accelerator(ip)?;
 //!
 //! // One driver call: the paper's per-message processing path.
-//! let record = board.infer(idx, &vec![0.0f32; 75])?;
+//! let record = board.infer(idx, &[0.0f32; 75])?;
 //! assert!((0.09..0.13).contains(&record.latency().as_millis_f64()));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```

@@ -101,7 +101,7 @@ impl PowerMonitor {
     /// Records a power sample at `t` (samples must be time-ordered).
     pub fn sample(&mut self, t: SimTime, watts: f64) {
         debug_assert!(
-            self.samples.last().map_or(true, |&(lt, _)| lt <= t),
+            self.samples.last().is_none_or(|&(lt, _)| lt <= t),
             "samples must be time-ordered"
         );
         self.samples.push((t, watts));

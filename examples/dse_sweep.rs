@@ -20,7 +20,16 @@ fn main() -> Result<(), CoreError> {
 
     let mut table = Table::new(
         "DSE: uniform quantisation width (Fuzzy detector)",
-        &["bits", "precision", "recall", "F1", "FNR", "LUT", "BRAM", "ZCU104 util"],
+        &[
+            "bits",
+            "precision",
+            "recall",
+            "F1",
+            "FNR",
+            "LUT",
+            "BRAM",
+            "ZCU104 util",
+        ],
     );
     for p in &report.points {
         let (prec, rec, f1, fnr) = p.cm.table_row();

@@ -11,9 +11,18 @@ use canids_dataset::csv::to_csv;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, attack) in [
         ("normal", None),
-        ("dos", Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous))),
-        ("fuzzy", Some(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous))),
-        ("gear-spoof", Some(AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous))),
+        (
+            "dos",
+            Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        ),
+        (
+            "fuzzy",
+            Some(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous)),
+        ),
+        (
+            "gear-spoof",
+            Some(AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous)),
+        ),
     ] {
         let ds = DatasetBuilder::new(TrafficConfig {
             duration: SimTime::from_secs(2),

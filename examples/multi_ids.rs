@@ -52,9 +52,8 @@ fn main() -> Result<(), CoreError> {
         ..TrafficConfig::default()
     })
     .build();
-    let frames: Vec<(SimTime, CanFrame)> =
-        mixed.iter().map(|r| (r.timestamp, r.frame)).collect();
-    let encoder = IdBitsPayloadBits::default();
+    let frames: Vec<(SimTime, CanFrame)> = mixed.iter().map(|r| (r.timestamp, r.frame)).collect();
+    let encoder = IdBitsPayloadBits;
     let report = deployment
         .ecu
         .process_capture(&frames, &|f: &CanFrame| encoder.encode(f))?;

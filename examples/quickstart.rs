@@ -20,7 +20,10 @@ fn main() -> Result<(), CoreError> {
     println!("  paper:     99.99%          99.99%      99.99%       0.01%\n");
 
     println!("hardware IP:");
-    println!("  compute latency : {:.2} us", report.ip.latency_secs() * 1e6);
+    println!(
+        "  compute latency : {:.2} us",
+        report.ip.latency_secs() * 1e6
+    );
     println!("  resources       : {}", report.ip.resources());
     println!(
         "  ZCU104 usage    : {}",

@@ -65,7 +65,7 @@ fn main() -> Result<(), CoreError> {
     let idx = board.attach_accelerator(ip)?;
     let mut ecu = IdsEcu::new(board, vec![idx], EcuConfig::default());
     let frames: Vec<(SimTime, CanFrame)> = events.iter().map(|e| (e.time, e.frame)).collect();
-    let encoder = IdBitsPayloadBits::default();
+    let encoder = IdBitsPayloadBits;
     let report = ecu.process_capture(&frames, &|f: &CanFrame| encoder.encode(f))?;
 
     let flagged = report.detections.iter().filter(|d| d.flagged).count();

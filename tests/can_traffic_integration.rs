@@ -33,10 +33,7 @@ fn frame_timestamps_respect_wire_time() {
         let gap = w[1].timestamp - w[0].timestamp;
         // No two frame completions can be closer than the shortest
         // possible frame (~47 bits for DLC 0 + interframe space).
-        assert!(
-            gap >= bit_time.mul_u64(40),
-            "gap {gap} below wire minimum"
-        );
+        assert!(gap >= bit_time.mul_u64(40), "gap {gap} below wire minimum");
     }
 }
 
@@ -56,11 +53,7 @@ fn line_rate_matches_frame_encoding() {
         .map(|i| {
             (
                 SimTime::ZERO,
-                CanFrame::new(
-                    CanId::standard(0x2C0).unwrap(),
-                    &[(i % 251) as u8; 8],
-                )
-                .unwrap(),
+                CanFrame::new(CanId::standard(0x2C0).unwrap(), &[(i % 251) as u8; 8]).unwrap(),
             )
         })
         .collect();
@@ -90,7 +83,7 @@ fn csv_round_trip_preserves_capture_semantics() {
         ds.iter().filter(|r| r.label.is_attack()).count()
     );
     // Feature extraction sees identical frames.
-    let enc = IdBitsPayloadBits::default();
+    let enc = IdBitsPayloadBits;
     for (a, b) in ds.iter().zip(back.iter()) {
         assert_eq!(enc.encode(&a.frame), enc.encode(&b.frame));
     }
@@ -105,10 +98,7 @@ fn spoofing_extension_generates_legit_ids() {
         ..TrafficConfig::default()
     })
     .build();
-    let spoofed: Vec<_> = ds
-        .iter()
-        .filter(|r| r.label == Label::RpmSpoof)
-        .collect();
+    let spoofed: Vec<_> = ds.iter().filter(|r| r.label == Label::RpmSpoof).collect();
     assert!(spoofed.len() > 100);
     assert!(spoofed.iter().all(|r| r.frame.id().raw() == 0x316));
 }

@@ -6,6 +6,7 @@
 //! must all produce identical classes (and scores where exposed) for
 //! every input.
 
+use canids_can::time::SimTime;
 use canids_dataflow::folding::{auto_fold, FoldingGoal};
 use canids_dataflow::graph::DataflowGraph;
 use canids_dataflow::ip::{AcceleratorIp, CompileConfig, RegisterMap};
@@ -14,7 +15,6 @@ use canids_dataflow::verify::verify_bit_exact;
 use canids_qnn::prelude::*;
 use canids_soc::accel::{pack_features, AccelPeripheral, CTRL_START};
 use canids_soc::axi::MmioDevice;
-use canids_can::time::SimTime;
 use proptest::prelude::*;
 
 /// Trains a small model so thresholds are calibrated and non-trivial.
@@ -86,10 +86,10 @@ proptest! {
                 dev.write(RegisterMap::INPUT_BASE + 4 * w as u32, word, now).unwrap();
             }
             dev.write(RegisterMap::CTRL, CTRL_START, now).unwrap();
-            now = now + SimTime::from_micros(100);
+            now += SimTime::from_micros(100);
             let class = dev.read(RegisterMap::OUT_CLASS, now).unwrap() as usize;
             prop_assert_eq!(class, model.infer(x).class);
-            now = now + SimTime::from_micros(10);
+            now += SimTime::from_micros(10);
         }
     }
 }

@@ -68,14 +68,14 @@ fn baremetal_ablation_shows_software_dominance() {
     // AUTOSAR-integration discussion).
     let mut linux_board = Zcu104Board::new(BoardConfig::default());
     let li = linux_board.attach_accelerator(quick_ip()).unwrap();
-    let linux_rec = linux_board.infer(li, &vec![0.0; 75]).unwrap();
+    let linux_rec = linux_board.infer(li, &[0.0; 75]).unwrap();
 
     let mut bm_board = Zcu104Board::new(BoardConfig {
         cpu: CpuModel::zynqmp_a53_baremetal(),
         ..BoardConfig::default()
     });
     let bi = bm_board.attach_accelerator(quick_ip()).unwrap();
-    let bm_rec = bm_board.infer(bi, &vec![0.0; 75]).unwrap();
+    let bm_rec = bm_board.infer(bi, &[0.0; 75]).unwrap();
 
     assert!(
         bm_rec.latency().as_nanos() * 5 < linux_rec.latency().as_nanos(),

@@ -42,9 +42,8 @@ fn dual_model_ecu_detects_both_attacks() {
         ..TrafficConfig::default()
     })
     .build();
-    let frames: Vec<(SimTime, CanFrame)> =
-        capture.iter().map(|r| (r.timestamp, r.frame)).collect();
-    let encoder = IdBitsPayloadBits::default();
+    let frames: Vec<(SimTime, CanFrame)> = capture.iter().map(|r| (r.timestamp, r.frame)).collect();
+    let encoder = IdBitsPayloadBits;
     let report = deployment
         .ecu
         .process_capture(&frames, &|f: &CanFrame| encoder.encode(f))
@@ -70,7 +69,7 @@ fn dual_model_latency_overhead_is_small() {
             )
         })
         .collect();
-    let encoder = IdBitsPayloadBits::default();
+    let encoder = IdBitsPayloadBits;
     let featurize = |f: &CanFrame| encoder.encode(f);
 
     let mut single = deploy_multi_ids(
@@ -100,8 +99,7 @@ fn dual_model_latency_overhead_is_small() {
     .unwrap();
     let dual_report = dual.ecu.process_capture(&frames, &featurize).unwrap();
 
-    let ratio = dual_report.mean_latency.as_secs_f64()
-        / single_report.mean_latency.as_secs_f64();
+    let ratio = dual_report.mean_latency.as_secs_f64() / single_report.mean_latency.as_secs_f64();
     assert!(
         (1.0..1.25).contains(&ratio),
         "dual/single latency ratio {ratio} (paper: slightly higher cost)"

@@ -1,0 +1,262 @@
+//! Offline drop-in subset of the [`criterion`](https://bheisler.github.io/criterion.rs)
+//! benchmarking API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! provides the criterion surface the `canids-bench` harness uses —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! benchmark groups and [`Bencher::iter`] — with a lean wall-clock
+//! measurement loop instead of criterion's full statistical pipeline.
+//!
+//! Mode handling mirrors criterion so `cargo test` stays fast:
+//!
+//! * `cargo bench` invokes the bench binary with `--bench`, which
+//!   selects measurement mode (warm-up, then `sample_size` timed
+//!   samples; median ns/iter is printed);
+//! * any other invocation (notably `cargo test`, which runs
+//!   `harness = false` bench targets with no arguments) selects smoke
+//!   mode: every registered closure runs exactly once, so benches are
+//!   exercised for correctness without paying measurement time.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard opaque-value hint, matching
+/// `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// How the binary was invoked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// `cargo bench`: measure and report.
+    Measure,
+    /// `cargo test` (or a bare run): run each benchmark body once.
+    Smoke,
+}
+
+fn detect_mode() -> Mode {
+    if std::env::args().any(|a| a == "--bench") {
+        Mode::Measure
+    } else {
+        Mode::Smoke
+    }
+}
+
+/// The benchmark driver, mirroring `criterion::Criterion`.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    mode: Mode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            mode: detect_mode(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark (builder form, as
+    /// used in `criterion_group!` config expressions).
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(self.mode, self.sample_size, name, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks, mirroring
+/// `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    // Group-scoped, as in real criterion: overrides here must not leak
+    // into later groups or ungrouped benches.
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benches in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and runs one benchmark in the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_one(self.criterion.mode, self.sample_size, &full, f);
+        self
+    }
+
+    /// Ends the group. Reporting is immediate in this implementation,
+    /// so this only consumes the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(mode: Mode, sample_size: usize, name: &str, mut f: F) {
+    match mode {
+        Mode::Smoke => {
+            let mut b = Bencher {
+                mode,
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            println!("{name}: smoke ok");
+        }
+        Mode::Measure => {
+            // Calibrate the per-sample iteration count so one sample
+            // costs roughly a millisecond.
+            let mut calib = Bencher {
+                mode,
+                iters: 1,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut calib);
+            let per_iter = calib.elapsed.max(Duration::from_nanos(1));
+            let iters = (Duration::from_millis(1).as_nanos() / per_iter.as_nanos())
+                .clamp(1, 1_000_000) as u64;
+
+            let mut samples: Vec<f64> = Vec::with_capacity(sample_size);
+            for _ in 0..sample_size {
+                let mut b = Bencher {
+                    mode,
+                    iters,
+                    elapsed: Duration::ZERO,
+                };
+                f(&mut b);
+                samples.push(b.elapsed.as_nanos() as f64 / iters as f64);
+            }
+            samples.sort_by(f64::total_cmp);
+            let median = samples[samples.len() / 2];
+            let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+            println!("{name}: median {median:.1} ns/iter (min {lo:.1}, max {hi:.1}, {sample_size} samples x {iters} iters)");
+        }
+    }
+}
+
+/// Timer handle passed to benchmark closures, mirroring
+/// `criterion::Bencher`.
+pub struct Bencher {
+    mode: Mode,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `routine` (one call in smoke mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let iters = match self.mode {
+            Mode::Smoke => 1,
+            Mode::Measure => self.iters,
+        };
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a benchmark group function, mirroring
+/// `criterion::criterion_group!`. Both the plain and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = <$crate::Criterion as ::core::default::Default>::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let mut calls = 0u32;
+        run_one(Mode::Smoke, 10, "counter", |b| b.iter(|| calls += 1));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut calls = 0u64;
+        run_one(Mode::Measure, 5, "counter", |b| b.iter(|| calls += 1));
+        assert!(calls > 5);
+    }
+
+    #[test]
+    fn group_sample_size_does_not_leak() {
+        let mut c = Criterion {
+            sample_size: 3,
+            mode: Mode::Measure,
+        };
+        // The bench closure runs once for calibration plus once per
+        // sample, so its invocation count reveals the effective
+        // sample_size.
+        let mut grouped = 0u32;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(5);
+            g.bench_function("x", |b| {
+                grouped += 1;
+                b.iter(|| ());
+            });
+            g.finish();
+        }
+        assert_eq!(grouped, 1 + 5);
+        let mut ungrouped = 0u32;
+        c.bench_function("y", |b| {
+            ungrouped += 1;
+            b.iter(|| ());
+        });
+        assert_eq!(ungrouped, 1 + 3, "group override must stay group-scoped");
+    }
+}

@@ -1,0 +1,46 @@
+//! The [`any`] entry point, mirroring `proptest::arbitrary`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::{Rng, RngCore};
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary {
+    /// Draws one value uniformly from the type's full domain.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `A`; mirrors `proptest::arbitrary::any`.
+pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+    AnyStrategy(core::marker::PhantomData)
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<A>(core::marker::PhantomData<fn() -> A>);
+
+impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+    type Value = A;
+
+    fn sample(&self, rng: &mut TestRng) -> A {
+        A::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! int_arbitrary {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            fn arbitrary(rng: &mut TestRng) -> $ty {
+                rng.gen_range(<$ty>::MIN..=<$ty>::MAX)
+            }
+        }
+    )*};
+}
+
+int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);

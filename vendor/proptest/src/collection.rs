@@ -1,0 +1,64 @@
+//! Collection strategies, mirroring `proptest::collection`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// An inclusive length range for generated collections, accepting the
+/// same spellings proptest does: `64`, `0..256`, `0..=8`, `1..64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> Self {
+        SizeRange { lo: len, hi: len }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(range: core::ops::Range<usize>) -> Self {
+        assert!(range.start < range.end, "empty size range");
+        SizeRange {
+            lo: range.start,
+            hi: range.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: core::ops::RangeInclusive<usize>) -> Self {
+        assert!(range.start() <= range.end(), "empty size range");
+        SizeRange {
+            lo: *range.start(),
+            hi: *range.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose length is drawn from `size` and whose
+/// elements are drawn from `element`; mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec()`].
+#[derive(Debug, Clone, Copy)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

@@ -1,0 +1,114 @@
+//! Offline drop-in subset of the [`proptest`](https://proptest-rs.github.io)
+//! property-testing API.
+//!
+//! The build environment has no crates.io access, so this crate
+//! reimplements the slice of proptest the workspace's property suites
+//! use: the [`proptest!`] macro, `prop_assert*` macros, [`prop_oneof!`],
+//! range and tuple strategies, [`collection::vec`], [`strategy::Just`],
+//! [`arbitrary::any`], and [`test_runner::ProptestConfig`].
+//!
+//! Semantics deliberately kept from real proptest:
+//!
+//! * each `#[test]` inside [`proptest!`] runs `ProptestConfig::cases`
+//!   times (default 256) with independently sampled inputs;
+//! * sampling is deterministic — the RNG stream is keyed on the test
+//!   name and case index, so failures reproduce exactly on re-run;
+//! * a failing case reports the sampled inputs via the panic message of
+//!   the underlying `assert!`.
+//!
+//! Omitted (unused by this workspace): shrinking, persisted failure
+//! regressions, `prop_compose!`, and filtered strategies. A failing
+//! property therefore reports the raw counterexample rather than a
+//! minimal one.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// The common imports for property suites, mirroring
+/// `proptest::prelude`.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares a block of property tests.
+///
+/// Each `#[test] fn name(binding in strategy, ...) { body }` item
+/// expands to a plain `#[test]` that samples every binding
+/// `ProptestConfig::cases` times and runs the body on each sample. An
+/// optional leading `#![proptest_config(expr)]` overrides the config
+/// for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = (<$crate::test_runner::ProptestConfig as ::core::default::Default>::default());
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); $(
+        #[test]
+        fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+                for __case in 0..__cfg.cases {
+                    let mut __rng = $crate::test_runner::TestRng::for_case(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        __case,
+                    );
+                    $(
+                        let $arg = $crate::strategy::Strategy::sample(&($strat), &mut __rng);
+                    )*
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a property holds; mirrors `proptest::prop_assert!`.
+///
+/// Without shrinking there is no need to unwind specially, so this is
+/// `assert!` under a proptest-compatible name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts two values are equal; mirrors `proptest::prop_assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts two values differ; mirrors `proptest::prop_assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Uniformly picks one of several same-valued strategies per sample;
+/// mirrors `proptest::prop_oneof!`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}

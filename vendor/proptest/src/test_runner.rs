@@ -1,0 +1,54 @@
+//! Test execution config and the deterministic case RNG.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Per-block configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of sampled cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` samples per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    /// 256 cases, matching real proptest's default.
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// The RNG handed to strategies; keyed on (test name, case index) so
+/// every run of a test samples the same sequence of inputs.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the RNG for one case of one named test.
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test path keeps distinct tests on distinct
+        // streams even for equal case indices.
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(hash ^ (u64::from(case) << 32) ^ u64::from(case)),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}

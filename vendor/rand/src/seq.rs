@@ -1,0 +1,38 @@
+//! Sequence helpers, mirroring `rand::seq`.
+
+use crate::{Rng, RngCore, SampleRange};
+
+/// In-place slice operations driven by a generator.
+pub trait SliceRandom {
+    /// The element type of the sequence.
+    type Item;
+
+    /// Fisher–Yates shuffle of the whole slice.
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly chosen element, or `None` if empty.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = sample_index(rng, i + 1);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(&self[sample_index(rng, self.len())])
+        }
+    }
+}
+
+fn sample_index<R: RngCore + ?Sized>(rng: &mut R, len: usize) -> usize {
+    (0..len).sample_from(rng)
+}

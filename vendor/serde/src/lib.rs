@@ -1,0 +1,23 @@
+//! Offline drop-in subset of the [`serde`](https://serde.rs) facade.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its config and
+//! report types so they stay serialisation-ready, but no code path
+//! serialises yet (the CSV codec in `canids-dataset` is hand-rolled).
+//! Since the build environment has no crates.io access, this crate
+//! provides the two marker traits and their derive macros locally; the
+//! derives register the trait implementations without generating any
+//! format code. Swapping in real serde later is a one-line manifest
+//! change — the derive spelling in the sources is already canonical.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types whose serialised form is derivable.
+///
+/// The real trait's `serialize` method is intentionally absent: nothing
+/// in the workspace serialises through serde yet, and leaving the
+/// method off keeps the no-op derive honest (it cannot silently produce
+/// wrong bytes).
+pub trait Serialize {}
+
+/// Marker for types whose deserialised form is derivable.
+pub trait Deserialize<'de>: Sized {}

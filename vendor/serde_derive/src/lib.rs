@@ -1,0 +1,61 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde facade.
+//!
+//! Each derive parses just enough of the item — attributes, visibility,
+//! `struct`/`enum`, name — to emit a marker-trait impl for the type.
+//! The workspace has no generic derive targets, so generics are
+//! rejected loudly rather than mis-handled silently.
+
+use proc_macro::{TokenStream, TokenTree};
+
+/// Extracts the type name from a `struct`/`enum` item, skipping outer
+/// attributes and visibility, and asserts the type is not generic.
+fn type_name(input: TokenStream, trait_name: &str) -> String {
+    let mut tokens = input.into_iter().peekable();
+    loop {
+        match tokens.next() {
+            // Outer attribute: `#` followed by a bracketed group.
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+            }
+            Some(TokenTree::Ident(ident)) => {
+                let word = ident.to_string();
+                if word == "struct" || word == "enum" || word == "union" {
+                    break;
+                }
+                // `pub` (possibly followed by a `(crate)` group) — skip.
+            }
+            // `pub(...)` restriction group or stray punctuation — skip.
+            Some(_) => {}
+            None => panic!("derive({trait_name}): no struct/enum found"),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        other => panic!("derive({trait_name}): expected type name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        assert!(
+            p.as_char() != '<',
+            "derive({trait_name}): generic type `{name}` is not supported by the offline stub",
+        );
+    }
+    name
+}
+
+/// Derives the offline `serde::Serialize` marker impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input, "Serialize");
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the offline `serde::Deserialize` marker impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = type_name(input, "Deserialize");
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("generated impl parses")
+}
