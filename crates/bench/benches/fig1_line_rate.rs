@@ -1,12 +1,17 @@
-//! Criterion bench for the Fig. 1 / throughput substrate: frame encoding
-//! and saturated-bus simulation speed.
+//! Criterion bench for the Fig. 1 / throughput substrate: frame encoding,
+//! saturated-bus simulation speed, and the streaming (frame-at-a-time)
+//! serving path the line-rate harness drives.
 
+use canids_bench::untrained_model;
 use canids_can::bits::encode_frame;
 use canids_can::bus::{Bus, BusConfig};
 use canids_can::frame::{CanFrame, CanId};
 use canids_can::node::CanController;
 use canids_can::time::SimTime;
 use canids_can::timing::{max_frame_rate, Bitrate};
+use canids_core::stream::StreamingEvaluator;
+use canids_dataset::attacks::{AttackProfile, BurstSchedule};
+use canids_dataset::generator::{DatasetBuilder, TrafficConfig};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
@@ -32,6 +37,27 @@ fn bench_fig1(c: &mut Criterion) {
             bus.attach_source(tx, Box::new(frames.into_iter()));
             bus.run_until(SimTime::from_millis(10));
             black_box(bus.stats().frames_delivered)
+        })
+    });
+
+    // The per-frame cost the line-rate claim rests on: incremental
+    // featurisation + integer inference + online accounting. At 1 Mb/s
+    // this must stay well under the ~120 us frame slot.
+    let capture = DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(200),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed: 0xF1A7,
+        ..TrafficConfig::default()
+    })
+    .build();
+    let mut eval = StreamingEvaluator::new(untrained_model());
+    let records = capture.records();
+    let mut i = 0usize;
+    group.bench_function("streaming_eval_per_frame", |b| {
+        b.iter(|| {
+            let v = eval.push(black_box(&records[i]));
+            i = (i + 1) % records.len();
+            black_box(v.class)
         })
     });
     group.finish();

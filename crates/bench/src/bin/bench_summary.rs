@@ -1,0 +1,144 @@
+//! Per-PR perf snapshot: times the hot substrates the ROADMAP tracks
+//! (dense linear forward, cycle-accurate simulator step, streaming
+//! line-rate harness) and writes them as a small JSON file so the
+//! per-PR perf trajectory accumulates in-tree.
+//!
+//! ```sh
+//! cargo run --release -p canids-bench --bin bench_summary [out.json]
+//! ```
+//!
+//! Defaults to `BENCH_2.json` in the current directory.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use canids_bench::untrained_model;
+use canids_can::time::SimTime;
+use canids_core::stream::{replay_line_rate, LineRateScenario};
+use canids_dataflow::folding::{auto_fold, FoldingGoal};
+use canids_dataflow::graph::DataflowGraph;
+use canids_dataflow::simulator::{AcceleratorSim, SimConfig};
+use canids_dataset::attacks::{AttackProfile, BurstSchedule};
+use canids_qnn::tensor::{linear_forward, Matrix};
+
+fn pseudo_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut state = seed | 1;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        data.push(((state >> 16) as f32 / 32768.0) - 1.0);
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Median wall time of `f` in microseconds over `iters` runs.
+fn median_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
+    let mut samples = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64() * 1e6);
+    }
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+/// The PR number a snapshot path encodes (`BENCH_<n>.json` → `n`), so
+/// `bench_summary BENCH_3.json` labels itself correctly without a
+/// source edit each PR. Names not ending in `_<n>` label as 0.
+fn pr_number(path: &str) -> u32 {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .and_then(|stem| stem.rsplit('_').next())
+        .and_then(|tail| tail.parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_2.json".to_owned());
+    let pr = pr_number(&out_path);
+
+    // 1. The ROADMAP's named hot kernel: linear_forward at the paper's
+    // first-layer shape (batch 64, 75 -> 64). The seed baseline was
+    // ~120 us scalar.
+    let x = pseudo_matrix(64, 75, 1);
+    let w = pseudo_matrix(64, 75, 2);
+    let b = vec![0.1f32; 64];
+    let mut sink = 0.0f32;
+    let linear_us = median_us(400, || {
+        let y = linear_forward(&x, &w, &b);
+        sink += y.as_slice()[0];
+    });
+
+    // 2. Cycle-accurate simulator: paper model, sequential folding (the
+    // heaviest fold), 20 frames — report wall us per simulated frame.
+    let model = untrained_model();
+    let graph = DataflowGraph::from_integer_mlp(&model).expect("paper model lowers");
+    let folding = auto_fold(&graph, FoldingGoal::MinResource).expect("sequential folding");
+    let sim = AcceleratorSim::new(graph, &folding, SimConfig::default()).expect("sim builds");
+    let inputs: Vec<Vec<u32>> = (0..20).map(|i| vec![u32::from(i % 2 == 0); 75]).collect();
+    let sim_us_total = median_us(5, || {
+        let report = sim.run(&inputs);
+        sink += report.total_cycles as f32;
+    });
+    let sim_us_per_frame = sim_us_total / inputs.len() as f64;
+
+    // 3. Streaming line-rate harness: saturated DoS replay at classic
+    // 1 Mb/s and a CAN-FD-class rate (untrained weights — the harness
+    // measures serving speed, not accuracy). Scenarios run one at a
+    // time here, unlike the scenario-parallel `line_rate_sweep`: the
+    // snapshot should time an uncontended evaluator, not thread
+    // scheduling noise.
+    let duration = SimTime::from_millis(400);
+    let dos = Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous));
+    let scenarios = [
+        LineRateScenario::classic_1m("dos_1m", dos, duration),
+        LineRateScenario::fd_class("dos_fd5m", dos, duration),
+    ];
+    let reports: Vec<_> = scenarios
+        .iter()
+        .map(|scenario| replay_line_rate(&scenario.generate_capture(), &model, scenario))
+        .collect();
+
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"pr\": {pr},");
+    let _ = writeln!(json, "  \"linear_forward_64x75x64\": {{");
+    let _ = writeln!(json, "    \"median_us\": {linear_us:.3},");
+    let _ = writeln!(json, "    \"seed_baseline_us\": 120.0");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"accel_sim_sequential_fold\": {{");
+    let _ = writeln!(json, "    \"us_per_frame\": {sim_us_per_frame:.3}");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"line_rate_harness\": [");
+    for (i, r) in reports.iter().enumerate() {
+        let _ = writeln!(json, "    {{");
+        let _ = writeln!(json, "      \"scenario\": \"{}\",", r.scenario);
+        let _ = writeln!(json, "      \"bitrate_bps\": {},", r.bitrate_bps);
+        let _ = writeln!(json, "      \"offered_fps\": {:.1},", r.offered_fps);
+        let _ = writeln!(json, "      \"sustained_fps\": {:.1},", r.sustained_fps);
+        let _ = writeln!(
+            json,
+            "      \"p50_latency_us\": {:.3},",
+            r.p50_latency.as_micros_f64()
+        );
+        let _ = writeln!(
+            json,
+            "      \"p99_latency_us\": {:.3},",
+            r.p99_latency.as_micros_f64()
+        );
+        let _ = writeln!(json, "      \"dropped\": {},", r.dropped);
+        let _ = writeln!(json, "      \"keeps_up\": {}", r.keeps_up());
+        let _ = write!(json, "    }}");
+        let _ = writeln!(json, "{}", if i + 1 < reports.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    std::fs::write(&out_path, &json).expect("write perf snapshot");
+    println!("{json}");
+    eprintln!("[bench_summary] wrote {out_path} (sink {sink})");
+}

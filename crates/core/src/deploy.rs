@@ -44,6 +44,10 @@ impl std::fmt::Debug for MultiIdsDeployment {
 
 /// Compiles and deploys several detectors onto one board.
 ///
+/// Compilation is independent per detector, so the IPs are built
+/// concurrently on scoped threads; attachment to the board stays in
+/// bundle order.
+///
 /// # Errors
 ///
 /// Propagates compilation and SoC errors.
@@ -51,19 +55,23 @@ pub fn deploy_multi_ids(
     bundles: &[DetectorBundle],
     compile: CompileConfig,
 ) -> Result<MultiIdsDeployment, CoreError> {
-    let mut board = Zcu104Board::new(BoardConfig::default());
-    let mut models = Vec::new();
-    let mut kinds = Vec::new();
-    let mut total = ResourceEstimate::default();
-    let mut largest = ResourceEstimate::default();
-    for bundle in bundles {
-        let ip = AcceleratorIp::compile(
+    let compiled = crate::par::scoped_map(bundles, |bundle| {
+        AcceleratorIp::compile(
             &bundle.model,
             CompileConfig {
                 name: format!("{:?}-ids", bundle.kind).to_lowercase(),
                 ..compile.clone()
             },
-        )?;
+        )
+    });
+
+    let mut board = Zcu104Board::new(BoardConfig::default());
+    let mut models = Vec::new();
+    let mut kinds = Vec::new();
+    let mut total = ResourceEstimate::default();
+    let mut largest = ResourceEstimate::default();
+    for (bundle, ip) in bundles.iter().zip(compiled) {
+        let ip = ip?;
         let r = ip.resources();
         total += r;
         if r.lut > largest.lut {

@@ -80,50 +80,31 @@ pub fn sweep_bitwidths(
     let (xs, ys) = train_set.to_xy(&encoder);
     let (txs, tys) = test_set.to_xy(&encoder);
 
-    let mut results: Vec<Option<Result<DsePoint, CoreError>>> = Vec::new();
-    results.resize_with(widths.len(), || None);
-
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for (i, &bits) in widths.iter().enumerate() {
-            let xs = &xs;
-            let ys = &ys;
-            let txs = &txs;
-            let tys = &tys;
-            let config = &*config;
-            handles.push((
-                i,
-                scope.spawn(move || -> Result<DsePoint, CoreError> {
-                    let width = BitWidth::new(bits)?;
-                    let mlp_config = config.mlp.clone().with_bits(width);
-                    let mut mlp = QuantMlp::new(mlp_config)?;
-                    Trainer::new(config.train.clone()).fit(&mut mlp, xs, ys)?;
-                    let int_mlp = mlp.export()?;
-                    let mut cm = ConfusionMatrix::new();
-                    for (x, &y) in txs.iter().zip(tys) {
-                        cm.record(int_mlp.infer_bits(x).class != 0, y != 0);
-                    }
-                    let ip = AcceleratorIp::compile(&int_mlp, config.compile.clone())?;
-                    let util = ip.utilization(Device::ZCU104).max_fraction();
-                    Ok(DsePoint {
-                        bits,
-                        cm,
-                        luts: ip.resources().lut,
-                        bram36: ip.resources().bram36,
-                        utilization: util,
-                        latency_s: ip.latency_secs(),
-                    })
-                }),
-            ));
+    let results = crate::par::scoped_map(widths, |&bits| -> Result<DsePoint, CoreError> {
+        let width = BitWidth::new(bits)?;
+        let mlp_config = config.mlp.clone().with_bits(width);
+        let mut mlp = QuantMlp::new(mlp_config)?;
+        Trainer::new(config.train.clone()).fit(&mut mlp, &xs, &ys)?;
+        let int_mlp = mlp.export()?;
+        let mut cm = ConfusionMatrix::new();
+        for (x, &y) in txs.iter().zip(&tys) {
+            cm.record(int_mlp.infer_bits(x).class != 0, y != 0);
         }
-        for (i, handle) in handles {
-            results[i] = Some(handle.join().expect("sweep thread panicked"));
-        }
+        let ip = AcceleratorIp::compile(&int_mlp, config.compile.clone())?;
+        let util = ip.utilization(Device::ZCU104).max_fraction();
+        Ok(DsePoint {
+            bits,
+            cm,
+            luts: ip.resources().lut,
+            bram36: ip.resources().bram36,
+            utilization: util,
+            latency_s: ip.latency_secs(),
+        })
     });
 
     let mut points = Vec::with_capacity(widths.len());
     for r in results {
-        points.push(r.expect("every width produced a result")?);
+        points.push(r?);
     }
     let selected = points
         .iter()

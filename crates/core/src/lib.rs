@@ -8,6 +8,8 @@
 //! * [`dse`] — the bit-width design-space exploration that selects 4-bit
 //!   uniform quantisation,
 //! * [`deploy`] — multi-model (DoS + Fuzzy) simultaneous deployment,
+//! * [`stream`] — frame-at-a-time streaming evaluation and the
+//!   line-rate harness (saturated 1 Mb/s and CAN-FD-class replay),
 //! * [`report`] — paper-style ASCII tables for the benchmark harness.
 //!
 //! # Quickstart
@@ -25,22 +27,32 @@
 pub mod deploy;
 pub mod dse;
 pub mod error;
+mod par;
 pub mod pipeline;
 pub mod report;
+pub mod stream;
 
 pub use deploy::{deploy_multi_ids, DetectorBundle, MultiIdsDeployment};
 pub use dse::{sweep_bitwidths, DsePoint, DseReport};
 pub use error::CoreError;
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
 pub use report::{pct, pct_opt, Table};
+pub use stream::{
+    line_rate_sweep, replay_line_rate, LineRateReport, LineRateScenario, StreamVerdict,
+    StreamingEvaluator,
+};
 
 /// Convenience re-exports spanning the whole stack.
 pub mod prelude {
     pub use crate::deploy::{deploy_multi_ids, DetectorBundle};
     pub use crate::dse::{sweep_bitwidths, DseReport};
     pub use crate::error::CoreError;
-    pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport};
+    pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
     pub use crate::report::{pct, pct_opt, Table};
+    pub use crate::stream::{
+        line_rate_sweep, replay_line_rate, LineRateReport, LineRateScenario, StreamVerdict,
+        StreamingEvaluator,
+    };
     pub use canids_baselines::prelude::*;
     pub use canids_can::prelude::*;
     pub use canids_dataflow::prelude::*;

@@ -1,0 +1,79 @@
+//! Scoped-thread scatter/gather shared by the scenario-parallel paths
+//! (bit-width DSE, multi-pipeline runs, multi-IP compilation, line-rate
+//! sweeps).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Runs `f` over every item on a bounded scoped-thread pool (at most
+/// `available_parallelism` workers, so a long item list cannot
+/// oversubscribe the host) and gathers the results in input order. A
+/// panic in any `f` propagates when the scope closes.
+pub(crate) fn scoped_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |c| c.get())
+        .min(n);
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                tx.send((i, r)).expect("gather receiver outlives the scope");
+            });
+        }
+    });
+    drop(tx);
+    let mut results: Vec<Option<R>> = Vec::new();
+    results.resize_with(n, || None);
+    for (i, r) in rx {
+        results[i] = Some(r);
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every item was processed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = scoped_map(&items, |&i| i * 2);
+        assert_eq!(out, (0..32).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_empty_output() {
+        let out: Vec<u32> = scoped_map(&[] as &[u32], |&x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn item_count_beyond_core_count_completes() {
+        // More items than any plausible worker pool: the bounded pool
+        // must still process every item exactly once, in order.
+        let items: Vec<usize> = (0..500).collect();
+        let out = scoped_map(&items, |&i| i + 1);
+        assert_eq!(out, (1..=500).collect::<Vec<_>>());
+    }
+}

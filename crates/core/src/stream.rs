@@ -1,0 +1,532 @@
+//! Streaming (frame-at-a-time) evaluation and the line-rate harness.
+//!
+//! Every other evaluation path in this crate materialises a capture
+//! before classifying it. A deployed IDS cannot: frames arrive one at a
+//! time, paced by the wire, and the detector must keep up with a
+//! saturated bus. This module provides that serving mode:
+//!
+//! * [`StreamingEvaluator`] — incremental featurisation + per-frame
+//!   integer MLP inference + online [`ConfusionMatrix`] accounting, with
+//!   all per-frame buffers reused (no per-frame feature allocation).
+//!   Streaming and batch evaluation produce *identical* predictions and
+//!   confusion matrices on the same capture — the equivalence tests pin
+//!   this.
+//! * [`replay_line_rate`] — replays a capture against a
+//!   `StreamingEvaluator` at true bus pacing (saturated 1 Mb/s classic
+//!   CAN, or a CAN-FD-class rate), measuring each frame's real software
+//!   service time and reporting sustained frames/s, p50/p99/max verdict
+//!   latency and FIFO drops.
+//! * [`line_rate_sweep`] — generates and evaluates several scenarios
+//!   (attack × bitrate) concurrently on scoped threads, mirroring the
+//!   bit-width DSE sweep.
+
+use std::time::Instant;
+
+use canids_can::time::SimTime;
+use canids_can::timing::Bitrate;
+use canids_dataset::attacks::AttackProfile;
+use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
+use canids_dataset::generator::{Dataset, DatasetBuilder, TrafficConfig};
+use canids_dataset::record::LabeledFrame;
+use canids_dataset::stream::paced_records;
+use canids_qnn::export::IntegerMlp;
+use canids_qnn::metrics::ConfusionMatrix;
+use canids_soc::ecu::ServiceQueue;
+
+/// One streaming verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamVerdict {
+    /// Predicted class (0 = normal).
+    pub class: usize,
+    /// `true` when the frame was classified as an attack.
+    pub flagged: bool,
+    /// Ground truth of the pushed record.
+    pub truth_attack: bool,
+}
+
+impl StreamVerdict {
+    /// `true` when prediction and ground truth agree.
+    pub fn correct(&self) -> bool {
+        self.flagged == self.truth_attack
+    }
+}
+
+/// Frame-at-a-time evaluator over a streamlined integer model.
+///
+/// # Example
+///
+/// ```no_run
+/// use canids_core::prelude::*;
+/// use canids_core::stream::StreamingEvaluator;
+///
+/// let report = IdsPipeline::new(PipelineConfig::dos().quick()).run()?;
+/// let mut eval = StreamingEvaluator::new(report.detector.int_mlp.clone());
+/// for rec in report.detector.test_set.iter() {
+///     eval.push(rec);
+/// }
+/// // Identical to the batch test-set confusion matrix.
+/// assert_eq!(*eval.confusion(), report.detector.test_cm);
+/// # Ok::<(), canids_core::CoreError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingEvaluator<E: FrameEncoder = IdBitsPayloadBits> {
+    model: IntegerMlp,
+    encoder: E,
+    fbuf: Vec<f32>,
+    xbuf: Vec<u32>,
+    cm: ConfusionMatrix,
+    frames: u64,
+}
+
+impl StreamingEvaluator<IdBitsPayloadBits> {
+    /// An evaluator using the paper's 75-bit frame encoding.
+    pub fn new(model: IntegerMlp) -> Self {
+        StreamingEvaluator::with_encoder(model, IdBitsPayloadBits)
+    }
+}
+
+impl<E: FrameEncoder> StreamingEvaluator<E> {
+    /// An evaluator with a custom frame encoder.
+    pub fn with_encoder(model: IntegerMlp, encoder: E) -> Self {
+        let dim = encoder.dim();
+        StreamingEvaluator {
+            model,
+            encoder,
+            fbuf: vec![0.0; dim],
+            xbuf: vec![0; dim],
+            cm: ConfusionMatrix::new(),
+            frames: 0,
+        }
+    }
+
+    /// Classifies one record, updating the online confusion matrix.
+    ///
+    /// Featurisation reuses the evaluator's buffers; the quantisation of
+    /// float features to integer levels matches
+    /// [`IntegerMlp::infer_bits`] exactly, so streaming and batch
+    /// predictions are identical.
+    pub fn push(&mut self, rec: &LabeledFrame) -> StreamVerdict {
+        self.encoder.encode_into(&rec.frame, &mut self.fbuf);
+        for (x, &f) in self.xbuf.iter_mut().zip(&self.fbuf) {
+            *x = (f.round().max(0.0) as u32).min(self.model.input_levels);
+        }
+        let class = self.model.infer(&self.xbuf).class;
+        let flagged = class != 0;
+        let truth_attack = rec.label.is_attack();
+        self.cm.record(flagged, truth_attack);
+        self.frames += 1;
+        StreamVerdict {
+            class,
+            flagged,
+            truth_attack,
+        }
+    }
+
+    /// The online confusion matrix over everything pushed so far.
+    pub fn confusion(&self) -> &ConfusionMatrix {
+        &self.cm
+    }
+
+    /// Frames classified so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &IntegerMlp {
+        &self.model
+    }
+
+    /// Resets the online accounting, keeping the model.
+    pub fn reset(&mut self) {
+        self.cm = ConfusionMatrix::new();
+        self.frames = 0;
+    }
+}
+
+/// One line-rate replay scenario: which capture to generate and how fast
+/// to pace it.
+#[derive(Debug, Clone)]
+pub struct LineRateScenario {
+    /// Scenario name (appears in reports and tables).
+    pub name: String,
+    /// Attack to inject, if any.
+    pub attack: Option<AttackProfile>,
+    /// Capture length.
+    pub duration: SimTime,
+    /// Capture seed.
+    pub seed: u64,
+    /// Pacing bitrate of the replay (saturated line rate).
+    pub bitrate: Bitrate,
+    /// Software FIFO depth before drops.
+    pub queue_depth: usize,
+}
+
+impl LineRateScenario {
+    /// A saturated 1 Mb/s classic-CAN scenario.
+    pub fn classic_1m(name: &str, attack: Option<AttackProfile>, duration: SimTime) -> Self {
+        LineRateScenario {
+            name: name.to_owned(),
+            attack,
+            duration,
+            seed: 0x11E,
+            bitrate: Bitrate::HIGH_SPEED_1M,
+            queue_depth: 64,
+        }
+    }
+
+    /// A CAN-FD-class scenario: classic frames paced at a 5 Mb/s data
+    /// rate — the arbitration-phase format is unchanged, only the
+    /// offered frame rate scales.
+    pub fn fd_class(name: &str, attack: Option<AttackProfile>, duration: SimTime) -> Self {
+        LineRateScenario {
+            name: name.to_owned(),
+            attack,
+            duration,
+            seed: 0x5FD,
+            bitrate: Bitrate::new(5_000_000),
+            queue_depth: 64,
+        }
+    }
+
+    /// Synthesises this scenario's capture — the single recipe both the
+    /// parallel [`line_rate_sweep`] and sequential replays (e.g. the
+    /// perf-snapshot driver) use.
+    pub fn generate_capture(&self) -> Dataset {
+        DatasetBuilder::new(TrafficConfig {
+            duration: self.duration,
+            attack: self.attack,
+            seed: self.seed,
+            ..TrafficConfig::default()
+        })
+        .build()
+    }
+}
+
+/// Outcome of one line-rate replay.
+#[derive(Debug, Clone)]
+pub struct LineRateReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Pacing bitrate (bits per second).
+    pub bitrate_bps: u32,
+    /// Frames offered to the evaluator.
+    pub offered: usize,
+    /// Frames serviced (offered − dropped).
+    pub serviced: usize,
+    /// Frames dropped to software-FIFO overflow.
+    pub dropped: u64,
+    /// Offered load in frames/s (saturated pacing).
+    pub offered_fps: f64,
+    /// Measured service capacity in frames/s (serviced ÷ busy wall time).
+    pub sustained_fps: f64,
+    /// Median verdict latency (queueing + measured service time).
+    pub p50_latency: SimTime,
+    /// 99th-percentile verdict latency.
+    pub p99_latency: SimTime,
+    /// Worst verdict latency.
+    pub max_latency: SimTime,
+    /// Online confusion matrix over the serviced frames.
+    pub cm: ConfusionMatrix,
+}
+
+impl LineRateReport {
+    /// `true` when the evaluator kept up with the offered line rate:
+    /// nothing dropped and service capacity at or above the offered load.
+    pub fn keeps_up(&self) -> bool {
+        self.dropped == 0 && self.sustained_fps >= self.offered_fps
+    }
+
+    /// Column headers matching [`LineRateReport::table_row`].
+    pub fn table_header() -> [&'static str; 7] {
+        [
+            "Scenario",
+            "Offered fps",
+            "Sustained fps",
+            "p50",
+            "p99",
+            "Drops",
+            "Keeps up",
+        ]
+    }
+
+    /// This report as one formatted row for the harness tables (the
+    /// single formatting source for the example and driver binaries).
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.scenario.clone(),
+            format!("{:.0}", self.offered_fps),
+            format!("{:.0}", self.sustained_fps),
+            format!("{:.2} us", self.p50_latency.as_micros_f64()),
+            format!("{:.2} us", self.p99_latency.as_micros_f64()),
+            format!("{}", self.dropped),
+            if self.keeps_up() { "yes" } else { "NO" }.to_owned(),
+        ]
+    }
+}
+
+/// A host-contention caveat for scenario-parallel replays: present when
+/// the host has fewer cores than scenarios (wall-clock service times
+/// then include scheduler time-sharing), absent otherwise.
+pub fn contention_note(scenario_count: usize) -> Option<String> {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    (cores < scenario_count).then(|| {
+        format!(
+            "note: {scenario_count} scenarios time-shared {cores} core(s); tail latencies and \
+             drops include host scheduling contention (bench_summary records the uncontended, \
+             sequential numbers)"
+        )
+    })
+}
+
+fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
+    if sorted.is_empty() {
+        return SimTime::ZERO;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replays `capture` through a [`StreamingEvaluator`] at saturated line
+/// rate, one frame at a time.
+///
+/// Arrivals come from [`paced_records`] (true wire pacing at
+/// `scenario.bitrate`); each frame's *service time* is the measured wall
+/// time of the software inference, so the latency distribution and the
+/// sustained rate reflect what this host can actually serve. A frame
+/// arriving while `queue_depth` verdicts are still pending is dropped —
+/// the same [`ServiceQueue`] state machine the ECU service loop runs, so
+/// the two paths share one drop/queue policy by construction.
+pub fn replay_line_rate(
+    capture: &Dataset,
+    model: &IntegerMlp,
+    scenario: &LineRateScenario,
+) -> LineRateReport {
+    let mut eval = StreamingEvaluator::new(model.clone());
+    // Warm the evaluator outside the clock (page in weights, settle
+    // caches), then clear the online accounting it touched.
+    if let Some(first) = capture.records().first() {
+        for _ in 0..8 {
+            eval.push(first);
+        }
+        eval.reset();
+    }
+    let mut latencies: Vec<SimTime> = Vec::with_capacity(capture.len());
+    let mut queue = ServiceQueue::new(scenario.queue_depth);
+    let mut dropped = 0u64;
+    let mut busy_wall_ns = 0u128;
+    let mut last_arrival = SimTime::ZERO;
+    let mut offered = 0usize;
+
+    for rec in paced_records(capture, scenario.bitrate) {
+        let arrival = rec.timestamp;
+        offered += 1;
+        last_arrival = arrival;
+        if !queue.admit(arrival) {
+            dropped += 1;
+            continue;
+        }
+        let t0 = Instant::now();
+        let _ = eval.push(&rec);
+        let wall = t0.elapsed().as_nanos();
+        busy_wall_ns += wall;
+        // At least 1 ns of simulated service so completions advance.
+        let service = SimTime::from_nanos((wall as u64).max(1));
+        let start = queue.start_time(arrival);
+        let completed_at = queue.serve(start, service);
+        latencies.push(completed_at.saturating_sub(arrival));
+    }
+
+    latencies.sort_unstable();
+    let serviced = latencies.len();
+    let offered_fps = if last_arrival > SimTime::ZERO {
+        offered as f64 / last_arrival.as_secs_f64()
+    } else {
+        0.0
+    };
+    let sustained_fps = if busy_wall_ns > 0 {
+        serviced as f64 / (busy_wall_ns as f64 / 1e9)
+    } else {
+        0.0
+    };
+    LineRateReport {
+        scenario: scenario.name.clone(),
+        bitrate_bps: scenario.bitrate.bits_per_sec(),
+        offered,
+        serviced,
+        dropped,
+        offered_fps,
+        sustained_fps,
+        p50_latency: percentile(&latencies, 0.50),
+        p99_latency: percentile(&latencies, 0.99),
+        max_latency: latencies.last().copied().unwrap_or(SimTime::ZERO),
+        cm: *eval.confusion(),
+    }
+}
+
+/// Generates and replays every scenario concurrently on scoped threads
+/// (capture synthesis *and* evaluation run in parallel, one thread per
+/// scenario — the same pattern as [`crate::dse::sweep_bitwidths`]).
+///
+/// Results come back in scenario order.
+pub fn line_rate_sweep(model: &IntegerMlp, scenarios: &[LineRateScenario]) -> Vec<LineRateReport> {
+    crate::par::scoped_map(scenarios, |scenario| {
+        replay_line_rate(&scenario.generate_capture(), model, scenario)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canids_dataset::attacks::BurstSchedule;
+    use canids_dataset::features::FrameEncoder;
+    use canids_qnn::mlp::{MlpConfig, QuantMlp};
+
+    fn untrained_model() -> IntegerMlp {
+        QuantMlp::new(MlpConfig::paper_4bit())
+            .unwrap()
+            .export()
+            .unwrap()
+    }
+
+    fn quick_capture(attack: bool, seed: u64) -> Dataset {
+        DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(200),
+            attack: attack.then(|| AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+            seed,
+            ..TrafficConfig::default()
+        })
+        .build()
+    }
+
+    #[test]
+    fn streaming_matches_batch_exactly() {
+        let model = untrained_model();
+        let capture = quick_capture(true, 3);
+        // Batch path: materialise features, then classify.
+        let enc = IdBitsPayloadBits;
+        let (xs, ys) = capture.to_xy(&enc);
+        let mut batch_cm = ConfusionMatrix::new();
+        let mut batch_preds = Vec::with_capacity(xs.len());
+        for (x, &y) in xs.iter().zip(&ys) {
+            let pred = model.infer_bits(x).class;
+            batch_preds.push(pred);
+            batch_cm.record(pred != 0, y != 0);
+        }
+        // Streaming path: one record at a time.
+        let mut eval = StreamingEvaluator::new(model.clone());
+        let stream_preds: Vec<usize> = capture.iter().map(|rec| eval.push(rec).class).collect();
+        assert_eq!(stream_preds, batch_preds, "identical predictions");
+        assert_eq!(*eval.confusion(), batch_cm, "identical confusion matrix");
+        assert_eq!(eval.frames(), capture.len() as u64);
+    }
+
+    #[test]
+    fn verdicts_carry_truth_and_correctness() {
+        let model = untrained_model();
+        let capture = quick_capture(true, 4);
+        let mut eval = StreamingEvaluator::new(model);
+        for rec in capture.iter().take(50) {
+            let v = eval.push(rec);
+            assert_eq!(v.truth_attack, rec.label.is_attack());
+            assert_eq!(v.correct(), v.flagged == rec.label.is_attack());
+            assert_eq!(v.flagged, v.class != 0);
+        }
+    }
+
+    #[test]
+    fn reset_clears_accounting_but_keeps_model() {
+        let model = untrained_model();
+        let capture = quick_capture(false, 5);
+        let mut eval = StreamingEvaluator::new(model);
+        for rec in capture.iter().take(10) {
+            eval.push(rec);
+        }
+        assert_eq!(eval.frames(), 10);
+        eval.reset();
+        assert_eq!(eval.frames(), 0);
+        assert_eq!(eval.confusion().total(), 0);
+        assert_eq!(eval.model().layer_dims()[0], (75, 64));
+    }
+
+    #[test]
+    fn line_rate_replay_accounts_every_frame() {
+        let model = untrained_model();
+        let capture = quick_capture(true, 6);
+        let scenario = LineRateScenario::classic_1m("dos-1m", None, SimTime::from_millis(200));
+        let report = replay_line_rate(&capture, &model, &scenario);
+        assert_eq!(report.offered, capture.len());
+        assert_eq!(report.serviced + report.dropped as usize, report.offered);
+        assert_eq!(report.cm.total() as usize, report.serviced);
+        assert!(report.offered_fps > 1_000.0, "saturated 1 Mb/s pacing");
+        assert!(report.p50_latency <= report.p99_latency);
+        assert!(report.p99_latency <= report.max_latency);
+        assert!(report.max_latency > SimTime::ZERO);
+        // Release builds comfortably sustain classic-CAN line rate; debug
+        // builds are not a performance statement, so only gate there.
+        if !cfg!(debug_assertions) {
+            assert!(
+                report.keeps_up(),
+                "sustained {:.0} fps vs offered {:.0} fps, dropped {}",
+                report.sustained_fps,
+                report.offered_fps,
+                report.dropped
+            );
+        }
+    }
+
+    #[test]
+    fn sweep_runs_scenarios_in_parallel_and_in_order() {
+        let model = untrained_model();
+        let scenarios = vec![
+            LineRateScenario::classic_1m("normal-1m", None, SimTime::from_millis(120)),
+            LineRateScenario::fd_class(
+                "dos-fd",
+                Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+                SimTime::from_millis(120),
+            ),
+        ];
+        let reports = line_rate_sweep(&model, &scenarios);
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].scenario, "normal-1m");
+        assert_eq!(reports[1].scenario, "dos-fd");
+        assert_eq!(reports[0].bitrate_bps, 1_000_000);
+        assert_eq!(reports[1].bitrate_bps, 5_000_000);
+        for r in &reports {
+            assert!(r.offered > 0);
+            assert_eq!(r.serviced + r.dropped as usize, r.offered);
+        }
+        // FD-class pacing offers a strictly higher frame rate.
+        assert!(reports[1].offered_fps > reports[0].offered_fps);
+    }
+
+    #[test]
+    fn custom_encoder_dimension_respected() {
+        use canids_can::frame::CanFrame;
+        #[derive(Clone, Copy)]
+        struct TinyEncoder;
+        impl FrameEncoder for TinyEncoder {
+            fn dim(&self) -> usize {
+                4
+            }
+            fn encode(&self, frame: &CanFrame) -> Vec<f32> {
+                let id = frame.id().base_id();
+                (0..4).map(|i| f32::from((id >> i) & 1)).collect()
+            }
+        }
+        let model = QuantMlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![4],
+            ..MlpConfig::default()
+        })
+        .unwrap()
+        .export()
+        .unwrap();
+        let capture = quick_capture(false, 7);
+        let mut eval = StreamingEvaluator::with_encoder(model, TinyEncoder);
+        for rec in capture.iter().take(20) {
+            eval.push(rec);
+        }
+        assert_eq!(eval.frames(), 20);
+    }
+}

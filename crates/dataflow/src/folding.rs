@@ -26,9 +26,16 @@ impl LayerFolding {
     /// Fully sequential: one MAC per cycle.
     pub const SEQUENTIAL: LayerFolding = LayerFolding { pe: 1, simd: 1 };
 
-    /// Cycles per frame for a `mh × mw` layer at this folding.
+    /// Cycles per frame for a `mh × mw` layer at this folding, clamped to
+    /// at least one cycle.
+    ///
+    /// The clamp lives *here* — the single source every consumer (the
+    /// cycle-accurate simulator, FIFO sizing, the analytic latency and
+    /// initiation-interval identities) derives folds from — so a
+    /// degenerate zero-cycle stage cannot make the simulator and the
+    /// analytic accessors diverge.
     pub fn fold_cycles(&self, mh: usize, mw: usize) -> u64 {
-        ((mh / self.pe.max(1)) * (mw / self.simd.max(1))) as u64
+        (((mh / self.pe.max(1)) * (mw / self.simd.max(1))) as u64).max(1)
     }
 }
 
@@ -81,13 +88,14 @@ impl FoldingConfig {
         Ok(())
     }
 
-    /// Per-stage fold (cycles per frame).
+    /// Per-stage fold (cycles per frame), each `≥ 1` by construction
+    /// (see [`LayerFolding::fold_cycles`]).
     pub fn fold_cycles(&self, graph: &DataflowGraph) -> Vec<u64> {
         graph
             .stage_dims()
             .iter()
             .zip(&self.layers)
-            .map(|(&(mw, mh), f)| f.fold_cycles(mh, mw).max(1))
+            .map(|(&(mw, mh), f)| f.fold_cycles(mh, mw))
             .collect()
     }
 

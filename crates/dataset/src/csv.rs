@@ -26,6 +26,10 @@ pub enum CsvError {
     MissingField { line: usize },
     /// A numeric field failed to parse.
     BadNumber { line: usize, field: &'static str },
+    /// The identifier exceeds the 29-bit extended range.
+    IdRange { line: usize, id: u32 },
+    /// The DLC exceeds the classic-CAN maximum of 8.
+    DlcRange { line: usize, dlc: usize },
     /// The flag column was neither `R` nor `T`.
     BadFlag { line: usize },
 }
@@ -36,6 +40,12 @@ impl std::fmt::Display for CsvError {
             CsvError::MissingField { line } => write!(f, "line {line}: missing field"),
             CsvError::BadNumber { line, field } => {
                 write!(f, "line {line}: invalid number in field {field}")
+            }
+            CsvError::IdRange { line, id } => {
+                write!(f, "line {line}: identifier {id:#X} exceeds 29 bits")
+            }
+            CsvError::DlcRange { line, dlc } => {
+                write!(f, "line {line}: dlc {dlc} exceeds classic-CAN maximum 8")
             }
             CsvError::BadFlag { line } => write!(f, "line {line}: flag must be R or T"),
         }
@@ -72,13 +82,18 @@ impl std::error::Error for CsvError {}
 pub fn to_csv(dataset: &Dataset) -> String {
     let mut out = String::with_capacity(dataset.len() * 48);
     for r in dataset.iter() {
-        let _ = write!(
-            out,
-            "{:.6},{:04X},{}",
-            r.timestamp.as_secs_f64(),
-            r.frame.id().raw(),
-            r.frame.dlc().value()
-        );
+        // Standard identifiers keep the published 4-digit form; extended
+        // identifiers are written as 8 hex digits so the IDE flag and the
+        // low 18 bits survive the round trip (the published files carry
+        // only 11-bit IDs, so this is a strict extension of the format).
+        let id = r.frame.id();
+        let _ = write!(out, "{:.6},", r.timestamp.as_secs_f64());
+        if id.is_extended() {
+            let _ = write!(out, "{:08X}", id.raw());
+        } else {
+            let _ = write!(out, "{:04X}", id.raw());
+        }
+        let _ = write!(out, ",{}", r.frame.dlc().value());
         for b in r.frame.data() {
             let _ = write!(out, ",{b:02X}");
         }
@@ -108,35 +123,46 @@ pub fn from_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvError> {
             line: i + 1,
             field: "timestamp",
         })?;
-        let id = u16::from_str_radix(fields[1], 16).map_err(|_| CsvError::BadNumber {
+        let raw_id = u32::from_str_radix(fields[1], 16).map_err(|_| CsvError::BadNumber {
             line: i + 1,
             field: "id",
         })?;
+        // The writer's exact 8-digit form (or a value beyond 11 bits)
+        // marks an extended identifier. Other widths with an in-range
+        // value stay standard, so zero-padded standard IDs from external
+        // tooling (e.g. `00316`) keep their frame identity.
+        let id = if fields[1].len() == 8 || raw_id > canids_can::frame::MAX_STANDARD_ID {
+            CanId::extended(raw_id).map_err(|_| CsvError::IdRange {
+                line: i + 1,
+                id: raw_id,
+            })?
+        } else {
+            CanId::standard(raw_id as u16).expect("raw_id <= 0x7FF in this branch")
+        };
         let dlc: usize = fields[2].parse().map_err(|_| CsvError::BadNumber {
             line: i + 1,
             field: "dlc",
         })?;
+        if dlc > 8 {
+            return Err(CsvError::DlcRange { line: i + 1, dlc });
+        }
         if fields.len() < 3 + dlc + 1 {
             return Err(CsvError::MissingField { line: i + 1 });
         }
         let mut payload = [0u8; 8];
-        for (j, byte) in payload.iter_mut().enumerate().take(dlc.min(8)) {
+        for (j, byte) in payload.iter_mut().enumerate().take(dlc) {
             *byte = u8::from_str_radix(fields[3 + j], 16).map_err(|_| CsvError::BadNumber {
                 line: i + 1,
                 field: "payload",
             })?;
         }
-        let flag = fields[3 + dlc.min(8)];
+        let flag = fields[3 + dlc];
         let label = match flag {
             "R" => Label::Normal,
             "T" => attack_label,
             _ => return Err(CsvError::BadFlag { line: i + 1 }),
         };
-        let frame = CanFrame::new(
-            CanId::standard(id & 0x7FF).expect("masked to 11 bits"),
-            &payload[..dlc.min(8)],
-        )
-        .expect("dlc <= 8");
+        let frame = CanFrame::new(id, &payload[..dlc]).expect("dlc <= 8");
         records.push(LabeledFrame::new(SimTime::from_secs_f64(ts), frame, label));
     }
     Ok(Dataset::from_records(records))
@@ -209,6 +235,62 @@ mod tests {
             from_csv("1.0,0316,0,X", Label::Dos).unwrap_err(),
             CsvError::BadFlag { line: 1 }
         );
+    }
+
+    #[test]
+    fn extended_ids_round_trip_losslessly() {
+        use crate::record::LabeledFrame;
+
+        // A low 18-bit tail and a base-ID collision with a standard frame:
+        // both distinctions must survive the round trip.
+        let ext = CanFrame::new(CanId::extended(0x0C5_4321).unwrap(), &[0xAB, 0xCD]).unwrap();
+        let ext_small = CanFrame::new(CanId::extended(0x316).unwrap(), &[]).unwrap();
+        let std_frame = CanFrame::new(CanId::standard(0x316).unwrap(), &[1]).unwrap();
+        let ds = Dataset::from_records(vec![
+            LabeledFrame::new(SimTime::from_micros(100), ext, Label::Normal),
+            LabeledFrame::new(SimTime::from_micros(200), ext_small, Label::Dos),
+            LabeledFrame::new(SimTime::from_micros(300), std_frame, Label::Normal),
+        ]);
+        let text = to_csv(&ds);
+        let back = from_csv(&text, Label::Dos).unwrap();
+        assert_eq!(back.len(), 3);
+        for (a, b) in ds.iter().zip(back.iter()) {
+            assert_eq!(a.frame, b.frame, "IDE flag and all 29 bits preserved");
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.timestamp, b.timestamp);
+        }
+        // An extended ID that fits 11 bits still parses as extended.
+        assert!(back.records()[1].frame.id().is_extended());
+        assert!(back.records()[2].frame.id().is_standard());
+    }
+
+    #[test]
+    fn out_of_range_id_and_dlc_rejected() {
+        assert_eq!(
+            from_csv("1.0,FFFFFFFF,0,R", Label::Dos).unwrap_err(),
+            CsvError::IdRange {
+                line: 1,
+                id: 0xFFFF_FFFF
+            }
+        );
+        assert_eq!(
+            from_csv("1.0,0316,9,00,00,00,00,00,00,00,00,00,R", Label::Dos).unwrap_err(),
+            CsvError::DlcRange { line: 1, dlc: 9 }
+        );
+        // A 4-digit field beyond 0x7FF is an extended identifier, not a
+        // silently masked standard one.
+        let ds = from_csv("1.0,0FFF,0,R", Label::Dos).unwrap();
+        assert_eq!(ds.records()[0].frame.id(), CanId::extended(0xFFF).unwrap());
+    }
+
+    #[test]
+    fn zero_padded_standard_ids_stay_standard() {
+        // External tooling sometimes zero-pads standard IDs beyond four
+        // digits; only the writer's exact 8-digit form means extended.
+        let ds = from_csv("1.0,00316,1,AA,R", Label::Dos).unwrap();
+        assert_eq!(ds.records()[0].frame.id(), CanId::standard(0x316).unwrap());
+        let ds8 = from_csv("1.0,00000316,1,AA,R", Label::Dos).unwrap();
+        assert_eq!(ds8.records()[0].frame.id(), CanId::extended(0x316).unwrap());
     }
 
     #[test]

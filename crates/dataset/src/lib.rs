@@ -20,7 +20,9 @@
 //! * [`record`]/[`csv`] — labelled records and the Car-Hacking CSV format,
 //! * [`features`] — per-frame feature encodings for the classifiers,
 //! * [`split`] — seeded stratified train/test splitting,
-//! * [`stats`] — class balance and traffic statistics.
+//! * [`stats`] — class balance and traffic statistics,
+//! * [`stream`] — frame-at-a-time record streams, including saturated
+//!   line-rate re-pacing for streaming evaluation.
 //!
 //! # Example
 //!
@@ -47,6 +49,7 @@ pub mod generator;
 pub mod record;
 pub mod split;
 pub mod stats;
+pub mod stream;
 pub mod vehicle;
 pub mod windows;
 
@@ -56,6 +59,7 @@ pub use generator::{Dataset, DatasetBuilder, TrafficConfig};
 pub use record::{Label, LabeledFrame};
 pub use split::{train_test_split, SplitConfig};
 pub use stats::DatasetStats;
+pub use stream::{paced_records, PacedRecords};
 pub use vehicle::{MessageSpec, VehicleModel};
 pub use windows::{blocks, FrameBlock};
 
@@ -67,5 +71,6 @@ pub mod prelude {
     pub use crate::record::{Label, LabeledFrame};
     pub use crate::split::{train_test_split, SplitConfig};
     pub use crate::stats::DatasetStats;
+    pub use crate::stream::{paced_records, PacedRecords};
     pub use crate::vehicle::VehicleModel;
 }

@@ -21,6 +21,11 @@ impl FrameBlock {
     /// The DCNN input: a `width × width` grid where row `i` is frame
     /// `i`'s identifier expanded to `width` bits (zero-padded).
     ///
+    /// Standard frames contribute their 11 identifier bits, extended
+    /// frames their full 29 bits (MSB first in both cases) — a 29-wide
+    /// grid therefore sees the whole extended identifier rather than a
+    /// silently truncated base ID.
+    ///
     /// # Panics
     ///
     /// Panics when the block length differs from `width`.
@@ -28,9 +33,11 @@ impl FrameBlock {
         assert_eq!(self.frames.len(), width, "block length must equal width");
         let mut grid = vec![0.0f32; width * width];
         for (row, rec) in self.frames.iter().enumerate() {
-            let id = rec.frame.id().base_id();
-            for col in 0..width.min(11) {
-                grid[row * width + col] = f32::from((id >> (10 - col)) & 1);
+            let id = rec.frame.id();
+            let bits = if id.is_extended() { 29 } else { 11 };
+            let raw = id.raw();
+            for col in 0..width.min(bits) {
+                grid[row * width + col] = ((raw >> (bits - 1 - col)) & 1) as f32;
             }
         }
         grid
@@ -110,6 +117,47 @@ mod tests {
         let rows = b.feature_rows();
         assert_eq!(rows.len(), 64);
         assert!(rows.iter().all(|r| r.len() == 10));
+    }
+
+    #[test]
+    fn id_grid_encodes_full_extended_identifier() {
+        use crate::record::{Label, LabeledFrame};
+        use canids_can::frame::{CanFrame, CanId};
+
+        // One extended frame whose low 18 bits are non-zero: truncating
+        // to the 11-bit base ID would lose them.
+        let ext_id = 0x1ABC_DEF5u32; // 29-bit, mixed bit pattern
+        let width = 29;
+        let frames: Vec<LabeledFrame> = (0..width)
+            .map(|i| {
+                let id = if i == 0 {
+                    CanId::extended(ext_id).unwrap()
+                } else {
+                    CanId::standard(0x316).unwrap()
+                };
+                LabeledFrame::new(
+                    SimTime::from_micros(i as u64 * 100),
+                    CanFrame::new(id, &[0; 8]).unwrap(),
+                    Label::Normal,
+                )
+            })
+            .collect();
+        let block = FrameBlock {
+            frames,
+            contains_attack: false,
+        };
+        let grid = block.id_grid(width);
+        // Row 0: all 29 bits of the extended identifier, MSB first.
+        for (col, &got) in grid.iter().take(29).enumerate() {
+            let want = ((ext_id >> (28 - col)) & 1) as f32;
+            assert_eq!(got, want, "extended bit {col}");
+        }
+        // Row 1: a standard frame still uses its 11 bits, zero-padded.
+        for col in 0..11 {
+            let want = ((0x316u32 >> (10 - col)) & 1) as f32;
+            assert_eq!(grid[width + col], want, "standard bit {col}");
+        }
+        assert!(grid[width + 11..2 * width].iter().all(|&v| v == 0.0));
     }
 
     #[test]

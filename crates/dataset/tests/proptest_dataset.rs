@@ -1,6 +1,7 @@
 //! Property-based tests of capture generation, splitting and the CSV
 //! codec.
 
+use canids_can::frame::{CanFrame, CanId};
 use canids_can::time::SimTime;
 use canids_dataset::csv::{from_csv, to_csv};
 use canids_dataset::prelude::*;
@@ -18,6 +19,34 @@ fn arb_attack() -> impl Strategy<Value = Option<AttackProfile>> {
         Just(Some(
             AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous)
         )),
+    ]
+}
+
+fn arb_can_id() -> impl Strategy<Value = CanId> {
+    prop_oneof![
+        (0u32..=0x7FF).prop_map(|id| CanId::standard(id as u16).unwrap()),
+        (0u32..=0x1FFF_FFFF).prop_map(|id| CanId::extended(id).unwrap()),
+    ]
+}
+
+/// A fully random record: microsecond-grained timestamp (the CSV format
+/// carries 6 fractional digits), any standard or extended identifier,
+/// any DLC 0..=8 and payload.
+fn arb_record() -> impl Strategy<Value = (u64, CanId, Vec<u8>, bool)> {
+    (
+        0u64..10_000_000, // whole microseconds, < 10 s
+        arb_can_id(),
+        proptest::collection::vec(0u8..=255, 0..=8),
+        prop_oneof![Just(false), Just(true)],
+    )
+}
+
+fn arb_attack_label() -> impl Strategy<Value = Label> {
+    prop_oneof![
+        Just(Label::Dos),
+        Just(Label::Fuzzy),
+        Just(Label::GearSpoof),
+        Just(Label::RpmSpoof),
     ]
 }
 
@@ -78,6 +107,54 @@ proptest! {
         for (a, b) in ds.iter().zip(back.iter()) {
             prop_assert_eq!(a.frame, b.frame);
             prop_assert_eq!(a.label.is_attack(), b.label.is_attack());
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_random_records_exactly(
+        raw_records in proptest::collection::vec(arb_record(), 0..=80),
+        attack_label in arb_attack_label(),
+    ) {
+        // Arbitrary captures — extended identifiers included — must
+        // round-trip to *equal records*: timestamp, frame (IDE flag and
+        // all ID bits, DLC, payload) and label.
+        let records: Vec<LabeledFrame> = raw_records
+            .iter()
+            .map(|(us, id, payload, is_attack)| {
+                LabeledFrame::new(
+                    SimTime::from_micros(*us),
+                    CanFrame::new(*id, payload).unwrap(),
+                    if *is_attack { attack_label } else { Label::Normal },
+                )
+            })
+            .collect();
+        let ds = Dataset::from_records(records);
+        let back = from_csv(&to_csv(&ds), attack_label).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for (a, b) in ds.iter().zip(back.iter()) {
+            prop_assert_eq!(a, b, "records must round-trip exactly");
+        }
+    }
+
+    #[test]
+    fn paced_stream_preserves_records_at_any_bitrate(
+        seed in 0u64..1_000,
+        bitrate_kbps in 125u32..=5_000,
+    ) {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(100),
+            seed,
+            ..TrafficConfig::default()
+        }).build();
+        let bitrate = canids_can::timing::Bitrate::new(bitrate_kbps * 1_000);
+        let paced: Vec<LabeledFrame> = paced_records(&ds, bitrate).collect();
+        prop_assert_eq!(paced.len(), ds.len());
+        let mut last = SimTime::ZERO;
+        for (orig, p) in ds.iter().zip(&paced) {
+            prop_assert_eq!(orig.frame, p.frame);
+            prop_assert_eq!(orig.label, p.label);
+            prop_assert!(p.timestamp > last, "pacing strictly advances");
+            last = p.timestamp;
         }
     }
 

@@ -218,6 +218,19 @@ impl QuantMlp {
             .collect()
     }
 
+    /// Eval-mode class prediction for a single frame's features — the
+    /// float-path counterpart of frame-at-a-time (streaming) serving.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` differs from the configured input dimension.
+    pub fn predict_one(&mut self, x: &[f32]) -> usize {
+        assert_eq!(x.len(), self.config.input_dim, "input dimension mismatch");
+        let mut m = Matrix::zeros(1, x.len());
+        m.row_mut(0).copy_from_slice(x);
+        self.predict_batch(&m)[0]
+    }
+
     /// Total number of scalar parameters.
     pub fn param_count(&self) -> usize {
         let mut n = self.output.param_count();
@@ -346,6 +359,24 @@ mod tests {
         let preds = mlp.predict_batch(&x);
         assert_eq!(preds.len(), 7);
         assert!(preds.iter().all(|&p| p < 2));
+    }
+
+    #[test]
+    fn predict_one_matches_predict_batch() {
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim: 4,
+            hidden: vec![6],
+            classes: 3,
+            seed: 9,
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let rows: [&[f32]; 3] = [&[0.0, 1.0, 0.0, 1.0], &[1.0; 4], &[0.25, 0.5, 0.75, 1.0]];
+        let batch = Matrix::from_rows(&rows);
+        let batched = mlp.predict_batch(&batch);
+        for (row, &want) in rows.iter().zip(&batched) {
+            assert_eq!(mlp.predict_one(row), want);
+        }
     }
 
     #[test]

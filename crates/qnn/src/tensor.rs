@@ -145,30 +145,97 @@ impl fmt::Display for Matrix {
 /// Shapes: `x` is `batch × in`, `w` is `out × in`, `b` has `out` entries;
 /// the result is `batch × out`.
 ///
+/// The kernel blocks eight output neurons against each cached input row,
+/// giving eight independent accumulation chains per inner loop (the
+/// scalar version is latency-bound on a single chain). Each neuron's
+/// accumulator still sums over `k` in order, so results are bit-identical
+/// to the straightforward scalar kernel.
+///
 /// # Panics
 ///
 /// Panics on shape mismatch.
 pub fn linear_forward(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
+    let mut y = Matrix::zeros(x.rows, w.rows);
+    linear_forward_into(x, w, b, &mut y);
+    y
+}
+
+/// [`linear_forward`] into a caller-provided output matrix — the
+/// allocation-free variant for hot paths that reuse buffers across calls
+/// (per-frame streaming evaluation, minibatch loops).
+///
+/// # Panics
+///
+/// Panics on shape mismatch, including a mis-sized `y`.
+pub fn linear_forward_into(x: &Matrix, w: &Matrix, b: &[f32], y: &mut Matrix) {
     assert_eq!(x.cols, w.cols, "x cols must equal w cols (input dim)");
     assert_eq!(
         b.len(),
         w.rows,
         "bias length must equal w rows (output dim)"
     );
-    let mut y = Matrix::zeros(x.rows, w.rows);
+    assert_eq!(y.rows, x.rows, "y rows must equal x rows (batch)");
+    assert_eq!(y.cols, w.rows, "y cols must equal w rows (output dim)");
+    let out_dim = w.rows;
     for r in 0..x.rows {
         let xr = x.row(r);
         let yr = y.row_mut(r);
-        for (o, yo) in yr.iter_mut().enumerate() {
-            let wr = w.row(o);
-            let mut acc = 0.0f32;
-            for k in 0..xr.len() {
-                acc += xr[k] * wr[k];
+        let mut o = 0usize;
+        while o + 8 <= out_dim {
+            let s = dot8(xr, &w.data[o * w.cols..(o + 8) * w.cols], w.cols);
+            for (j, &sj) in s.iter().enumerate() {
+                yr[o + j] = sj + b[o + j];
             }
-            *yo = acc + b[o];
+            o += 8;
+        }
+        while o < out_dim {
+            yr[o] = dot(xr, w.row(o)) + b[o];
+            o += 1;
         }
     }
-    y
+}
+
+/// Eight simultaneous dot products sharing one pass over `x`; `ws` holds
+/// eight contiguous weight rows of length `n`.
+#[inline]
+fn dot8(x: &[f32], ws: &[f32], n: usize) -> [f32; 8] {
+    let x = &x[..n];
+    // Re-slicing each row to a common length lets the compiler drop
+    // bounds checks in the hot loop.
+    let (w0, w1, w2, w3, w4, w5, w6, w7) = (
+        &ws[..n],
+        &ws[n..2 * n],
+        &ws[2 * n..3 * n],
+        &ws[3 * n..4 * n],
+        &ws[4 * n..5 * n],
+        &ws[5 * n..6 * n],
+        &ws[6 * n..7 * n],
+        &ws[7 * n..8 * n],
+    );
+    let mut s = [0.0f32; 8];
+    for k in 0..n {
+        let xv = x[k];
+        s[0] += xv * w0[k];
+        s[1] += xv * w1[k];
+        s[2] += xv * w2[k];
+        s[3] += xv * w3[k];
+        s[4] += xv * w4[k];
+        s[5] += xv * w5[k];
+        s[6] += xv * w6[k];
+        s[7] += xv * w7[k];
+    }
+    s
+}
+
+/// Sequential dot product (remainder path; keeps summation order).
+#[inline]
+fn dot(x: &[f32], w: &[f32]) -> f32 {
+    let w = &w[..x.len()];
+    let mut acc = 0.0f32;
+    for k in 0..x.len() {
+        acc += x[k] * w[k];
+    }
+    acc
 }
 
 /// `dx = dy · W` — gradient with respect to the layer input.
@@ -336,6 +403,54 @@ mod tests {
         for k in 0..4 {
             assert!((dx[(0, k)] - 2.0 * w[(1, k)]).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn forward_is_bit_identical_to_scalar_reference() {
+        // The blocked kernel keeps each neuron's k-summation sequential,
+        // so it must agree with the naive kernel to the last bit —
+        // training trajectories cannot drift across the optimisation.
+        // Same association as the kernel: sum over k first, bias last.
+        fn scalar_forward(x: &Matrix, w: &Matrix, b: &[f32]) -> Matrix {
+            let mut y = Matrix::zeros(x.rows(), w.rows());
+            for r in 0..x.rows() {
+                for o in 0..w.rows() {
+                    let mut acc = 0.0f32;
+                    for k in 0..x.cols() {
+                        acc += x[(r, k)] * w[(o, k)];
+                    }
+                    y[(r, o)] = acc + b[o];
+                }
+            }
+            y
+        }
+        for (rows, out) in [(1usize, 1usize), (3, 5), (7, 4), (64, 64), (5, 66)] {
+            let x = pseudo_matrix(rows, 75, 11);
+            let w = pseudo_matrix(out, 75, 13);
+            let b: Vec<f32> = (0..out).map(|i| i as f32 * 0.01 - 0.2).collect();
+            let got = linear_forward(&x, &w, &b);
+            let want = scalar_forward(&x, &w, &b);
+            assert_eq!(got.as_slice(), want.as_slice(), "{rows}x{out}");
+        }
+    }
+
+    #[test]
+    fn forward_into_reuses_buffer() {
+        let x = pseudo_matrix(4, 9, 14);
+        let w = pseudo_matrix(6, 9, 15);
+        let b = vec![0.5; 6];
+        let mut y = pseudo_matrix(4, 6, 16); // stale contents must be overwritten
+        linear_forward_into(&x, &w, &b, &mut y);
+        assert_eq!(y, linear_forward(&x, &w, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "y cols must equal w rows")]
+    fn forward_into_validates_output_shape() {
+        let x = Matrix::zeros(2, 3);
+        let w = Matrix::zeros(4, 3);
+        let mut y = Matrix::zeros(2, 5);
+        linear_forward_into(&x, &w, &[0.0; 4], &mut y);
     }
 
     #[test]

@@ -159,6 +159,31 @@ impl IdsEcu {
         &self.models
     }
 
+    /// Opens a frame-at-a-time serving session — the streaming
+    /// counterpart of [`IdsEcu::process_capture`].
+    ///
+    /// Frames are handed to [`EcuStream::push`] as they arrive (in
+    /// non-decreasing time order); [`EcuStream::finish`] closes the
+    /// session and returns the same [`EcuReport`] the batch path
+    /// produces. `process_capture` is itself implemented on top of this
+    /// session, so the two serving modes are equivalent by construction.
+    pub fn stream(&mut self) -> EcuStream<'_> {
+        let rx_cost = self.board.cpu().rx_path();
+        let k = self.models.len().max(1);
+        let multi_factor = 1.0 + self.config.overhead() * (k as f64 - 1.0);
+        let queue = ServiceQueue::new(self.config.queue_depth);
+        EcuStream {
+            ecu: self,
+            rx_cost,
+            multi_factor,
+            detections: Vec::new(),
+            queue,
+            dropped: 0,
+            busy: SimTime::ZERO,
+            first_arrival: None,
+        }
+    }
+
     /// Processes a time-stamped capture through the IDS service loop.
     ///
     /// Frames arrive at their timestamps; the single service loop
@@ -174,63 +199,198 @@ impl IdsEcu {
         frames: &[(SimTime, CanFrame)],
         featurizer: &F,
     ) -> Result<EcuReport, SocError> {
-        let rx_cost = self.board.cpu().rx_path();
-        let k = self.models.len().max(1);
-        let multi_factor = 1.0 + self.config.overhead() * (k as f64 - 1.0);
-
-        let mut detections = Vec::with_capacity(frames.len());
-        let mut completions: std::collections::VecDeque<SimTime> =
-            std::collections::VecDeque::new();
-        let mut dropped = 0u64;
-        let mut busy = SimTime::ZERO;
-        let mut server_free_at = SimTime::ZERO;
-
+        let mut session = self.stream();
+        session.detections.reserve(frames.len());
         for &(arrival, frame) in frames {
-            // Software-FIFO occupancy at this arrival.
-            while let Some(&front) = completions.front() {
-                if front <= arrival {
-                    completions.pop_front();
-                } else {
-                    break;
-                }
-            }
-            if completions.len() >= self.config.queue_depth {
-                dropped += 1;
-                continue;
-            }
+            session.push(arrival, frame, featurizer)?;
+        }
+        Ok(session.finish())
+    }
+}
 
-            let ready = arrival + rx_cost;
-            let start = ready.max(server_free_at);
-            self.board.set_now(start);
+/// An open frame-at-a-time serving session on an [`IdsEcu`].
+///
+/// Created by [`IdsEcu::stream`]; consumed by [`EcuStream::finish`].
+///
+/// # Example
+///
+/// ```
+/// use canids_soc::prelude::*;
+/// use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
+/// use canids_qnn::prelude::*;
+/// use canids_can::frame::{CanFrame, CanId};
+/// use canids_can::time::SimTime;
+///
+/// let mlp = QuantMlp::new(MlpConfig::default())?;
+/// let ip = AcceleratorIp::compile(&mlp.export()?, CompileConfig::default())?;
+/// let mut board = Zcu104Board::new(BoardConfig::default());
+/// let idx = board.attach_accelerator(ip)?;
+/// let mut ecu = IdsEcu::new(board, vec![idx], EcuConfig::default());
+///
+/// let featurize = |_f: &CanFrame| vec![0.0f32; 75];
+/// let mut session = ecu.stream();
+/// for i in 0..10u64 {
+///     let frame = CanFrame::new(CanId::standard(0x316)?, &[i as u8])?;
+///     session.push(SimTime::from_micros(i * 200), frame, &featurize)?;
+/// }
+/// let report = session.finish();
+/// assert_eq!(report.detections.len(), 10);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct EcuStream<'a> {
+    ecu: &'a mut IdsEcu,
+    rx_cost: SimTime,
+    multi_factor: f64,
+    detections: Vec<Detection>,
+    queue: ServiceQueue,
+    dropped: u64,
+    busy: SimTime,
+    first_arrival: Option<SimTime>,
+}
 
-            // Consult every attached model. With up to four A53 cores the
-            // drivers run concurrently; the verdict waits for the slowest
-            // plus an AXI-arbitration penalty.
-            let features = featurizer.featurize(&frame);
-            let mut flagged = false;
-            let mut slowest = SimTime::ZERO;
-            for &idx in &self.models {
-                self.board.set_now(start);
-                let rec = self.board.infer(idx, &features)?;
-                flagged |= rec.class != 0;
-                slowest = slowest.max(rec.latency());
+impl std::fmt::Debug for EcuStream<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EcuStream")
+            .field("serviced", &self.detections.len())
+            .field("dropped", &self.dropped)
+            .field("queue", &self.queue)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The single-server software-FIFO model shared by the ECU service loop
+/// and the streaming line-rate harness
+/// (`canids_core::stream::replay_line_rate`): a bounded queue of pending
+/// verdict completions plus the server-busy clock. Keeping this state
+/// machine in one place means both paths drop and queue frames under
+/// *exactly* the same policy.
+#[derive(Debug, Clone)]
+pub struct ServiceQueue {
+    depth: usize,
+    completions: std::collections::VecDeque<SimTime>,
+    server_free_at: SimTime,
+}
+
+impl ServiceQueue {
+    /// A queue admitting at most `depth` pending verdicts.
+    pub fn new(depth: usize) -> Self {
+        ServiceQueue {
+            depth,
+            completions: std::collections::VecDeque::new(),
+            server_free_at: SimTime::ZERO,
+        }
+    }
+
+    /// Retires verdicts completed at or before `arrival`, then reports
+    /// whether a frame arriving now fits the FIFO (`false` = drop it).
+    pub fn admit(&mut self, arrival: SimTime) -> bool {
+        while let Some(&front) = self.completions.front() {
+            if front <= arrival {
+                self.completions.pop_front();
+            } else {
+                break;
             }
-            let service = SimTime::from_secs_f64(slowest.as_secs_f64() * multi_factor);
-            let completed_at = start + service;
-            server_free_at = completed_at;
-            busy += service + rx_cost;
-            completions.push_back(completed_at);
+        }
+        self.completions.len() < self.depth
+    }
 
-            detections.push(Detection {
-                arrival,
-                frame,
-                flagged,
-                completed_at,
-            });
+    /// The instant the server can begin a frame that is ready at `ready`
+    /// (its ready time, or when the previous frame finishes).
+    pub fn start_time(&self, ready: SimTime) -> SimTime {
+        ready.max(self.server_free_at)
+    }
+
+    /// Books `service` time from `start` (obtained via [`start_time`])
+    /// for an admitted frame; returns its completion time.
+    ///
+    /// [`start_time`]: ServiceQueue::start_time
+    pub fn serve(&mut self, start: SimTime, service: SimTime) -> SimTime {
+        let completed_at = start + service;
+        self.server_free_at = completed_at;
+        self.completions.push_back(completed_at);
+        completed_at
+    }
+
+    /// Verdicts still pending completion.
+    pub fn backlog(&self) -> usize {
+        self.completions.len()
+    }
+}
+
+impl EcuStream<'_> {
+    /// Offers one frame to the service loop.
+    ///
+    /// Returns the verdict, or `None` when the software FIFO was full at
+    /// the arrival instant and the frame was dropped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates driver/bus errors.
+    pub fn push<F: FrameFeaturizer>(
+        &mut self,
+        arrival: SimTime,
+        frame: CanFrame,
+        featurizer: &F,
+    ) -> Result<Option<Detection>, SocError> {
+        self.first_arrival.get_or_insert(arrival);
+
+        if !self.queue.admit(arrival) {
+            self.dropped += 1;
+            return Ok(None);
         }
 
-        let span = match (frames.first(), detections.last()) {
-            (Some(&(first, _)), Some(last)) => last.completed_at.saturating_sub(first),
+        let ready = arrival + self.rx_cost;
+        let start = self.queue.start_time(ready);
+        self.ecu.board.set_now(start);
+
+        // Consult every attached model. With up to four A53 cores the
+        // drivers run concurrently; the verdict waits for the slowest
+        // plus an AXI-arbitration penalty.
+        let features = featurizer.featurize(&frame);
+        let mut flagged = false;
+        let mut slowest = SimTime::ZERO;
+        for &idx in &self.ecu.models {
+            self.ecu.board.set_now(start);
+            let rec = self.ecu.board.infer(idx, &features)?;
+            flagged |= rec.class != 0;
+            slowest = slowest.max(rec.latency());
+        }
+        let service = SimTime::from_secs_f64(slowest.as_secs_f64() * self.multi_factor);
+        let completed_at = self.queue.serve(start, service);
+        self.busy += service + self.rx_cost;
+
+        let detection = Detection {
+            arrival,
+            frame,
+            flagged,
+            completed_at,
+        };
+        self.detections.push(detection);
+        Ok(Some(detection))
+    }
+
+    /// Frames serviced so far.
+    pub fn serviced(&self) -> usize {
+        self.detections.len()
+    }
+
+    /// Frames dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Closes the session and aggregates the report.
+    pub fn finish(self) -> EcuReport {
+        let EcuStream {
+            ecu,
+            detections,
+            dropped,
+            busy,
+            first_arrival,
+            ..
+        } = self;
+        let span = match (first_arrival, detections.last()) {
+            (Some(first), Some(last)) => last.completed_at.saturating_sub(first),
             _ => SimTime::ZERO,
         };
         let mean_latency = if detections.is_empty() {
@@ -259,10 +419,10 @@ impl IdsEcu {
         } else {
             0.0
         };
-        let mean_power_w = self.board.power_model().total_w(busy_fraction);
+        let mean_power_w = ecu.board.power_model().total_w(busy_fraction);
         let energy_per_message_j = mean_power_w * mean_latency.as_secs_f64();
 
-        Ok(EcuReport {
+        EcuReport {
             detections,
             dropped,
             mean_latency,
@@ -271,7 +431,7 @@ impl IdsEcu {
             busy_fraction,
             mean_power_w,
             energy_per_message_j,
-        })
+        }
     }
 }
 
@@ -393,6 +553,82 @@ mod tests {
         let report = ecu.process_capture(&[], &zero_feat).unwrap();
         assert!(report.detections.is_empty());
         assert_eq!(report.mean_latency, SimTime::ZERO);
+    }
+
+    #[test]
+    fn service_queue_drops_when_full_and_drains_on_time() {
+        let mut q = ServiceQueue::new(2);
+        assert!(q.admit(SimTime::ZERO));
+        q.serve(q.start_time(SimTime::ZERO), SimTime::from_micros(100));
+        assert!(q.admit(SimTime::ZERO));
+        q.serve(q.start_time(SimTime::ZERO), SimTime::from_micros(100));
+        // Two verdicts pending (complete at 100 us and 200 us): full.
+        assert_eq!(q.backlog(), 2);
+        assert!(!q.admit(SimTime::from_micros(50)), "FIFO full -> drop");
+        // By 150 us the first verdict has retired.
+        assert!(q.admit(SimTime::from_micros(150)));
+        assert_eq!(q.backlog(), 1);
+        // The server is busy until 200 us, so the next start waits.
+        assert_eq!(
+            q.start_time(SimTime::from_micros(150)),
+            SimTime::from_micros(200)
+        );
+    }
+
+    #[test]
+    fn streaming_session_matches_batch_capture() {
+        // The two serving modes must agree frame for frame: batch replay
+        // on one ECU, incremental pushes on an identically built one.
+        let (board, idxs) = board_with(1);
+        let mut batch_ecu = IdsEcu::new(board, idxs, EcuConfig::default());
+        let f = frames(60, 150);
+        let batch = batch_ecu.process_capture(&f, &zero_feat).unwrap();
+
+        let (board2, idxs2) = board_with(1);
+        let mut stream_ecu = IdsEcu::new(board2, idxs2, EcuConfig::default());
+        let mut session = stream_ecu.stream();
+        for (i, &(t, frame)) in f.iter().enumerate() {
+            let det = session.push(t, frame, &zero_feat).unwrap();
+            assert!(det.is_some(), "no backlog at this pace");
+            assert_eq!(session.serviced(), i + 1);
+        }
+        assert_eq!(session.dropped(), 0);
+        let streamed = session.finish();
+        assert_eq!(batch, streamed);
+    }
+
+    #[test]
+    fn streaming_session_reports_drops_in_flight() {
+        let (board, idxs) = board_with(1);
+        let mut ecu = IdsEcu::new(
+            board,
+            idxs,
+            EcuConfig {
+                queue_depth: 4,
+                ..EcuConfig::default()
+            },
+        );
+        let mut session = ecu.stream();
+        let mut saw_drop = false;
+        for (t, frame) in frames(200, 10) {
+            if session.push(t, frame, &zero_feat).unwrap().is_none() {
+                saw_drop = true;
+            }
+        }
+        assert!(saw_drop, "20x overload must overflow a 4-deep FIFO");
+        let report = session.finish();
+        assert!(report.dropped > 0);
+        assert_eq!(report.dropped + report.detections.len() as u64, 200);
+    }
+
+    #[test]
+    fn empty_streaming_session_is_empty_report() {
+        let (board, idxs) = board_with(1);
+        let mut ecu = IdsEcu::new(board, idxs, EcuConfig::default());
+        let report = ecu.stream().finish();
+        assert!(report.detections.is_empty());
+        assert_eq!(report.mean_latency, SimTime::ZERO);
+        assert_eq!(report.throughput_fps, 0.0);
     }
 
     #[test]

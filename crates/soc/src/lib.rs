@@ -54,7 +54,7 @@ pub use cancontroller::CanPeripheral;
 pub use cpu::CpuModel;
 pub use dma::{run_batch, BatchReport, DmaConfig};
 pub use driver::{run_inference, InferenceBreakdown, InferenceRecord};
-pub use ecu::{Detection, EcuConfig, EcuReport, FrameFeaturizer, IdsEcu};
+pub use ecu::{Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, ServiceQueue};
 pub use error::SocError;
 pub use interrupt::InterruptController;
 pub use power_rails::{BoardPowerModel, PowerMonitor, Rail};
@@ -65,7 +65,9 @@ pub mod prelude {
     pub use crate::board::{BoardConfig, Zcu104Board};
     pub use crate::cpu::CpuModel;
     pub use crate::driver::{InferenceBreakdown, InferenceRecord};
-    pub use crate::ecu::{Detection, EcuConfig, EcuReport, FrameFeaturizer, IdsEcu};
+    pub use crate::ecu::{
+        Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, ServiceQueue,
+    };
     pub use crate::error::SocError;
     pub use crate::power_rails::{BoardPowerModel, PowerMonitor};
 }
