@@ -1,25 +1,32 @@
 //! Per-PR perf snapshot: times the hot substrates the ROADMAP tracks
 //! (dense linear forward, cycle-accurate simulator step, streaming
-//! line-rate harness) and writes them as a small JSON file so the
-//! per-PR perf trajectory accumulates in-tree.
+//! line-rate harness, N-detector multi-model line rate) and writes them
+//! as a small JSON file so the per-PR perf trajectory accumulates
+//! in-tree.
 //!
 //! ```sh
 //! cargo run --release -p canids-bench --bin bench_summary [out.json]
 //! ```
 //!
-//! Defaults to `BENCH_2.json` in the current directory.
+//! Defaults to `BENCH_3.json` in the current directory.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use canids_bench::untrained_model;
 use canids_can::time::SimTime;
-use canids_core::stream::{replay_line_rate, LineRateScenario};
+use canids_can::timing::Bitrate;
+use canids_core::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
+use canids_core::stream::{multi_line_rate, replay_line_rate, LineRateScenario};
 use canids_dataflow::folding::{auto_fold, FoldingGoal};
 use canids_dataflow::graph::DataflowGraph;
+use canids_dataflow::ip::CompileConfig;
 use canids_dataflow::simulator::{AcceleratorSim, SimConfig};
-use canids_dataset::attacks::{AttackProfile, BurstSchedule};
+use canids_dataset::attacks::{AttackKind, AttackProfile, BurstSchedule};
+use canids_dataset::generator::{DatasetBuilder, TrafficConfig};
+use canids_qnn::mlp::{MlpConfig, QuantMlp};
 use canids_qnn::tensor::{linear_forward, Matrix};
+use canids_soc::ecu::{EcuConfig, SchedPolicy};
 
 fn pseudo_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
     let mut state = seed | 1;
@@ -58,7 +65,7 @@ fn pr_number(path: &str) -> u32 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_2.json".to_owned());
+        .unwrap_or_else(|| "BENCH_3.json".to_owned());
     let pr = pr_number(&out_path);
 
     // 1. The ROADMAP's named hot kernel: linear_forward at the paper's
@@ -103,6 +110,61 @@ fn main() {
         .map(|scenario| replay_line_rate(&scenario.generate_capture(), &model, scenario))
         .collect();
 
+    // 4. N-detector deployment engine: the acceptance fleet (DoS, fuzzy,
+    // gear-spoof, RPM-spoof + one duplicate of each = 8 IPs) planned by
+    // the folding-budget allocator, compiled once, then a saturated
+    // 1 Mb/s DoS replay through the simulated ECU under every scheduling
+    // policy. Timing here is *simulated* SoC time (driver, DMA, IRQ,
+    // FIFO), so the per-policy p50/p99/drops are platform facts, not
+    // host noise.
+    let kinds = [
+        AttackKind::Dos,
+        AttackKind::Fuzzy,
+        AttackKind::GearSpoof,
+        AttackKind::RpmSpoof,
+    ];
+    let bundles: Vec<DetectorBundle> = (0..8)
+        .map(|i| {
+            let mlp = QuantMlp::new(MlpConfig {
+                seed: 300 + i as u64,
+                ..MlpConfig::paper_4bit()
+            })
+            .expect("paper topology");
+            DetectorBundle::new(kinds[i % 4], mlp.export().expect("export"))
+        })
+        .collect();
+    let plan =
+        DeploymentPlan::build(&bundles, &PlanConfig::default()).expect("8-detector plan fits");
+    let deployment = plan
+        .deploy(&bundles, &CompileConfig::default(), EcuConfig::default())
+        .expect("8-detector deployment compiles");
+    let multi_capture = DatasetBuilder::new(TrafficConfig {
+        duration,
+        attack: dos,
+        seed: 0x8DE7,
+        ..TrafficConfig::default()
+    })
+    .build();
+    let policies = [
+        SchedPolicy::Sequential,
+        SchedPolicy::RoundRobin,
+        SchedPolicy::DmaBatch { batch: 32 },
+        SchedPolicy::InterruptPerFrame,
+    ];
+    let multi_reports: Vec<_> = policies
+        .iter()
+        .map(|&policy| {
+            let mut ecu = deployment
+                .fresh_ecu(EcuConfig {
+                    policy,
+                    ..EcuConfig::default()
+                })
+                .expect("fresh ECU");
+            multi_line_rate(&multi_capture, &mut ecu, Bitrate::HIGH_SPEED_1M)
+                .expect("multi line-rate replay")
+        })
+        .collect();
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"pr\": {pr},");
@@ -135,7 +197,47 @@ fn main() {
         let _ = write!(json, "    }}");
         let _ = writeln!(json, "{}", if i + 1 < reports.len() { "," } else { "" });
     }
-    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"multi_line_rate\": {{");
+    let _ = writeln!(json, "    \"detectors\": {},", deployment.ips.len());
+    let _ = writeln!(
+        json,
+        "    \"plan_utilization\": {:.4},",
+        deployment.plan.utilization
+    );
+    let _ = writeln!(json, "    \"plan_headroom\": {},", deployment.plan.headroom);
+    let _ = writeln!(json, "    \"bitrate_bps\": 1000000,");
+    let _ = writeln!(json, "    \"policies\": [");
+    for (i, r) in multi_reports.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"policy\": \"{}\",", r.policy.label());
+        let _ = writeln!(json, "        \"offered_fps\": {:.1},", r.offered_fps);
+        let _ = writeln!(
+            json,
+            "        \"p50_latency_us\": {:.3},",
+            r.p50_latency.as_micros_f64()
+        );
+        let _ = writeln!(
+            json,
+            "        \"p99_latency_us\": {:.3},",
+            r.p99_latency.as_micros_f64()
+        );
+        let _ = writeln!(json, "        \"dropped\": {},", r.dropped);
+        let _ = writeln!(
+            json,
+            "        \"energy_per_message_mj\": {:.4},",
+            r.energy_per_message_j * 1e3
+        );
+        let _ = writeln!(json, "        \"keeps_up\": {}", r.keeps_up());
+        let _ = write!(json, "      }}");
+        let _ = writeln!(
+            json,
+            "{}",
+            if i + 1 < multi_reports.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 
     std::fs::write(&out_path, &json).expect("write perf snapshot");

@@ -24,6 +24,31 @@ pub enum CoreError {
         /// Normal-frame count.
         normals: usize,
     },
+    /// The folding-budget allocator could not fit every detector on the
+    /// device, even with the offending model folded fully sequential.
+    PlanOverflow {
+        /// Index of the detector that could not be placed.
+        detector: usize,
+        /// Its planned IP-core name.
+        name: String,
+        /// The resource class that overflowed.
+        resource: &'static str,
+        /// Amount the whole plan requires.
+        required: u64,
+        /// Device capacity of that class.
+        capacity: u64,
+    },
+    /// A deployment action needs at least one detector bundle.
+    EmptyDeployment,
+    /// `DeploymentPlan::deploy` was handed a bundle set different from
+    /// the one the plan was built from — the compiled IPs would not
+    /// match the plan's hardware facts.
+    PlanMismatch {
+        /// Index of the first bundle that diverges from its plan entry.
+        detector: usize,
+        /// The plan entry's IP-core name.
+        name: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +61,23 @@ impl fmt::Display for CoreError {
                 f,
                 "degenerate capture: {attacks} attack / {normals} normal frames"
             ),
+            CoreError::PlanOverflow {
+                detector,
+                name,
+                resource,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "deployment plan does not fit: detector {detector} ({name}) leaves the plan \
+                 needing {required} {resource} of {capacity} even fully folded"
+            ),
+            CoreError::EmptyDeployment => write!(f, "deployment needs at least one detector"),
+            CoreError::PlanMismatch { detector, name } => write!(
+                f,
+                "bundle {detector} does not match plan entry {name}; rebuild the plan for this \
+                 bundle set"
+            ),
         }
     }
 }
@@ -46,7 +88,10 @@ impl Error for CoreError {
             CoreError::Qnn(e) => Some(e),
             CoreError::Dataflow(e) => Some(e),
             CoreError::Soc(e) => Some(e),
-            CoreError::DegenerateCapture { .. } => None,
+            CoreError::DegenerateCapture { .. }
+            | CoreError::PlanOverflow { .. }
+            | CoreError::EmptyDeployment
+            | CoreError::PlanMismatch { .. } => None,
         }
     }
 }

@@ -7,9 +7,12 @@
 //!   FINN-style compilation → ZCU104 deployment → evaluation,
 //! * [`dse`] — the bit-width design-space exploration that selects 4-bit
 //!   uniform quantisation,
-//! * [`deploy`] — multi-model (DoS + Fuzzy) simultaneous deployment,
+//! * [`deploy`] — the N-detector deployment engine: per-model
+//!   folding-budget allocation ([`deploy::DeploymentPlan`]), shared
+//!   feature packing and pluggable ECU scheduling policies,
 //! * [`stream`] — frame-at-a-time streaming evaluation and the
-//!   line-rate harness (saturated 1 Mb/s and CAN-FD-class replay),
+//!   line-rate harness (saturated 1 Mb/s and CAN-FD-class replay,
+//!   single- and N-detector),
 //! * [`report`] — paper-style ASCII tables for the benchmark harness.
 //!
 //! # Quickstart
@@ -32,26 +35,31 @@ pub mod pipeline;
 pub mod report;
 pub mod stream;
 
-pub use deploy::{deploy_multi_ids, DetectorBundle, MultiIdsDeployment};
+pub use deploy::{
+    deploy_multi_ids, DeploymentPlan, DetectorBundle, ModelPlan, MultiIdsDeployment, PlanConfig,
+};
 pub use dse::{sweep_bitwidths, DsePoint, DseReport};
 pub use error::CoreError;
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
 pub use report::{pct, pct_opt, Table};
 pub use stream::{
-    line_rate_sweep, replay_line_rate, LineRateReport, LineRateScenario, StreamVerdict,
+    line_rate_sweep, multi_line_rate, replay_line_rate, LineRateReport, LineRateScenario,
+    MultiLineRateReport, MultiStreamVerdict, MultiStreamingEvaluator, StreamVerdict,
     StreamingEvaluator,
 };
 
 /// Convenience re-exports spanning the whole stack.
 pub mod prelude {
-    pub use crate::deploy::{deploy_multi_ids, DetectorBundle};
+    pub use crate::deploy::{
+        deploy_multi_ids, DeploymentPlan, DetectorBundle, MultiIdsDeployment, PlanConfig,
+    };
     pub use crate::dse::{sweep_bitwidths, DseReport};
     pub use crate::error::CoreError;
     pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
     pub use crate::report::{pct, pct_opt, Table};
     pub use crate::stream::{
-        line_rate_sweep, replay_line_rate, LineRateReport, LineRateScenario, StreamVerdict,
-        StreamingEvaluator,
+        line_rate_sweep, multi_line_rate, replay_line_rate, LineRateReport, LineRateScenario,
+        MultiLineRateReport, MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,
     };
     pub use canids_baselines::prelude::*;
     pub use canids_can::prelude::*;

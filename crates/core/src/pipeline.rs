@@ -60,6 +60,23 @@ impl PipelineConfig {
         }
     }
 
+    /// Gear-spoofing configuration (extension beyond the paper's
+    /// DoS/Fuzzy scope).
+    pub fn gear_spoof() -> Self {
+        PipelineConfig {
+            attack: AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous),
+            ..PipelineConfig::default()
+        }
+    }
+
+    /// RPM-spoofing configuration (extension).
+    pub fn rpm_spoof() -> Self {
+        PipelineConfig {
+            attack: AttackProfile::rpm_spoof().with_schedule(BurstSchedule::Continuous),
+            ..PipelineConfig::default()
+        }
+    }
+
     /// Scales the capture for quick tests (hundreds of frames).
     pub fn quick(mut self) -> Self {
         self.capture_duration = SimTime::from_millis(800);
@@ -104,6 +121,15 @@ impl TrainedDetector {
     /// the streaming serving mode (see [`crate::stream`]).
     pub fn streaming_evaluator(&self) -> crate::stream::StreamingEvaluator {
         crate::stream::StreamingEvaluator::new(self.int_mlp.clone())
+    }
+
+    /// This detector as a deployment bundle for the N-detector engine
+    /// (see [`crate::deploy::DeploymentPlan`]).
+    pub fn bundle(
+        &self,
+        kind: canids_dataset::attacks::AttackKind,
+    ) -> crate::deploy::DetectorBundle {
+        crate::deploy::DetectorBundle::new(kind, self.int_mlp.clone())
     }
 }
 
@@ -269,6 +295,23 @@ impl IdsPipeline {
     /// come back in configuration order.
     pub fn run_many(configs: &[PipelineConfig]) -> Vec<Result<PipelineReport, CoreError>> {
         crate::par::scoped_map(configs, |config| IdsPipeline::new(config.clone()).run())
+    }
+
+    /// Trains one detector per configuration concurrently (capture
+    /// synthesis + QAT + integer export, no per-model deployment) — the
+    /// front half of an N-detector deployment, whose back half is one
+    /// *shared* plan/compile/serve pass through
+    /// [`crate::deploy::DeploymentPlan`] instead of N independent
+    /// single-model deployments. Results come back in configuration
+    /// order, each paired with its attack kind for bundling.
+    pub fn train_many(
+        configs: &[PipelineConfig],
+    ) -> Vec<Result<(canids_dataset::attacks::AttackKind, TrainedDetector), CoreError>> {
+        crate::par::scoped_map(configs, |config| {
+            let pipeline = IdsPipeline::new(config.clone());
+            let detector = pipeline.train(&pipeline.generate_capture())?;
+            Ok((config.attack.kind, detector))
+        })
     }
 }
 

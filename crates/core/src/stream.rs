@@ -31,7 +31,9 @@ use canids_dataset::record::LabeledFrame;
 use canids_dataset::stream::paced_records;
 use canids_qnn::export::IntegerMlp;
 use canids_qnn::metrics::ConfusionMatrix;
-use canids_soc::ecu::ServiceQueue;
+use canids_soc::ecu::{IdsEcu, SchedPolicy, ServiceQueue};
+
+use crate::error::CoreError;
 
 /// One streaming verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -140,6 +142,125 @@ impl<E: FrameEncoder> StreamingEvaluator<E> {
     /// Resets the online accounting, keeping the model.
     pub fn reset(&mut self) {
         self.cm = ConfusionMatrix::new();
+        self.frames = 0;
+    }
+}
+
+/// One verdict of an N-detector evaluator: per-model classes plus the
+/// fused (any-model) flag.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MultiStreamVerdict {
+    /// Predicted class per model, in model order (0 = normal).
+    pub classes: Vec<usize>,
+    /// `true` when any model classified the frame as an attack.
+    pub flagged: bool,
+    /// Ground truth of the pushed record.
+    pub truth_attack: bool,
+}
+
+/// Frame-at-a-time evaluator over **N** integer models with **one shared
+/// feature-extraction pass**: each pushed record is encoded and
+/// quantised once, and every model consumes the same buffer — the
+/// software mirror of the ECU's shared feature packing (N detectors, one
+/// featurisation per window instead of N redundant ones).
+///
+/// Per-model predictions and confusion matrices are *identical* to N
+/// independent [`StreamingEvaluator`]s over the same capture; the unit
+/// tests pin this.
+#[derive(Debug, Clone)]
+pub struct MultiStreamingEvaluator<E: FrameEncoder = IdBitsPayloadBits> {
+    models: Vec<IntegerMlp>,
+    encoder: E,
+    fbuf: Vec<f32>,
+    xbuf: Vec<u32>,
+    cms: Vec<ConfusionMatrix>,
+    fused_cm: ConfusionMatrix,
+    frames: u64,
+}
+
+impl MultiStreamingEvaluator<IdBitsPayloadBits> {
+    /// An N-model evaluator using the paper's 75-bit frame encoding.
+    pub fn new(models: Vec<IntegerMlp>) -> Self {
+        MultiStreamingEvaluator::with_encoder(models, IdBitsPayloadBits)
+    }
+}
+
+impl<E: FrameEncoder> MultiStreamingEvaluator<E> {
+    /// An N-model evaluator with a custom frame encoder. All models must
+    /// share the encoder's input dimension.
+    pub fn with_encoder(models: Vec<IntegerMlp>, encoder: E) -> Self {
+        let dim = encoder.dim();
+        let n = models.len();
+        MultiStreamingEvaluator {
+            models,
+            encoder,
+            fbuf: vec![0.0; dim],
+            xbuf: vec![0; dim],
+            cms: vec![ConfusionMatrix::new(); n],
+            fused_cm: ConfusionMatrix::new(),
+            frames: 0,
+        }
+    }
+
+    /// Classifies one record through every model off one encoding pass,
+    /// updating the per-model and fused confusion matrices.
+    pub fn push(&mut self, rec: &LabeledFrame) -> MultiStreamVerdict {
+        self.encoder.encode_into(&rec.frame, &mut self.fbuf);
+        let truth_attack = rec.label.is_attack();
+        let mut classes = Vec::with_capacity(self.models.len());
+        let mut flagged = false;
+        // Same quantisation as the single-model evaluator, clamped to
+        // each model's own input levels — performed once and re-clamped
+        // only when a model's level count differs from the buffer's
+        // (never, in the homogeneous fleets deployed here).
+        let mut quantised_for: Option<u32> = None;
+        for (model, cm) in self.models.iter().zip(&mut self.cms) {
+            if quantised_for != Some(model.input_levels) {
+                for (x, &f) in self.xbuf.iter_mut().zip(&self.fbuf) {
+                    *x = (f.round().max(0.0) as u32).min(model.input_levels);
+                }
+                quantised_for = Some(model.input_levels);
+            }
+            let class = model.infer(&self.xbuf).class;
+            cm.record(class != 0, truth_attack);
+            flagged |= class != 0;
+            classes.push(class);
+        }
+        self.fused_cm.record(flagged, truth_attack);
+        self.frames += 1;
+        MultiStreamVerdict {
+            classes,
+            flagged,
+            truth_attack,
+        }
+    }
+
+    /// Per-model confusion matrices, in model order.
+    pub fn confusions(&self) -> &[ConfusionMatrix] {
+        &self.cms
+    }
+
+    /// The fused (any-model-flags) confusion matrix.
+    pub fn fused_confusion(&self) -> &ConfusionMatrix {
+        &self.fused_cm
+    }
+
+    /// Attached models.
+    pub fn models(&self) -> &[IntegerMlp] {
+        &self.models
+    }
+
+    /// Frames classified so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Resets the online accounting, keeping the models.
+    pub fn reset(&mut self) {
+        for cm in &mut self.cms {
+            *cm = ConfusionMatrix::new();
+        }
+        self.fused_cm = ConfusionMatrix::new();
         self.frames = 0;
     }
 }
@@ -375,6 +496,127 @@ pub fn line_rate_sweep(model: &IntegerMlp, scenarios: &[LineRateScenario]) -> Ve
     })
 }
 
+/// Outcome of one wire-paced N-detector ECU replay.
+#[derive(Debug, Clone)]
+pub struct MultiLineRateReport {
+    /// The scheduling policy the replay ran under.
+    pub policy: SchedPolicy,
+    /// Attached detector count.
+    pub models: usize,
+    /// Pacing bitrate (bits per second).
+    pub bitrate_bps: u32,
+    /// Frames offered to the ECU.
+    pub offered: usize,
+    /// Frames serviced (offered − dropped).
+    pub serviced: usize,
+    /// Frames dropped to software-FIFO overflow.
+    pub dropped: u64,
+    /// Offered load in frames/s (saturated pacing).
+    pub offered_fps: f64,
+    /// Median verdict latency through the full simulated SoC path.
+    pub p50_latency: SimTime,
+    /// 99th-percentile verdict latency.
+    pub p99_latency: SimTime,
+    /// Worst verdict latency.
+    pub max_latency: SimTime,
+    /// Frames any detector flagged.
+    pub flagged: usize,
+    /// Mean board power over the replay (rail model).
+    pub mean_power_w: f64,
+    /// Energy per inspected message.
+    pub energy_per_message_j: f64,
+}
+
+impl MultiLineRateReport {
+    /// `true` when the ECU absorbed the whole offered line rate.
+    pub fn keeps_up(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// Column headers matching [`MultiLineRateReport::table_row`].
+    pub fn table_header() -> [&'static str; 7] {
+        [
+            "Policy",
+            "Offered fps",
+            "p50",
+            "p99",
+            "Drops",
+            "Energy/msg",
+            "Keeps up",
+        ]
+    }
+
+    /// This report as one formatted row for the harness tables.
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.policy.label(),
+            format!("{:.0}", self.offered_fps),
+            format!("{:.1} us", self.p50_latency.as_micros_f64()),
+            format!("{:.1} us", self.p99_latency.as_micros_f64()),
+            format!("{}", self.dropped),
+            format!("{:.3} mJ", self.energy_per_message_j * 1e3),
+            if self.keeps_up() { "yes" } else { "NO" }.to_owned(),
+        ]
+    }
+}
+
+/// Replays one capture through an N-detector ECU at saturated wire
+/// pacing (`bitrate`), frame at a time, under the ECU's configured
+/// [`SchedPolicy`].
+///
+/// Arrivals come from [`paced_records`]; every frame is featurised and
+/// packed **once** inside the ECU session and shared by all N models.
+/// Timing is the *simulated* SoC path (driver, DMA, interrupts, FIFO
+/// queueing), so the per-policy p50/p99 latencies, drops and energy are
+/// properties of the modelled ECU rather than of the benchmarking host.
+///
+/// The ECU must be fresh (board clock at the capture's epoch) — take one
+/// from [`crate::deploy::MultiIdsDeployment::fresh_ecu`] per replay.
+///
+/// # Errors
+///
+/// Propagates driver/bus errors.
+pub fn multi_line_rate(
+    capture: &Dataset,
+    ecu: &mut IdsEcu,
+    bitrate: Bitrate,
+) -> Result<MultiLineRateReport, CoreError> {
+    let encoder = IdBitsPayloadBits;
+    let featurize = |f: &canids_can::frame::CanFrame| encoder.encode(f);
+    let mut session = ecu.stream();
+    let mut offered = 0usize;
+    let mut last_arrival = SimTime::ZERO;
+    for rec in paced_records(capture, bitrate) {
+        offered += 1;
+        last_arrival = rec.timestamp;
+        session.push(rec.timestamp, rec.frame, &featurize)?;
+    }
+    let report = session.try_finish()?;
+
+    let mut latencies: Vec<SimTime> = report.detections.iter().map(|d| d.latency()).collect();
+    latencies.sort_unstable();
+    let offered_fps = if last_arrival > SimTime::ZERO {
+        offered as f64 / last_arrival.as_secs_f64()
+    } else {
+        0.0
+    };
+    Ok(MultiLineRateReport {
+        policy: report.policy,
+        models: ecu.models().len(),
+        bitrate_bps: bitrate.bits_per_sec(),
+        offered,
+        serviced: report.detections.len(),
+        dropped: report.dropped,
+        offered_fps,
+        p50_latency: percentile(&latencies, 0.50),
+        p99_latency: percentile(&latencies, 0.99),
+        max_latency: latencies.last().copied().unwrap_or(SimTime::ZERO),
+        flagged: report.detections.iter().filter(|d| d.flagged).count(),
+        mean_power_w: report.mean_power_w,
+        energy_per_message_j: report.energy_per_message_j,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -498,6 +740,95 @@ mod tests {
         }
         // FD-class pacing offers a strictly higher frame rate.
         assert!(reports[1].offered_fps > reports[0].offered_fps);
+    }
+
+    #[test]
+    fn multi_evaluator_matches_independent_single_evaluators() {
+        let models: Vec<IntegerMlp> = (0..3)
+            .map(|i| {
+                QuantMlp::new(MlpConfig {
+                    seed: 40 + i,
+                    ..MlpConfig::paper_4bit()
+                })
+                .unwrap()
+                .export()
+                .unwrap()
+            })
+            .collect();
+        let capture = quick_capture(true, 8);
+        let mut multi = MultiStreamingEvaluator::new(models.clone());
+        let mut singles: Vec<StreamingEvaluator> = models
+            .iter()
+            .map(|m| StreamingEvaluator::new(m.clone()))
+            .collect();
+        for rec in capture.iter() {
+            let v = multi.push(rec);
+            assert_eq!(v.classes.len(), 3);
+            let mut any = false;
+            for (k, single) in singles.iter_mut().enumerate() {
+                let sv = single.push(rec);
+                assert_eq!(v.classes[k], sv.class, "model {k} diverged");
+                any |= sv.flagged;
+            }
+            assert_eq!(v.flagged, any);
+            assert_eq!(v.truth_attack, rec.label.is_attack());
+        }
+        for (k, single) in singles.iter().enumerate() {
+            assert_eq!(&multi.confusions()[k], single.confusion(), "model {k}");
+        }
+        assert_eq!(multi.frames(), capture.len() as u64);
+        assert_eq!(multi.fused_confusion().total(), capture.len() as u64);
+        multi.reset();
+        assert_eq!(multi.frames(), 0);
+        assert_eq!(multi.models().len(), 3);
+    }
+
+    #[test]
+    fn multi_line_rate_accounts_every_frame_per_policy() {
+        use crate::deploy::{deploy_multi_ids, DetectorBundle};
+        use canids_dataflow::ip::CompileConfig;
+        use canids_dataset::attacks::AttackKind;
+
+        let capture = quick_capture(true, 9);
+        let bundles = vec![
+            DetectorBundle::new(AttackKind::Dos, untrained_model()),
+            DetectorBundle::new(AttackKind::Fuzzy, {
+                QuantMlp::new(MlpConfig {
+                    seed: 5,
+                    ..MlpConfig::paper_4bit()
+                })
+                .unwrap()
+                .export()
+                .unwrap()
+            }),
+        ];
+        let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
+        let mut flagged_baseline: Option<usize> = None;
+        for policy in [SchedPolicy::RoundRobin, SchedPolicy::DmaBatch { batch: 32 }] {
+            let mut ecu = deployment
+                .fresh_ecu(canids_soc::ecu::EcuConfig {
+                    policy,
+                    ..canids_soc::ecu::EcuConfig::default()
+                })
+                .unwrap();
+            let report = multi_line_rate(&capture, &mut ecu, Bitrate::HIGH_SPEED_1M).unwrap();
+            assert_eq!(report.policy, policy);
+            assert_eq!(report.models, 2);
+            assert_eq!(report.offered, capture.len());
+            assert_eq!(report.serviced + report.dropped as usize, report.offered);
+            assert!(report.offered_fps > 1_000.0, "saturated pacing");
+            assert!(report.p50_latency <= report.p99_latency);
+            assert!(report.p99_latency <= report.max_latency);
+            assert!(report.mean_power_w > 0.0);
+            // Scheduling changes timing, never classification: with zero
+            // drops the flagged count is policy-invariant.
+            if report.dropped == 0 {
+                match flagged_baseline {
+                    None => flagged_baseline = Some(report.flagged),
+                    Some(f) => assert_eq!(report.flagged, f, "{}", policy.label()),
+                }
+            }
+        }
     }
 
     #[test]

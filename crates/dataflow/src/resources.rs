@@ -140,6 +140,61 @@ impl Device {
             n
         }
     }
+
+    /// Resources left on the device after `used` (saturating at zero per
+    /// class).
+    pub fn remaining(&self, used: ResourceEstimate) -> ResourceEstimate {
+        ResourceEstimate {
+            lut: self.luts.saturating_sub(used.lut),
+            ff: self.ffs.saturating_sub(used.ff),
+            bram36: self.bram36.saturating_sub(used.bram36),
+            dsp: self.dsps.saturating_sub(used.dsp),
+        }
+    }
+
+    /// The first resource class `usage` overflows on this device, as
+    /// `(class, required, capacity)` — `None` when everything fits.
+    pub fn first_overflow(&self, usage: ResourceEstimate) -> Option<(&'static str, u64, u64)> {
+        [
+            ("LUT", usage.lut, self.luts),
+            ("FF", usage.ff, self.ffs),
+            ("BRAM36", usage.bram36, self.bram36),
+            ("DSP", usage.dsp, self.dsps),
+        ]
+        .into_iter()
+        .find(|&(_, required, capacity)| required > capacity)
+    }
+
+    /// How many additional copies of `unit` fit in what the device has
+    /// left after `used`.
+    ///
+    /// Every class is constrained by its *true* remainder: a class the
+    /// unit does not consume never constrains, and an exhausted class the
+    /// unit does consume yields zero headroom (no capacity is fabricated,
+    /// unlike the historical `remaining.dsp.max(1)` hack this replaces).
+    /// A unit consuming nothing at all reports zero headroom rather than
+    /// infinity.
+    pub fn headroom_after(&self, used: ResourceEstimate, unit: ResourceEstimate) -> u64 {
+        let left = self.remaining(used);
+        let mut n = u64::MAX;
+        if let Some(q) = left.lut.checked_div(unit.lut) {
+            n = n.min(q);
+        }
+        if let Some(q) = left.ff.checked_div(unit.ff) {
+            n = n.min(q);
+        }
+        if let Some(q) = left.bram36.checked_div(unit.bram36) {
+            n = n.min(q);
+        }
+        if let Some(q) = left.dsp.checked_div(unit.dsp) {
+            n = n.min(q);
+        }
+        if n == u64::MAX {
+            0
+        } else {
+            n
+        }
+    }
 }
 
 /// Per-resource utilisation fractions.
@@ -428,6 +483,93 @@ mod tests {
         // The paper argues multiple models fit simultaneously.
         assert!(Device::ZCU104.fit_count(usage) >= 8);
         assert_eq!(Device::ZCU104.fit_count(ResourceEstimate::default()), 0);
+    }
+
+    #[test]
+    fn remaining_saturates_and_overflow_names_the_class() {
+        let d = Device::PYNQ_Z2;
+        let over = ResourceEstimate {
+            lut: d.luts + 10,
+            ff: 0,
+            bram36: 0,
+            dsp: 0,
+        };
+        assert_eq!(d.remaining(over).lut, 0, "saturates, never wraps");
+        assert_eq!(d.first_overflow(over), Some(("LUT", d.luts + 10, d.luts)));
+        let fits = ResourceEstimate {
+            lut: 100,
+            ff: 100,
+            bram36: 1,
+            dsp: 1,
+        };
+        assert_eq!(d.first_overflow(fits), None);
+        assert_eq!(d.remaining(fits).lut, d.luts - 100);
+    }
+
+    #[test]
+    fn headroom_after_counts_true_remainder() {
+        let d = Device {
+            name: "toy",
+            luts: 1_000,
+            ffs: 2_000,
+            bram36: 10,
+            dsps: 4,
+        };
+        let unit = ResourceEstimate {
+            lut: 100,
+            ff: 100,
+            bram36: 1,
+            dsp: 1,
+        };
+        // Fresh device: LUT allows 10, FF 20, BRAM 10, DSP 4 -> 4.
+        assert_eq!(d.headroom_after(ResourceEstimate::default(), unit), 4);
+        // Half used: 2 DSPs left -> 2 copies.
+        let used = ResourceEstimate {
+            lut: 500,
+            ff: 1_000,
+            bram36: 5,
+            dsp: 2,
+        };
+        assert_eq!(d.headroom_after(used, unit), 2);
+    }
+
+    #[test]
+    fn zero_remaining_yields_zero_headroom() {
+        // Regression: the old deploy-layer headroom fabricated one DSP
+        // when the device was exhausted (`remaining.dsp.max(1)`), so a
+        // 1-DSP unit still reported headroom. With the true remainder an
+        // exhausted class the unit needs must report zero.
+        let d = Device {
+            name: "toy",
+            luts: 1_000,
+            ffs: 1_000,
+            bram36: 8,
+            dsps: 2,
+        };
+        let all_dsps = ResourceEstimate {
+            lut: 100,
+            ff: 100,
+            bram36: 0,
+            dsp: 2,
+        };
+        let one_dsp_unit = ResourceEstimate {
+            lut: 10,
+            ff: 10,
+            bram36: 0,
+            dsp: 1,
+        };
+        assert_eq!(d.headroom_after(all_dsps, one_dsp_unit), 0);
+        // A unit that needs no DSPs is not constrained by the exhausted
+        // class.
+        let no_dsp_unit = ResourceEstimate {
+            lut: 10,
+            ff: 10,
+            bram36: 0,
+            dsp: 0,
+        };
+        assert_eq!(d.headroom_after(all_dsps, no_dsp_unit), 90);
+        // A unit consuming nothing reports zero, not infinity.
+        assert_eq!(d.headroom_after(all_dsps, ResourceEstimate::default()), 0);
     }
 
     #[test]

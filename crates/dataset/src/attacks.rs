@@ -13,6 +13,9 @@
 //! Injection is gated by a [`BurstSchedule`]: the real captures alternate
 //! attack-on and attack-off intervals inside a 30–40 s trace.
 
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
 use canids_can::bus::TrafficSource;
 use canids_can::frame::{CanFrame, CanId};
 use canids_can::time::SimTime;
@@ -21,6 +24,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use crate::record::Label;
+use crate::vehicle::{VehicleModel, VehicleSource};
 
 /// Which attack the injector mounts.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -33,6 +37,12 @@ pub enum AttackKind {
     GearSpoof,
     /// Forged RPM frames on identifier `0x316`.
     RpmSpoof,
+    /// Re-injection of previously seen legitimate frames.
+    Replay {
+        /// Delay between observing a legitimate frame and re-injecting
+        /// it.
+        delay: SimTime,
+    },
 }
 
 impl AttackKind {
@@ -43,15 +53,31 @@ impl AttackKind {
             AttackKind::Fuzzy => Label::Fuzzy,
             AttackKind::GearSpoof => Label::GearSpoof,
             AttackKind::RpmSpoof => Label::RpmSpoof,
+            AttackKind::Replay { .. } => Label::Replay,
         }
     }
 
-    /// The injection period used by the published capture.
+    /// The injection period used by the published capture (for replay:
+    /// the minimum spacing between re-injected frames).
     pub fn default_period(self) -> SimTime {
         match self {
             AttackKind::Dos => SimTime::from_micros(300),
             AttackKind::Fuzzy => SimTime::from_micros(500),
-            AttackKind::GearSpoof | AttackKind::RpmSpoof => SimTime::from_millis(1),
+            AttackKind::GearSpoof | AttackKind::RpmSpoof | AttackKind::Replay { .. } => {
+                SimTime::from_millis(1)
+            }
+        }
+    }
+
+    /// Short kebab-case name (stable across variants with payloads, for
+    /// IP-core names and report rows).
+    pub fn slug(self) -> &'static str {
+        match self {
+            AttackKind::Dos => "dos",
+            AttackKind::Fuzzy => "fuzzy",
+            AttackKind::GearSpoof => "gear-spoof",
+            AttackKind::RpmSpoof => "rpm-spoof",
+            AttackKind::Replay { .. } => "replay",
         }
     }
 }
@@ -176,6 +202,22 @@ impl AttackProfile {
         }
     }
 
+    /// Replay profile (extension): legitimate frames observed on the bus
+    /// are re-injected 50 ms later, at most one per millisecond.
+    pub fn replay() -> Self {
+        AttackProfile::replay_after(SimTime::from_millis(50))
+    }
+
+    /// Replay profile with an explicit observation-to-reinjection delay.
+    pub fn replay_after(delay: SimTime) -> Self {
+        let kind = AttackKind::Replay { delay };
+        AttackProfile {
+            kind,
+            period: kind.default_period(),
+            schedule: BurstSchedule::capture_default(),
+        }
+    }
+
     /// Replaces the burst schedule (builder style).
     pub fn with_schedule(mut self, schedule: BurstSchedule) -> Self {
         self.schedule = schedule;
@@ -216,16 +258,126 @@ pub struct AttackSource {
     rng: StdRng,
     next_time: SimTime,
     horizon: SimTime,
+    replay: Option<ReplayFeed>,
+}
+
+/// The replay attacker's recording: a time-merged view of the vehicle's
+/// legitimate transmissions, replayed `delay` after each frame was
+/// observed. Built from the same model and seed as the capture's
+/// transmitting ECUs, so the re-injected frames are byte-identical to
+/// frames the bus carries.
+///
+/// Limitation: the recording reproduces the ECUs' *release* schedule,
+/// not the arbitrated bus; when an overlaid attack saturates the bus
+/// (e.g. a continuous DoS flood starving low-priority traffic), a
+/// replayed frame may precede — or replace — the delayed original.
+/// Accurate for the non-saturating captures replay scenarios use;
+/// modelling an online bus tap is future work.
+#[derive(Debug)]
+struct ReplayFeed {
+    sources: Vec<VehicleSource>,
+    pending: Vec<Option<CanFrame>>,
+    heap: BinaryHeap<Reverse<(SimTime, usize)>>,
+    delay: SimTime,
+}
+
+impl ReplayFeed {
+    fn new(vehicle: VehicleModel, nodes: usize, vehicle_seed: u64, delay: SimTime) -> Self {
+        let mut sources = vehicle.into_sources(nodes, vehicle_seed);
+        let mut pending = vec![None; sources.len()];
+        let mut heap = BinaryHeap::new();
+        for (i, src) in sources.iter_mut().enumerate() {
+            if let Some((t, f)) = src.next_frame() {
+                pending[i] = Some(f);
+                heap.push(Reverse((t, i)));
+            }
+        }
+        ReplayFeed {
+            sources,
+            pending,
+            heap,
+            delay,
+        }
+    }
+
+    /// The next legitimate frame in observation order.
+    fn next_observed(&mut self) -> Option<(SimTime, CanFrame)> {
+        let Reverse((t, i)) = self.heap.pop()?;
+        let frame = self.pending[i].take().expect("heap entry has a frame");
+        if let Some((tn, fn_)) = self.sources[i].next_frame() {
+            self.pending[i] = Some(fn_);
+            self.heap.push(Reverse((tn, i)));
+        }
+        Some((t, frame))
+    }
 }
 
 impl AttackSource {
     /// Creates the source; injection stops at `horizon`.
+    ///
+    /// A [`AttackKind::Replay`] profile records the default vehicle
+    /// ([`VehicleModel::sonata`] over four nodes, seeded from `seed`);
+    /// use [`AttackSource::replay_of`] to replay a specific capture's
+    /// own traffic.
     pub fn new(profile: AttackProfile, seed: u64, horizon: SimTime) -> Self {
+        let replay = match profile.kind {
+            AttackKind::Replay { delay } => {
+                Some(ReplayFeed::new(VehicleModel::sonata(), 4, seed, delay))
+            }
+            _ => None,
+        };
+        AttackSource::with_feed(profile, seed, horizon, replay)
+    }
+
+    /// A replay source whose recording is `vehicle` split over `nodes`
+    /// ECUs seeded with `vehicle_seed` — pass the capture's own
+    /// parameters and the re-injected frames are exactly the frames the
+    /// legitimate ECUs transmit, delayed by the profile's replay delay.
+    /// `attacker_seed` individualises the attacker itself: two replay
+    /// attackers share the recording (they observe the same bus) but
+    /// stagger their injection phase, so overlaid duplicates interleave
+    /// instead of colliding frame for frame.
+    ///
+    /// For non-replay profiles this is identical to [`AttackSource::new`].
+    pub fn replay_of(
+        profile: AttackProfile,
+        vehicle: VehicleModel,
+        nodes: usize,
+        vehicle_seed: u64,
+        attacker_seed: u64,
+        horizon: SimTime,
+    ) -> Self {
+        let replay = match profile.kind {
+            AttackKind::Replay { delay } => {
+                Some(ReplayFeed::new(vehicle, nodes, vehicle_seed, delay))
+            }
+            _ => None,
+        };
+        AttackSource::with_feed(profile, attacker_seed, horizon, replay)
+    }
+
+    fn with_feed(
+        profile: AttackProfile,
+        seed: u64,
+        horizon: SimTime,
+        replay: Option<ReplayFeed>,
+    ) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xA77A_C4E5_0D05_F00D);
+        let mut replay = replay;
+        if let Some(feed) = replay.as_mut() {
+            // Seed-derived reaction-time offset within one period:
+            // distinct replay attackers over the same recording
+            // re-inject each observed frame at staggered instants
+            // instead of colliding frame for frame.
+            let phase = SimTime::from_nanos(rng.gen_range(0..=profile.period.as_nanos()));
+            feed.delay += phase;
+        }
         AttackSource {
             profile,
-            rng: StdRng::seed_from_u64(seed ^ 0xA77A_C4E5_0D05_F00D),
+            rng,
             next_time: profile.schedule.next_active(SimTime::ZERO),
             horizon,
+            replay,
         }
     }
 
@@ -264,12 +416,33 @@ impl AttackSource {
                 )
                 .expect("8-byte payload")
             }
+            AttackKind::Replay { .. } => {
+                unreachable!("replay frames come from the recorded feed")
+            }
         }
+    }
+
+    /// Next replayed frame: the oldest recorded legitimate frame is
+    /// re-injected `delay` after it was observed, pushed forward to the
+    /// next active burst and rate-limited to one frame per `period`.
+    fn next_replay(&mut self) -> Option<(SimTime, CanFrame)> {
+        let feed = self.replay.as_mut()?;
+        let (observed_at, frame) = feed.next_observed()?;
+        let earliest = (observed_at + feed.delay).max(self.next_time);
+        let t = self.profile.schedule.next_active(earliest);
+        if t > self.horizon {
+            return None;
+        }
+        self.next_time = t + self.profile.period;
+        Some((t, frame))
     }
 }
 
 impl TrafficSource for AttackSource {
     fn next_frame(&mut self) -> Option<(SimTime, CanFrame)> {
+        if self.replay.is_some() {
+            return self.next_replay();
+        }
         if self.next_time > self.horizon {
             return None;
         }
@@ -395,6 +568,123 @@ mod tests {
         assert_eq!(AttackKind::Fuzzy.label(), Label::Fuzzy);
         assert_eq!(AttackKind::GearSpoof.label(), Label::GearSpoof);
         assert_eq!(AttackKind::RpmSpoof.label(), Label::RpmSpoof);
+        assert_eq!(
+            AttackKind::Replay {
+                delay: SimTime::from_millis(5)
+            }
+            .label(),
+            Label::Replay
+        );
+        assert_eq!(AttackProfile::replay().kind.slug(), "replay");
+    }
+
+    #[test]
+    fn replay_reinjects_previously_seen_frames_after_the_delay() {
+        let delay = SimTime::from_millis(20);
+        let profile = AttackProfile::replay_after(delay).with_schedule(BurstSchedule::Continuous);
+        let vehicle_seed = 77u64;
+        let horizon = SimTime::from_millis(300);
+        // The attacker's recording, replayed...
+        let mut src = AttackSource::replay_of(
+            profile,
+            VehicleModel::sonata(),
+            4,
+            vehicle_seed,
+            vehicle_seed,
+            horizon,
+        );
+        // ...must consist of frames the legitimate ECUs actually transmit.
+        let mut legit: Vec<(SimTime, CanFrame)> = Vec::new();
+        for mut s in VehicleModel::sonata().into_sources(4, vehicle_seed) {
+            loop {
+                match s.next_frame() {
+                    Some((t, f)) if t <= horizon => legit.push((t, f)),
+                    _ => break,
+                }
+            }
+        }
+        legit.sort_by_key(|&(t, _)| t);
+
+        let mut count = 0usize;
+        let mut last_t = SimTime::ZERO;
+        while let Some((t, f)) = src.next_frame() {
+            let (t0, expect) = legit[count];
+            assert_eq!(f, expect, "replayed frame {count} differs from observed");
+            assert!(t >= t0 + delay, "frame {count} replayed before the delay");
+            assert!(t >= last_t, "replay times must be monotonic");
+            assert!(t <= horizon);
+            last_t = t;
+            count += 1;
+        }
+        assert!(count > 50, "replay stream too short: {count}");
+    }
+
+    #[test]
+    fn replay_respects_burst_gating_and_spacing() {
+        let profile = AttackProfile::replay_after(SimTime::from_millis(5))
+            .with_period(SimTime::from_millis(2))
+            .with_schedule(BurstSchedule::Periodic {
+                initial_delay: SimTime::from_millis(50),
+                on: SimTime::from_millis(50),
+                off: SimTime::from_millis(50),
+            });
+        let mut src = profile.into_source(3, SimTime::from_millis(400));
+        let mut times = Vec::new();
+        while let Some((t, _)) = src.next_frame() {
+            assert!(profile.schedule.active_at(t), "injection at quiet time {t}");
+            times.push(t);
+        }
+        assert!(!times.is_empty());
+        for w in times.windows(2) {
+            assert!(w[1] - w[0] >= SimTime::from_millis(2), "period floor");
+        }
+    }
+
+    #[test]
+    fn duplicate_replay_attackers_stagger_their_injections() {
+        // Two replay attackers observe the same bus (same recording) but
+        // must not collide frame for frame: the attacker seed staggers
+        // the injection phase.
+        let profile = AttackProfile::replay_after(SimTime::from_millis(10))
+            .with_schedule(BurstSchedule::Continuous);
+        let horizon = SimTime::from_millis(200);
+        let mk = |attacker_seed: u64| {
+            AttackSource::replay_of(
+                profile,
+                VehicleModel::sonata(),
+                4,
+                55,
+                attacker_seed,
+                horizon,
+            )
+        };
+        let times = |mut src: AttackSource| {
+            let mut ts = Vec::new();
+            while let Some((t, _)) = src.next_frame() {
+                ts.push(t);
+            }
+            ts
+        };
+        let a = times(mk(1));
+        let b = times(mk(2));
+        assert!(!a.is_empty() && !b.is_empty());
+        assert_ne!(a, b, "distinct attacker seeds must stagger injections");
+        // Same attacker seed stays deterministic.
+        assert_eq!(a, times(mk(1)));
+    }
+
+    #[test]
+    fn replay_source_is_deterministic() {
+        let mk = || {
+            AttackProfile::replay()
+                .with_schedule(BurstSchedule::Continuous)
+                .into_source(11, SimTime::from_millis(100))
+        };
+        let mut a = mk();
+        let mut b = mk();
+        for _ in 0..50 {
+            assert_eq!(a.next_frame(), b.next_frame());
+        }
     }
 
     #[test]

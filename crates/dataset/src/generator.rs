@@ -15,7 +15,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
-use crate::attacks::AttackProfile;
+use crate::attacks::{AttackKind, AttackProfile, AttackSource};
 use crate::features::FrameEncoder;
 use crate::record::{Label, LabeledFrame};
 use crate::vehicle::VehicleModel;
@@ -33,8 +33,21 @@ pub struct TrafficConfig {
     pub vehicle_nodes: usize,
     /// Attack to mount, if any.
     pub attack: Option<AttackProfile>,
+    /// Additional attackers overlaid on the same trace, each on its own
+    /// malicious node (multi-attacker captures for N-detector scenarios).
+    pub extra_attacks: Vec<AttackProfile>,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
+}
+
+impl TrafficConfig {
+    /// Every mounted attacker, in node-attachment order.
+    pub fn attackers(&self) -> Vec<AttackProfile> {
+        self.attack
+            .into_iter()
+            .chain(self.extra_attacks.iter().copied())
+            .collect()
+    }
 }
 
 impl Default for TrafficConfig {
@@ -45,6 +58,7 @@ impl Default for TrafficConfig {
             vehicle: VehicleModel::sonata(),
             vehicle_nodes: 4,
             attack: None,
+            extra_attacks: Vec::new(),
             seed: 0xCAFE,
         }
     }
@@ -201,6 +215,7 @@ impl DatasetBuilder {
             vehicle,
             vehicle_nodes,
             attack,
+            extra_attacks,
             seed,
         } = self.config;
 
@@ -211,17 +226,37 @@ impl DatasetBuilder {
             record_events: true,
         });
 
-        let sources = vehicle.into_sources(vehicle_nodes, seed);
+        let sources = vehicle.clone().into_sources(vehicle_nodes, seed);
         for source in sources {
             let node = bus.add_node(CanController::default());
             bus.attach_source(node, Box::new(source.with_horizon(duration)));
         }
 
-        let attacker = attack.map(|profile| {
+        // Each attacker gets its own malicious node with a seed derived
+        // from its attachment index, so overlaid attacks are independent
+        // yet the whole capture stays deterministic. Replay attackers
+        // record *this* capture's vehicle traffic (same model, nodes and
+        // seed) so they re-inject frames the bus genuinely carried; the
+        // per-attacker seed staggers their injection phase, so duplicate
+        // replay profiles interleave rather than collide.
+        let mut attacker_nodes = Vec::new();
+        for (i, profile) in attack.into_iter().chain(extra_attacks).enumerate() {
+            let attack_seed = seed ^ 0x5EED ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(i as u64));
+            let source = match profile.kind {
+                AttackKind::Replay { .. } => AttackSource::replay_of(
+                    profile,
+                    vehicle.clone(),
+                    vehicle_nodes,
+                    seed,
+                    attack_seed,
+                    duration,
+                ),
+                _ => profile.into_source(attack_seed, duration),
+            };
             let node = bus.add_node(CanController::default());
-            bus.attach_source(node, Box::new(profile.into_source(seed ^ 0x5EED, duration)));
-            (node, profile.kind.label())
-        });
+            bus.attach_source(node, Box::new(source));
+            attacker_nodes.push((node, profile.kind.label()));
+        }
 
         bus.run_until(duration);
 
@@ -229,15 +264,53 @@ impl DatasetBuilder {
         let records = events
             .into_iter()
             .map(|e| {
-                let label = match attacker {
-                    Some((node, label)) if e.sender == node => label,
-                    _ => Label::Normal,
-                };
+                let label = attacker_nodes
+                    .iter()
+                    .find(|&&(node, _)| e.sender == node)
+                    .map(|&(_, label)| label)
+                    .unwrap_or(Label::Normal);
                 LabeledFrame::new(e.time, e.frame, label)
             })
             .collect();
         Dataset { records }
     }
+}
+
+/// Composes a capture with two or more attackers overlaid on one trace
+/// — the matching N-attack input for N-detector deployments. Each
+/// profile is mounted on its own malicious node; ground truth carries
+/// each attacker's own label.
+///
+/// Note that overlaid attacks contend for the bus like real attackers: a
+/// saturating DoS flood starves lower-priority injections, so pair it
+/// with bursty schedules when every attack must surface in the capture.
+///
+/// # Example
+///
+/// ```
+/// use canids_dataset::prelude::*;
+/// use canids_dataset::generator::multi_attacker;
+/// use canids_can::time::SimTime;
+///
+/// let ds = multi_attacker(
+///     SimTime::from_millis(400),
+///     &[
+///         AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous),
+///         AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous),
+///     ],
+///     7,
+/// );
+/// assert!(ds.class_count(Label::Fuzzy) > 0);
+/// assert!(ds.class_count(Label::GearSpoof) > 0);
+/// ```
+pub fn multi_attacker(duration: SimTime, profiles: &[AttackProfile], seed: u64) -> Dataset {
+    DatasetBuilder::new(TrafficConfig {
+        duration,
+        extra_attacks: profiles.to_vec(),
+        seed,
+        ..TrafficConfig::default()
+    })
+    .build()
 }
 
 #[cfg(test)]
@@ -353,6 +426,112 @@ mod tests {
         for r in slice.iter() {
             assert!(r.timestamp >= SimTime::from_millis(100));
             assert!(r.timestamp < SimTime::from_millis(200));
+        }
+    }
+
+    #[test]
+    fn multi_attacker_overlays_both_labels() {
+        let profiles = [
+            AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous),
+            AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous),
+        ];
+        let ds = multi_attacker(SimTime::from_millis(400), &profiles, 21);
+        assert!(
+            ds.class_count(Label::Fuzzy) > 100,
+            "{}",
+            ds.class_count(Label::Fuzzy)
+        );
+        assert!(ds.class_count(Label::GearSpoof) > 100);
+        assert!(ds.class_count(Label::Normal) > 100);
+        // Deterministic for equal seeds.
+        let again = multi_attacker(SimTime::from_millis(400), &profiles, 21);
+        assert_eq!(ds, again);
+    }
+
+    #[test]
+    fn saturating_dos_starves_overlaid_attackers() {
+        // Bus-level realism: a continuous 0x000 flood plus normal
+        // traffic exceeds the 500 kb/s capacity, so the random-ID fuzzy
+        // attacker mostly loses arbitration — overlaid attacks contend
+        // rather than compose additively.
+        let ds = multi_attacker(
+            SimTime::from_millis(400),
+            &[
+                AttackProfile::dos().with_schedule(BurstSchedule::Continuous),
+                AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous),
+            ],
+            21,
+        );
+        assert!(ds.class_count(Label::Dos) > 500);
+        let fuzzy = ds.class_count(Label::Fuzzy);
+        assert!(
+            fuzzy < ds.class_count(Label::Dos) / 10,
+            "fuzzy should starve under the flood: {fuzzy}"
+        );
+    }
+
+    #[test]
+    fn extra_attacks_compose_with_primary() {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            attack: Some(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous)),
+            extra_attacks: vec![
+                AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous),
+                AttackProfile::rpm_spoof().with_schedule(BurstSchedule::Continuous),
+            ],
+            seed: 9,
+            ..TrafficConfig::default()
+        })
+        .build();
+        for label in [Label::Fuzzy, Label::GearSpoof, Label::RpmSpoof] {
+            assert!(ds.class_count(label) > 10, "{label}");
+        }
+        let config = TrafficConfig {
+            attack: Some(AttackProfile::dos()),
+            extra_attacks: vec![AttackProfile::fuzzy()],
+            ..TrafficConfig::default()
+        };
+        assert_eq!(config.attackers().len(), 2);
+    }
+
+    #[test]
+    fn replay_capture_reinjects_catalogue_traffic() {
+        let ds = quick(
+            400,
+            Some(
+                AttackProfile::replay_after(SimTime::from_millis(10))
+                    .with_schedule(BurstSchedule::Continuous),
+            ),
+            13,
+        );
+        let replayed: Vec<_> = ds.iter().filter(|r| r.label == Label::Replay).collect();
+        assert!(replayed.len() > 50, "replayed = {}", replayed.len());
+        // Replayed frames carry legitimate catalogue identifiers — they
+        // are indistinguishable by content, only by timing context.
+        let catalogue: std::collections::HashSet<u16> = crate::vehicle::VehicleModel::sonata()
+            .message_ids()
+            .into_iter()
+            .collect();
+        for r in &replayed {
+            assert!(
+                catalogue.contains(&(r.frame.id().raw() as u16)),
+                "replayed {} is not a catalogue frame",
+                r.frame
+            );
+        }
+        // Every replayed (id, payload) pair was genuinely seen earlier as
+        // legitimate traffic.
+        let mut seen = std::collections::HashSet::new();
+        for r in ds.iter() {
+            if r.label == Label::Normal {
+                seen.insert((r.frame.id().raw(), r.frame.data().to_vec()));
+            } else if r.label == Label::Replay {
+                assert!(
+                    seen.contains(&(r.frame.id().raw(), r.frame.data().to_vec())),
+                    "replayed frame not previously observed: {}",
+                    r.frame
+                );
+            }
         }
     }
 

@@ -53,9 +53,9 @@ pub mod stream;
 pub mod vehicle;
 pub mod windows;
 
-pub use attacks::{AttackKind, AttackProfile, BurstSchedule};
+pub use attacks::{AttackKind, AttackProfile, AttackSource, BurstSchedule};
 pub use features::{FrameEncoder, IdBitsPayloadBits, IdPayloadBytes, FEATURE_BITS_DIM};
-pub use generator::{Dataset, DatasetBuilder, TrafficConfig};
+pub use generator::{multi_attacker, Dataset, DatasetBuilder, TrafficConfig};
 pub use record::{Label, LabeledFrame};
 pub use split::{train_test_split, SplitConfig};
 pub use stats::DatasetStats;
@@ -65,9 +65,9 @@ pub use windows::{blocks, FrameBlock};
 
 /// Convenience re-exports for downstream crates and examples.
 pub mod prelude {
-    pub use crate::attacks::{AttackKind, AttackProfile, BurstSchedule};
+    pub use crate::attacks::{AttackKind, AttackProfile, AttackSource, BurstSchedule};
     pub use crate::features::{FrameEncoder, IdBitsPayloadBits, IdPayloadBytes};
-    pub use crate::generator::{Dataset, DatasetBuilder, TrafficConfig};
+    pub use crate::generator::{multi_attacker, Dataset, DatasetBuilder, TrafficConfig};
     pub use crate::record::{Label, LabeledFrame};
     pub use crate::split::{train_test_split, SplitConfig};
     pub use crate::stats::DatasetStats;

@@ -19,6 +19,9 @@ pub enum Label {
     GearSpoof,
     /// Forged RPM frame (spoofing extension).
     RpmSpoof,
+    /// Re-injected legitimate frame (replay extension): previously seen
+    /// identifier and payload, transmitted again after a delay.
+    Replay,
 }
 
 impl Label {
@@ -33,13 +36,14 @@ impl Label {
     }
 
     /// All label variants, in a stable order.
-    pub fn all() -> [Label; 5] {
+    pub fn all() -> [Label; 6] {
         [
             Label::Normal,
             Label::Dos,
             Label::Fuzzy,
             Label::GearSpoof,
             Label::RpmSpoof,
+            Label::Replay,
         ]
     }
 
@@ -62,6 +66,7 @@ impl fmt::Display for Label {
             Label::Fuzzy => "fuzzy",
             Label::GearSpoof => "gear-spoof",
             Label::RpmSpoof => "rpm-spoof",
+            Label::Replay => "replay",
         };
         f.write_str(name)
     }
@@ -103,7 +108,13 @@ mod tests {
     #[test]
     fn attack_labels_are_attacks() {
         assert!(!Label::Normal.is_attack());
-        for l in [Label::Dos, Label::Fuzzy, Label::GearSpoof, Label::RpmSpoof] {
+        for l in [
+            Label::Dos,
+            Label::Fuzzy,
+            Label::GearSpoof,
+            Label::RpmSpoof,
+            Label::Replay,
+        ] {
             assert!(l.is_attack());
             assert_eq!(l.class_index(), 1);
             assert_eq!(l.csv_flag(), 'T');
@@ -115,7 +126,7 @@ mod tests {
     #[test]
     fn all_lists_every_variant_once() {
         let all = Label::all();
-        assert_eq!(all.len(), 5);
+        assert_eq!(all.len(), 6);
         let mut seen = std::collections::HashSet::new();
         for l in all {
             assert!(seen.insert(format!("{l}")));

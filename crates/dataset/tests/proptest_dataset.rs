@@ -19,6 +19,10 @@ fn arb_attack() -> impl Strategy<Value = Option<AttackProfile>> {
         Just(Some(
             AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous)
         )),
+        Just(Some(
+            AttackProfile::replay_after(canids_can::time::SimTime::from_millis(10))
+                .with_schedule(BurstSchedule::Continuous)
+        )),
     ]
 }
 
@@ -47,7 +51,24 @@ fn arb_attack_label() -> impl Strategy<Value = Label> {
         Just(Label::Fuzzy),
         Just(Label::GearSpoof),
         Just(Label::RpmSpoof),
+        Just(Label::Replay),
     ]
+}
+
+/// Non-saturating profiles safe to overlay without starving each other.
+fn arb_overlay_pair() -> impl Strategy<Value = (AttackProfile, AttackProfile)> {
+    let light = || {
+        prop_oneof![
+            Just(AttackProfile::fuzzy().with_schedule(BurstSchedule::Continuous)),
+            Just(AttackProfile::gear_spoof().with_schedule(BurstSchedule::Continuous)),
+            Just(AttackProfile::rpm_spoof().with_schedule(BurstSchedule::Continuous)),
+            Just(
+                AttackProfile::replay_after(canids_can::time::SimTime::from_millis(10))
+                    .with_schedule(BurstSchedule::Continuous)
+            ),
+        ]
+    };
+    (light(), light())
 }
 
 proptest! {
@@ -156,6 +177,67 @@ proptest! {
             prop_assert!(p.timestamp > last, "pacing strictly advances");
             last = p.timestamp;
         }
+    }
+
+    #[test]
+    fn multi_attacker_captures_are_deterministic_and_fully_labelled(
+        seed in 0u64..1_000,
+        pair in arb_overlay_pair(),
+    ) {
+        use canids_dataset::generator::multi_attacker;
+        let (a, b) = pair;
+        let duration = SimTime::from_millis(250);
+        let ds = multi_attacker(duration, &[a, b], seed);
+        let again = multi_attacker(duration, &[a, b], seed);
+        prop_assert_eq!(&ds, &again, "same seed, same overlay capture");
+        // Every record carries a label from the mounted set (or Normal),
+        // and time order holds across the overlaid attackers.
+        let allowed = [Label::Normal, a.kind.label(), b.kind.label()];
+        for r in ds.iter() {
+            prop_assert!(allowed.contains(&r.label), "unexpected label {}", r.label);
+        }
+        for w in ds.records().windows(2) {
+            prop_assert!(w[0].timestamp <= w[1].timestamp);
+        }
+        // Both attackers surface: distinct light profiles cannot starve
+        // each other (same-kind pairs just merge their label counts).
+        prop_assert!(ds.class_count(a.kind.label()) > 0, "first attacker absent");
+        prop_assert!(ds.class_count(b.kind.label()) > 0, "second attacker absent");
+    }
+
+    #[test]
+    fn replay_frames_were_previously_observed(
+        seed in 0u64..1_000,
+    ) {
+        let ds = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(250),
+            attack: Some(
+                AttackProfile::replay_after(SimTime::from_millis(15))
+                    .with_schedule(BurstSchedule::Continuous),
+            ),
+            seed,
+            ..TrafficConfig::default()
+        })
+        .build();
+        let mut seen = std::collections::HashSet::new();
+        let mut replayed = 0usize;
+        for r in ds.iter() {
+            match r.label {
+                Label::Normal => {
+                    seen.insert((r.frame.id().raw(), r.frame.data().to_vec()));
+                }
+                Label::Replay => {
+                    replayed += 1;
+                    prop_assert!(
+                        seen.contains(&(r.frame.id().raw(), r.frame.data().to_vec())),
+                        "replayed frame not previously observed: {}",
+                        r.frame
+                    );
+                }
+                other => prop_assert!(false, "unexpected label {other}"),
+            }
+        }
+        prop_assert!(replayed > 0, "replay attacker injected nothing");
     }
 
     #[test]

@@ -47,6 +47,124 @@ pub struct BatchReport {
     pub per_frame: SimTime,
 }
 
+/// A batch of frames quantised and packed for DMA streaming **once**,
+/// then consumable by any number of accelerator IPs — the shared
+/// feature-packing substrate of the multi-detector deployment (N models
+/// read one packed buffer instead of re-packing per model).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FeatureBatch {
+    xs: Vec<Vec<u32>>,
+    dim: usize,
+}
+
+impl FeatureBatch {
+    /// An empty batch of `dim`-wide frames.
+    pub fn new(dim: usize) -> Self {
+        FeatureBatch {
+            xs: Vec::new(),
+            dim,
+        }
+    }
+
+    /// Quantises and appends one frame's binary features.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InputDimension`] when the vector has the wrong width.
+    pub fn push(&mut self, bits: &[f32]) -> Result<(), SocError> {
+        if bits.len() != self.dim {
+            return Err(SocError::InputDimension {
+                expected: self.dim,
+                actual: bits.len(),
+            });
+        }
+        self.xs
+            .push(bits.iter().map(|&v| u32::from(v >= 0.5)).collect());
+        Ok(())
+    }
+
+    /// Packs a slice of feature vectors in one pass.
+    ///
+    /// # Errors
+    ///
+    /// [`SocError::InputDimension`] when any vector has the wrong width.
+    pub fn from_features(dim: usize, batch: &[Vec<f32>]) -> Result<Self, SocError> {
+        let mut fb = FeatureBatch::new(dim);
+        for bits in batch {
+            fb.push(bits)?;
+        }
+        Ok(fb)
+    }
+
+    /// Frames in the batch.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// `true` when no frame has been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Feature width per frame.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The quantised frames.
+    pub fn frames(&self) -> &[Vec<u32>] {
+        &self.xs
+    }
+
+    /// Empties the batch, keeping its capacity (hot-path reuse between
+    /// DMA windows).
+    pub fn clear(&mut self) {
+        self.xs.clear();
+    }
+}
+
+/// The timing of one DMA transfer of `n` frames into `ip`: one dispatch
+/// plus descriptor setup, then the stream runs at min(DMA bandwidth,
+/// accelerator initiation interval), plus the completion interrupt.
+fn transfer_time(ip: &AcceleratorIp, cpu: &CpuModel, dma: DmaConfig, n: u64) -> SimTime {
+    let bytes = n * u64::from(ip.input_words()) * 4;
+    let stream_s = bytes as f64 / dma.bandwidth_bytes_per_s;
+    let ii_s = ip.initiation_interval() as f64 / ip.clock_hz() as f64;
+    let pipeline_s = ip.latency_secs() + ii_s * (n.saturating_sub(1)) as f64;
+    let compute_s = pipeline_s.max(stream_s);
+    cpu.runtime_dispatch + dma.setup + SimTime::from_secs_f64(compute_s) + dma.completion_irq
+}
+
+/// Runs a pre-packed batch through one IP via a modelled DMA transfer.
+///
+/// # Errors
+///
+/// [`SocError::InputDimension`] when the batch width does not match the
+/// IP input width.
+pub fn run_batch_shared(
+    ip: &AcceleratorIp,
+    cpu: &CpuModel,
+    dma: DmaConfig,
+    batch: &FeatureBatch,
+) -> Result<BatchReport, SocError> {
+    if batch.dim() != ip.input_dim() {
+        return Err(SocError::InputDimension {
+            expected: ip.input_dim(),
+            actual: batch.dim(),
+        });
+    }
+    // Functional results from the (bit-exact) IP model.
+    let classes: Vec<usize> = batch.frames().iter().map(|x| ip.infer(x).0).collect();
+    let n = batch.len() as u64;
+    let total = transfer_time(ip, cpu, dma, n);
+    let per_frame = SimTime::from_nanos(total.as_nanos() / n.max(1));
+    Ok(BatchReport {
+        classes,
+        total,
+        per_frame,
+    })
+}
+
 /// Runs a batch of packed feature vectors through the IP via a modelled
 /// DMA transfer.
 ///
@@ -59,37 +177,72 @@ pub fn run_batch(
     dma: DmaConfig,
     batch: &[Vec<f32>],
 ) -> Result<BatchReport, SocError> {
-    let dim = ip.input_dim();
-    for b in batch {
-        if b.len() != dim {
+    run_batch_shared(
+        ip,
+        cpu,
+        dma,
+        &FeatureBatch::from_features(ip.input_dim(), batch)?,
+    )
+}
+
+/// Result of one batched transfer broadcast to several IPs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiBatchReport {
+    /// Classes per model, outer index = model, inner = frame.
+    pub classes: Vec<Vec<usize>>,
+    /// Per-frame fused verdict: `true` when any model flagged the frame.
+    pub flagged: Vec<bool>,
+    /// Wall time of the whole transfer (software + stream + compute of
+    /// the slowest model).
+    pub total: SimTime,
+    /// Amortised per-frame latency.
+    pub per_frame: SimTime,
+}
+
+/// Broadcasts one pre-packed batch to `ips` over a shared DMA stream:
+/// the descriptor setup and the stream are paid once (every IP taps the
+/// same packed buffer), and the transfer completes when the slowest
+/// model's pipeline drains.
+///
+/// # Errors
+///
+/// [`SocError::NoSuchAccelerator`] when `ips` is empty;
+/// [`SocError::InputDimension`] when the batch width does not match any
+/// IP input width.
+pub fn run_batch_multi(
+    ips: &[&AcceleratorIp],
+    cpu: &CpuModel,
+    dma: DmaConfig,
+    batch: &FeatureBatch,
+) -> Result<MultiBatchReport, SocError> {
+    if ips.is_empty() {
+        return Err(SocError::NoSuchAccelerator(0));
+    }
+    for ip in ips {
+        if batch.dim() != ip.input_dim() {
             return Err(SocError::InputDimension {
-                expected: dim,
-                actual: b.len(),
+                expected: ip.input_dim(),
+                actual: batch.dim(),
             });
         }
     }
-    // Functional results from the (bit-exact) IP model.
-    let classes: Vec<usize> = batch
+    let classes: Vec<Vec<usize>> = ips
         .iter()
-        .map(|bits| {
-            let x: Vec<u32> = bits.iter().map(|&v| u32::from(v >= 0.5)).collect();
-            ip.infer(&x).0
-        })
+        .map(|ip| batch.frames().iter().map(|x| ip.infer(x).0).collect())
         .collect();
-
-    // Timing: one dispatch + descriptor setup, then the stream runs at
-    // min(DMA bandwidth, accelerator II).
+    let flagged: Vec<bool> = (0..batch.len())
+        .map(|f| classes.iter().any(|per_model| per_model[f] != 0))
+        .collect();
     let n = batch.len() as u64;
-    let bytes = n * u64::from(ip.input_words()) * 4;
-    let stream_s = bytes as f64 / dma.bandwidth_bytes_per_s;
-    let ii_s = ip.initiation_interval() as f64 / ip.clock_hz() as f64;
-    let pipeline_s = ip.latency_secs() + ii_s * (n.saturating_sub(1)) as f64;
-    let compute_s = pipeline_s.max(stream_s);
-    let total =
-        cpu.runtime_dispatch + dma.setup + SimTime::from_secs_f64(compute_s) + dma.completion_irq;
+    let total = ips
+        .iter()
+        .map(|ip| transfer_time(ip, cpu, dma, n))
+        .max()
+        .expect("ips checked non-empty");
     let per_frame = SimTime::from_nanos(total.as_nanos() / n.max(1));
-    Ok(BatchReport {
+    Ok(MultiBatchReport {
         classes,
+        flagged,
         total,
         per_frame,
     })
@@ -161,5 +314,80 @@ mod tests {
         let cpu = CpuModel::zynqmp_a53_linux();
         let err = run_batch(&ip, &cpu, DmaConfig::default(), &[vec![0.0; 10]]).unwrap_err();
         assert!(matches!(err, SocError::InputDimension { .. }));
+    }
+
+    #[test]
+    fn shared_batch_packs_once_and_matches_per_vec_path() {
+        let ip = ip();
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let frames = batch(32);
+        let fb = FeatureBatch::from_features(ip.input_dim(), &frames).unwrap();
+        assert_eq!(fb.len(), 32);
+        assert!(!fb.is_empty());
+        let shared = run_batch_shared(&ip, &cpu, DmaConfig::default(), &fb).unwrap();
+        let legacy = run_batch(&ip, &cpu, DmaConfig::default(), &frames).unwrap();
+        assert_eq!(shared, legacy);
+    }
+
+    #[test]
+    fn multi_batch_broadcasts_one_buffer_to_all_models() {
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let a = ip();
+        let b = {
+            let mlp = QuantMlp::new(MlpConfig {
+                seed: 99,
+                ..MlpConfig::paper_4bit()
+            })
+            .unwrap();
+            AcceleratorIp::compile(&mlp.export().unwrap(), CompileConfig::default()).unwrap()
+        };
+        let frames = batch(16);
+        let fb = FeatureBatch::from_features(a.input_dim(), &frames).unwrap();
+        let multi = run_batch_multi(&[&a, &b], &cpu, DmaConfig::default(), &fb).unwrap();
+        assert_eq!(multi.classes.len(), 2);
+        assert_eq!(multi.flagged.len(), 16);
+        // Per-model classes match the single-IP shared path exactly.
+        let only_a = run_batch_shared(&a, &cpu, DmaConfig::default(), &fb).unwrap();
+        let only_b = run_batch_shared(&b, &cpu, DmaConfig::default(), &fb).unwrap();
+        assert_eq!(multi.classes[0], only_a.classes);
+        assert_eq!(multi.classes[1], only_b.classes);
+        for (f, &flag) in multi.flagged.iter().enumerate() {
+            assert_eq!(flag, multi.classes[0][f] != 0 || multi.classes[1][f] != 0);
+        }
+        // The shared stream costs the slowest single transfer, not the sum.
+        assert_eq!(multi.total, only_a.total.max(only_b.total));
+    }
+
+    #[test]
+    fn multi_batch_rejects_empty_and_mismatched() {
+        let cpu = CpuModel::zynqmp_a53_linux();
+        let fb = FeatureBatch::from_features(75, &batch(4)).unwrap();
+        assert!(matches!(
+            run_batch_multi(&[], &cpu, DmaConfig::default(), &fb),
+            Err(SocError::NoSuchAccelerator(0))
+        ));
+        let a = ip();
+        let wrong = FeatureBatch::from_features(10, &[vec![0.0; 10]]).unwrap();
+        assert!(matches!(
+            run_batch_multi(&[&a], &cpu, DmaConfig::default(), &wrong),
+            Err(SocError::InputDimension { .. })
+        ));
+    }
+
+    #[test]
+    fn feature_batch_clear_reuses_buffer() {
+        let mut fb = FeatureBatch::new(3);
+        fb.push(&[1.0, 0.0, 1.0]).unwrap();
+        assert_eq!(fb.frames(), &[vec![1, 0, 1]]);
+        fb.clear();
+        assert!(fb.is_empty());
+        assert_eq!(fb.dim(), 3);
+        assert!(matches!(
+            fb.push(&[1.0]),
+            Err(SocError::InputDimension {
+                expected: 3,
+                actual: 1
+            })
+        ));
     }
 }

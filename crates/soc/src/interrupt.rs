@@ -1,18 +1,41 @@
 //! A GIC-style interrupt controller model.
 //!
 //! Only the facilities the ECU path needs: level interrupt lines (CAN RX,
-//! accelerator done), per-line enables, and a claim/ack cycle.
+//! accelerator done), per-line enables, and a claim/ack cycle. The
+//! controller models 256 SPI lines — enough for the CAN controller plus a
+//! full multi-model PL deployment with one completion line per
+//! accelerator (see [`accel_irq_line`]).
 
 /// Interrupt line assigned to CAN0 RX (mirrors the ZynqMP GIC SPI).
 pub const IRQ_CAN0: u32 = 55;
 /// Interrupt line assigned to the first PL accelerator.
 pub const IRQ_ACCEL0: u32 = 121;
+/// Number of interrupt lines the controller models.
+pub const IRQ_LINES: u32 = 256;
 
-/// A simple 128-line interrupt controller.
+/// The completion-interrupt line of PL accelerator `idx` (consecutive
+/// SPIs starting at [`IRQ_ACCEL0`], as the PL-to-PS interrupt fabric
+/// routes them).
+///
+/// # Panics
+///
+/// Panics when the line would exceed the controller's range.
+pub fn accel_irq_line(idx: usize) -> u32 {
+    let line = IRQ_ACCEL0 + idx as u32;
+    assert!(line < IRQ_LINES, "accelerator {idx} exceeds IRQ fabric");
+    line
+}
+
+/// A simple 256-line interrupt controller.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct InterruptController {
-    pending: u128,
-    enabled: u128,
+    pending: [u128; 2],
+    enabled: [u128; 2],
+}
+
+fn split(line: u32) -> (usize, u128) {
+    assert!(line < IRQ_LINES, "line out of range");
+    ((line / 128) as usize, 1u128 << (line % 128))
 }
 
 impl InterruptController {
@@ -25,13 +48,21 @@ impl InterruptController {
     ///
     /// # Panics
     ///
-    /// Panics when `line >= 128`.
+    /// Panics when `line >= 256`.
     pub fn set_enabled(&mut self, line: u32, enabled: bool) {
-        assert!(line < 128, "line out of range");
+        let (w, bit) = split(line);
         if enabled {
-            self.enabled |= 1 << line;
+            self.enabled[w] |= bit;
         } else {
-            self.enabled &= !(1 << line);
+            self.enabled[w] &= !bit;
+        }
+    }
+
+    /// Whether a line is enabled.
+    pub fn is_enabled(&self, line: u32) -> bool {
+        line < IRQ_LINES && {
+            let (w, bit) = split(line);
+            self.enabled[w] & bit != 0
         }
     }
 
@@ -39,35 +70,39 @@ impl InterruptController {
     ///
     /// # Panics
     ///
-    /// Panics when `line >= 128`.
+    /// Panics when `line >= 256`.
     pub fn raise(&mut self, line: u32) {
-        assert!(line < 128, "line out of range");
-        self.pending |= 1 << line;
+        let (w, bit) = split(line);
+        self.pending[w] |= bit;
     }
 
     /// Highest-priority (lowest-numbered) pending *and enabled* line.
     pub fn claim(&self) -> Option<u32> {
-        let active = self.pending & self.enabled;
-        if active == 0 {
-            None
-        } else {
-            Some(active.trailing_zeros())
+        for (w, (&pending, &enabled)) in self.pending.iter().zip(&self.enabled).enumerate() {
+            let active = pending & enabled;
+            if active != 0 {
+                return Some(w as u32 * 128 + active.trailing_zeros());
+            }
         }
+        None
     }
 
     /// Acknowledges (clears) a pending line.
     ///
     /// # Panics
     ///
-    /// Panics when `line >= 128`.
+    /// Panics when `line >= 256`.
     pub fn ack(&mut self, line: u32) {
-        assert!(line < 128, "line out of range");
-        self.pending &= !(1 << line);
+        let (w, bit) = split(line);
+        self.pending[w] &= !bit;
     }
 
     /// Whether a line is pending (regardless of enable).
     pub fn is_pending(&self, line: u32) -> bool {
-        line < 128 && self.pending & (1 << line) != 0
+        line < IRQ_LINES && {
+            let (w, bit) = split(line);
+            self.pending[w] & bit != 0
+        }
     }
 }
 
@@ -82,6 +117,7 @@ mod tests {
         assert_eq!(gic.claim(), None);
         gic.set_enabled(IRQ_CAN0, true);
         assert_eq!(gic.claim(), Some(IRQ_CAN0));
+        assert!(gic.is_enabled(IRQ_CAN0));
     }
 
     #[test]
@@ -108,9 +144,30 @@ mod tests {
     }
 
     #[test]
+    fn upper_word_lines_work() {
+        // An 8-detector deployment uses accelerator lines 121..=128; line
+        // 128 crosses into the second word.
+        let mut gic = InterruptController::new();
+        let line = accel_irq_line(7);
+        assert_eq!(line, 128);
+        gic.set_enabled(line, true);
+        gic.raise(line);
+        assert_eq!(gic.claim(), Some(line));
+        gic.ack(line);
+        assert_eq!(gic.claim(), None);
+        assert!(!gic.is_pending(line));
+    }
+
+    #[test]
+    fn accel_lines_are_consecutive() {
+        assert_eq!(accel_irq_line(0), IRQ_ACCEL0);
+        assert_eq!(accel_irq_line(3), IRQ_ACCEL0 + 3);
+    }
+
+    #[test]
     #[should_panic(expected = "line out of range")]
     fn out_of_range_line_panics() {
         let mut gic = InterruptController::new();
-        gic.raise(128);
+        gic.raise(256);
     }
 }

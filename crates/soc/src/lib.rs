@@ -52,11 +52,16 @@ pub use axi::{AxiInterconnect, MmioDevice};
 pub use board::{BoardConfig, Zcu104Board, ACCEL_BASE, ACCEL_STRIDE};
 pub use cancontroller::CanPeripheral;
 pub use cpu::CpuModel;
-pub use dma::{run_batch, BatchReport, DmaConfig};
-pub use driver::{run_inference, InferenceBreakdown, InferenceRecord};
-pub use ecu::{Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, ServiceQueue};
+pub use dma::{
+    run_batch, run_batch_multi, run_batch_shared, BatchReport, DmaConfig, FeatureBatch,
+    MultiBatchReport,
+};
+pub use driver::{run_inference, run_inference_irq, InferenceBreakdown, InferenceRecord};
+pub use ecu::{
+    Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, SchedPolicy, ServiceQueue,
+};
 pub use error::SocError;
-pub use interrupt::InterruptController;
+pub use interrupt::{accel_irq_line, InterruptController};
 pub use power_rails::{BoardPowerModel, PowerMonitor, Rail};
 
 /// Convenience re-exports for downstream crates and examples.
@@ -64,9 +69,11 @@ pub mod prelude {
     pub use crate::accel::pack_features;
     pub use crate::board::{BoardConfig, Zcu104Board};
     pub use crate::cpu::CpuModel;
+    pub use crate::dma::{DmaConfig, FeatureBatch};
     pub use crate::driver::{InferenceBreakdown, InferenceRecord};
     pub use crate::ecu::{
-        Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, ServiceQueue,
+        Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, SchedPolicy,
+        ServiceQueue,
     };
     pub use crate::error::SocError;
     pub use crate::power_rails::{BoardPowerModel, PowerMonitor};
