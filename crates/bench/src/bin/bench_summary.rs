@@ -1,14 +1,14 @@
 //! Per-PR perf snapshot: times the hot substrates the ROADMAP tracks
 //! (dense linear forward, cycle-accurate simulator step, streaming
-//! line-rate harness, N-detector multi-model line rate) and writes them
-//! as a small JSON file so the per-PR perf trajectory accumulates
-//! in-tree.
+//! line-rate harness, N-detector multi-model line rate, cross-ECU fleet
+//! line rate) and writes them as a small JSON file so the per-PR perf
+//! trajectory accumulates in-tree.
 //!
 //! ```sh
 //! cargo run --release -p canids-bench --bin bench_summary [out.json]
 //! ```
 //!
-//! Defaults to `BENCH_3.json` in the current directory.
+//! Defaults to `BENCH_4.json` in the current directory.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -17,6 +17,9 @@ use canids_bench::untrained_model;
 use canids_can::time::SimTime;
 use canids_can::timing::Bitrate;
 use canids_core::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
+use canids_core::fleet::{
+    fleet_line_rate, AdmissionPolicy, BoardSpec, FleetConfig, FleetPlan, FleetReplayConfig,
+};
 use canids_core::stream::{multi_line_rate, replay_line_rate, LineRateScenario};
 use canids_dataflow::folding::{auto_fold, FoldingGoal};
 use canids_dataflow::graph::DataflowGraph;
@@ -65,7 +68,7 @@ fn pr_number(path: &str) -> u32 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_3.json".to_owned());
+        .unwrap_or_else(|| "BENCH_4.json".to_owned());
     let pr = pr_number(&out_path);
 
     // 1. The ROADMAP's named hot kernel: linear_forward at the paper's
@@ -165,6 +168,82 @@ fn main() {
         })
         .collect();
 
+    // 5. Cross-ECU fleet: the ISSUE-4 acceptance scenario — 12 detectors
+    // sharded two per board over six boards of three device classes,
+    // replayed through the gateway model. The DMA-batch integration
+    // absorbs the saturated 1 Mb/s backbone; a per-message sequential
+    // overload at 750 kb/s contrasts today's FIFO drops with the
+    // shed-lowest-value admission policy (graceful degradation, zero
+    // drops).
+    let fleet_bundles: Vec<DetectorBundle> = (0..12)
+        .map(|i| {
+            let mlp = QuantMlp::new(MlpConfig {
+                seed: 400 + i as u64,
+                ..MlpConfig::paper_4bit()
+            })
+            .expect("paper topology");
+            DetectorBundle::new(kinds[i % 4], mlp.export().expect("export"))
+        })
+        .collect();
+    let fleet_config = FleetConfig::new(vec![
+        BoardSpec::zcu104("zcu-a"),
+        BoardSpec::zcu104("zcu-b"),
+        BoardSpec::ultra96("u96-a"),
+        BoardSpec::ultra96("u96-b"),
+        BoardSpec::pynq_z2("pynq-a"),
+        BoardSpec::pynq_z2("pynq-b"),
+    ])
+    .with_model_cap(2);
+    let fleet_plan = FleetPlan::build(&fleet_bundles, &fleet_config).expect("fleet plan fits");
+    let fleet = fleet_plan
+        .deploy(&fleet_bundles, &CompileConfig::default())
+        .expect("fleet compiles");
+    let priorities: Vec<u32> = (0..12u32).map(|i| 100 - i).collect();
+    let overload_ecu = EcuConfig {
+        policy: SchedPolicy::Sequential,
+        ..EcuConfig::default()
+    };
+    let fleet_replays = [
+        (
+            "dma-batch-32 @ 1M",
+            FleetReplayConfig {
+                ecu: EcuConfig {
+                    policy: SchedPolicy::DmaBatch { batch: 32 },
+                    ..EcuConfig::default()
+                },
+                ..FleetReplayConfig::default()
+            },
+        ),
+        (
+            "sequential @ 750k (drop-frames)",
+            FleetReplayConfig {
+                bitrate: Bitrate::new(750_000),
+                ecu: overload_ecu,
+                ..FleetReplayConfig::default()
+            },
+        ),
+        (
+            "sequential @ 750k (shed-lowest-value)",
+            FleetReplayConfig {
+                bitrate: Bitrate::new(750_000),
+                ecu: overload_ecu,
+                admission: AdmissionPolicy::ShedLowestValue {
+                    priorities: priorities.clone(),
+                },
+                ..FleetReplayConfig::default()
+            },
+        ),
+    ];
+    let fleet_reports: Vec<_> = fleet_replays
+        .iter()
+        .map(|(label, config)| {
+            (
+                *label,
+                fleet_line_rate(&multi_capture, &fleet, config).expect("fleet replay"),
+            )
+        })
+        .collect();
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"pr\": {pr},");
@@ -173,7 +252,8 @@ fn main() {
     let _ = writeln!(json, "    \"seed_baseline_us\": 120.0");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"accel_sim_sequential_fold\": {{");
-    let _ = writeln!(json, "    \"us_per_frame\": {sim_us_per_frame:.3}");
+    let _ = writeln!(json, "    \"us_per_frame\": {sim_us_per_frame:.3},");
+    let _ = writeln!(json, "    \"pr3_baseline_us_per_frame\": 38.829");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"line_rate_harness\": [");
     for (i, r) in reports.iter().enumerate() {
@@ -234,6 +314,44 @@ fn main() {
             json,
             "{}",
             if i + 1 < multi_reports.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"fleet_line_rate\": {{");
+    let _ = writeln!(json, "    \"detectors\": {},", fleet.models());
+    let _ = writeln!(json, "    \"boards\": {},", fleet.shards.len());
+    let _ = writeln!(
+        json,
+        "    \"max_shard_utilization\": {:.4},",
+        fleet_plan.max_utilization()
+    );
+    let _ = writeln!(json, "    \"replays\": [");
+    for (i, (label, r)) in fleet_reports.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"scenario\": \"{label}\",");
+        let _ = writeln!(json, "        \"admission\": \"{}\",", r.policy);
+        let _ = writeln!(json, "        \"bitrate_bps\": {},", r.bitrate_bps);
+        let _ = writeln!(json, "        \"offered_fps\": {:.1},", r.offered_fps);
+        let _ = writeln!(
+            json,
+            "        \"p50_latency_us\": {:.3},",
+            r.p50_latency.as_micros_f64()
+        );
+        let _ = writeln!(
+            json,
+            "        \"p99_latency_us\": {:.3},",
+            r.p99_latency.as_micros_f64()
+        );
+        let _ = writeln!(json, "        \"dropped\": {},", r.dropped);
+        let _ = writeln!(json, "        \"shed_events\": {},", r.shed_count());
+        let _ = writeln!(json, "        \"fleet_power_w\": {:.3},", r.mean_power_w);
+        let _ = writeln!(json, "        \"keeps_up\": {}", r.keeps_up());
+        let _ = write!(json, "      }}");
+        let _ = writeln!(
+            json,
+            "{}",
+            if i + 1 < fleet_reports.len() { "," } else { "" }
         );
     }
     let _ = writeln!(json, "    ]");

@@ -11,6 +11,7 @@ use crate::filter::FilterBank;
 use crate::frame::CanFrame;
 use crate::node::CanController;
 use crate::time::SimTime;
+use crate::timing::{frame_duration, frame_slot_duration, Bitrate};
 
 /// Forwarding rule set between two segments.
 #[derive(Debug, Clone, Default)]
@@ -141,6 +142,83 @@ impl Gateway {
     }
 }
 
+/// Analytic store-and-forward latency model of one gateway port: when a
+/// frame observed complete on the source segment becomes visible on a
+/// destination segment.
+///
+/// The full [`Gateway`] + [`Bus`] pair simulates forwarding with real
+/// arbitration; replay harnesses that pace thousands of frames per
+/// second (the cross-ECU fleet's `fleet_line_rate`) need the same
+/// first-order facts — the store-and-forward processing delay and the
+/// destination segment's serialisation — without running a second
+/// event-driven bus per board. This forwarder keeps exactly that state:
+/// a frame released at `arrival + delay` waits for the destination wire
+/// to go idle, then occupies it for its own duration plus the
+/// interframe space, so a gateway feeding a slower (or busy) segment
+/// builds real queueing delay instead of broadcasting frames for free.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::frame::{CanFrame, CanId};
+/// use canids_can::gateway::SegmentForwarder;
+/// use canids_can::time::SimTime;
+/// use canids_can::timing::Bitrate;
+///
+/// let mut fwd = SegmentForwarder::new(Bitrate::HIGH_SPEED_1M, SimTime::from_micros(20));
+/// let f = CanFrame::new(CanId::standard(0x316)?, &[0u8; 8])?;
+/// let delivered = fwd.forward(SimTime::from_micros(100), &f);
+/// // Processing delay plus the frame's own wire time on the far side.
+/// assert!(delivered >= SimTime::from_micros(120));
+/// # Ok::<(), canids_can::error::FrameError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SegmentForwarder {
+    bitrate: Bitrate,
+    delay: SimTime,
+    busy_until: SimTime,
+    forwarded: u64,
+}
+
+impl SegmentForwarder {
+    /// A forwarder onto a destination segment running at `bitrate`, with
+    /// a per-frame store-and-forward processing `delay`.
+    pub fn new(bitrate: Bitrate, delay: SimTime) -> Self {
+        SegmentForwarder {
+            bitrate,
+            delay,
+            busy_until: SimTime::ZERO,
+            forwarded: 0,
+        }
+    }
+
+    /// Destination segment bitrate.
+    pub fn bitrate(&self) -> Bitrate {
+        self.bitrate
+    }
+
+    /// Frames forwarded so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Forwards a frame observed complete on the source segment at
+    /// `arrival`; returns its end-of-frame time on the destination
+    /// segment.
+    ///
+    /// Successive deliveries are strictly increasing (the destination
+    /// wire serialises frames), so the output order matches the input
+    /// order even when the processing delay varies upstream.
+    pub fn forward(&mut self, arrival: SimTime, frame: &CanFrame) -> SimTime {
+        let release = arrival + self.delay;
+        let start = release.max(self.busy_until);
+        let delivered = start + frame_duration(frame, self.bitrate);
+        self.busy_until = start + frame_slot_duration(frame, self.bitrate);
+        self.forwarded += 1;
+        delivered
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -241,6 +319,74 @@ mod tests {
         assert_eq!(gw.stats().b_to_a, 0);
         a.run_until(SimTime::from_millis(10));
         assert_eq!(gw.stats().a_to_b, 1);
+    }
+
+    #[test]
+    fn segment_forwarder_adds_delay_and_wire_time() {
+        let mut fwd = SegmentForwarder::new(Bitrate::HIGH_SPEED_1M, SimTime::from_micros(20));
+        let f = frame(0x316);
+        let t0 = SimTime::from_millis(1);
+        let delivered = fwd.forward(t0, &f);
+        let wire = crate::timing::frame_duration(&f, Bitrate::HIGH_SPEED_1M);
+        assert_eq!(delivered, t0 + SimTime::from_micros(20) + wire);
+        assert_eq!(fwd.forwarded(), 1);
+    }
+
+    #[test]
+    fn segment_forwarder_serialises_bursts() {
+        // Two frames arriving simultaneously cannot share the far wire:
+        // the second queues behind the first's full slot.
+        let mut fwd = SegmentForwarder::new(Bitrate::HIGH_SPEED_500K, SimTime::ZERO);
+        let f = frame(0x100);
+        let t0 = SimTime::from_micros(50);
+        let first = fwd.forward(t0, &f);
+        let second = fwd.forward(t0, &f);
+        let slot = crate::timing::frame_slot_duration(&f, Bitrate::HIGH_SPEED_500K);
+        assert_eq!(second, first + slot);
+        // Strictly increasing delivery order.
+        let third = fwd.forward(t0, &f);
+        assert!(third > second);
+    }
+
+    #[test]
+    fn segment_forwarder_matches_full_gateway_simulation() {
+        // The analytic model must not undercut the event-driven gateway:
+        // a frame through Gateway+Bus arrives no earlier than the
+        // forwarder's first-order prediction (the full simulation adds
+        // arbitration and pump-granularity skew on top).
+        let (mut a, mut b) = two_segments();
+        let src = a.add_node(CanController::default());
+        let sink = b.add_node(CanController::default());
+        let delay = SimTime::from_millis(1);
+        let mut gw = Gateway::attach(
+            &mut a,
+            &mut b,
+            GatewayConfig {
+                forward_delay: delay,
+                ..GatewayConfig::default()
+            },
+        );
+        a.attach_source(
+            src,
+            Box::new(vec![(SimTime::ZERO, frame(0x42))].into_iter()),
+        );
+        a.run_until(SimTime::from_millis(1));
+        let ev_a = a.take_events();
+        let arrival_on_a = ev_a[0].time;
+        gw.pump(&mut a, &mut b, &ev_a, &[]);
+        b.run_until(SimTime::from_millis(20));
+        let rx = b.controller_mut(sink).pop_rx().unwrap();
+
+        let mut fwd = SegmentForwarder::new(Bitrate::LOW_SPEED_125K, delay);
+        let predicted = fwd.forward(arrival_on_a, &frame(0x42));
+        assert!(
+            rx.timestamp >= predicted,
+            "full sim {} earlier than analytic {predicted}",
+            rx.timestamp
+        );
+        // And within one frame slot of it (no hidden extra latency).
+        let slot = crate::timing::frame_slot_duration(&frame(0x42), Bitrate::LOW_SPEED_125K);
+        assert!(rx.timestamp <= predicted + slot + slot);
     }
 
     #[test]

@@ -49,6 +49,36 @@ pub enum CoreError {
         /// The plan entry's IP-core name.
         name: String,
     },
+    /// A fleet action needs at least one board.
+    EmptyFleet,
+    /// The cross-ECU partitioner could not place a detector on *any*
+    /// board of the fleet, even with the fold-deepest ladder. Carries the
+    /// closest-fit board's shortfall (the board whose rejection was
+    /// smallest), so the caller sees how far the fleet is from fitting.
+    /// `resource` is one of the device classes, or `"SLOTS"` when every
+    /// board is at its admission-control model cap.
+    FleetOverflow {
+        /// Index of the detector that could not be placed.
+        detector: usize,
+        /// Its IP-core name (kind slug).
+        name: String,
+        /// Boards tried.
+        boards: usize,
+        /// The limiting class on the closest-fit board.
+        resource: &'static str,
+        /// Amount that board would need.
+        required: u64,
+        /// That board's capacity.
+        capacity: u64,
+    },
+    /// An admission policy carries per-model priorities whose length does
+    /// not match the fleet's detector count.
+    PriorityMismatch {
+        /// Detectors in the fleet.
+        expected: usize,
+        /// Priorities supplied.
+        actual: usize,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -78,6 +108,23 @@ impl fmt::Display for CoreError {
                 "bundle {detector} does not match plan entry {name}; rebuild the plan for this \
                  bundle set"
             ),
+            CoreError::EmptyFleet => write!(f, "fleet needs at least one board"),
+            CoreError::FleetOverflow {
+                detector,
+                name,
+                boards,
+                resource,
+                required,
+                capacity,
+            } => write!(
+                f,
+                "fleet cannot place detector {detector} ({name}) on any of {boards} board(s); \
+                 closest fit still needs {required} {resource} of {capacity}"
+            ),
+            CoreError::PriorityMismatch { expected, actual } => write!(
+                f,
+                "admission policy carries {actual} priorities for {expected} detectors"
+            ),
         }
     }
 }
@@ -91,7 +138,10 @@ impl Error for CoreError {
             CoreError::DegenerateCapture { .. }
             | CoreError::PlanOverflow { .. }
             | CoreError::EmptyDeployment
-            | CoreError::PlanMismatch { .. } => None,
+            | CoreError::PlanMismatch { .. }
+            | CoreError::EmptyFleet
+            | CoreError::FleetOverflow { .. }
+            | CoreError::PriorityMismatch { .. } => None,
         }
     }
 }

@@ -1,0 +1,1546 @@
+//! The cross-ECU fleet subsystem: one detector fleet sharded across
+//! several heterogeneous boards, one level above [`crate::deploy`].
+//!
+//! The single-board engine answers "how many detectors fit on *this*
+//! device"; a vehicle has more detectors than any one ECU should carry,
+//! and its sibling architecture work argues for the IDS as a
+//! distributed, gateway-coupled function. This module is that layer:
+//!
+//! 1. **Partitioning** — [`FleetPlan::build`] assigns N
+//!    [`DetectorBundle`]s to M boards ([`BoardSpec`]: device, clock,
+//!    optional admission-control model cap), keeping per-board
+//!    utilisation balanced and reusing [`DeploymentPlan::build`] per
+//!    shard so every shard inherits the folding-budget ladder and its
+//!    fit proof. When no board can take a model even fold-deepest,
+//!    [`CoreError::FleetOverflow`] names it and the closest-fit board's
+//!    shortfall.
+//! 2. **Compilation** — [`FleetPlan::deploy`] compiles every shard
+//!    through the single-board engine and keeps the compiled IPs
+//!    board-side, so replays can build fresh ECUs per scenario (the
+//!    simulated board clock is monotonic).
+//! 3. **Serving** — [`fleet_line_rate`] replays one capture through the
+//!    whole fleet at wire pacing. Frames reach each shard through the
+//!    [`canids_can::gateway::SegmentForwarder`] store-and-forward model
+//!    (real forwarding delay + far-segment serialisation, not a free
+//!    broadcast), and a fleet-level [`AdmissionPolicy`] governs
+//!    sustained overload: keep today's FIFO drops
+//!    ([`AdmissionPolicy::DropFrames`]), detach the lowest-value model
+//!    and re-admit it when load subsides
+//!    ([`AdmissionPolicy::ShedLowestValue`]), or migrate the model to
+//!    the board with the most headroom ([`AdmissionPolicy::Rebalance`],
+//!    warm standbys pre-provisioned from real resource remainders).
+//!    [`fleet_policy_sweep`] runs several replay configurations on
+//!    scoped threads, mirroring [`crate::stream::line_rate_sweep`].
+
+use std::collections::BTreeMap;
+
+use canids_can::frame::CanFrame;
+use canids_can::gateway::SegmentForwarder;
+use canids_can::time::SimTime;
+use canids_can::timing::Bitrate;
+use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
+use canids_dataflow::resources::{Device, ResourceEstimate};
+use canids_dataset::attacks::AttackKind;
+use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
+use canids_dataset::generator::Dataset;
+use canids_dataset::record::LabeledFrame;
+use canids_dataset::stream::paced_records;
+use canids_soc::board::{BoardConfig, Zcu104Board};
+use canids_soc::ecu::{EcuConfig, EcuStream, IdsEcu, SchedPolicy};
+
+use crate::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
+use crate::error::CoreError;
+use crate::stream::percentile;
+
+/// One board of the fleet: which device it is, the PL clock its shard is
+/// planned at, and an instance name for reports.
+///
+/// The device and clock drive *planning and compilation* (resource fit,
+/// folding budgets, IP latency facts). The serving runtime models every
+/// board with the ZCU104 SoC (A53/Linux CPU cost model and power
+/// rails) — the only platform the `soc` crate currently simulates — so
+/// per-board power/energy figures are ZCU104-class estimates even for
+/// Ultra96/PYNQ-Z2 shards.
+#[derive(Debug, Clone)]
+pub struct BoardSpec {
+    /// Instance name (e.g. `"front-zcu104"`), unique within the fleet by
+    /// convention.
+    pub name: String,
+    /// The FPGA device the shard must fit.
+    pub device: Device,
+    /// PL clock the shard is planned and compiled at.
+    pub clock_hz: u64,
+}
+
+impl BoardSpec {
+    /// A ZCU104-class board (the paper's target ECU) at 200 MHz.
+    pub fn zcu104(name: &str) -> Self {
+        BoardSpec {
+            name: name.to_owned(),
+            device: Device::ZCU104,
+            clock_hz: 200_000_000,
+        }
+    }
+
+    /// An Ultra96-class board at 150 MHz.
+    pub fn ultra96(name: &str) -> Self {
+        BoardSpec {
+            name: name.to_owned(),
+            device: Device::ULTRA96,
+            clock_hz: 150_000_000,
+        }
+    }
+
+    /// A PYNQ-Z2-class board at 100 MHz (the group's earlier hybrid
+    /// baseline).
+    pub fn pynq_z2(name: &str) -> Self {
+        BoardSpec {
+            name: name.to_owned(),
+            device: Device::PYNQ_Z2,
+            clock_hz: 100_000_000,
+        }
+    }
+}
+
+/// Fleet partitioning parameters.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The boards available to the fleet, in stable index order.
+    pub boards: Vec<BoardSpec>,
+    /// Per-model throughput-target ladder handed to every shard's
+    /// folding-budget allocator (see [`PlanConfig::fps_ladder`]).
+    pub fps_ladder: Vec<f64>,
+    /// Admission control: at most this many models per board, bounding
+    /// the per-board *service* load independently of the resource fit (a
+    /// board can hold dozens of folded IPs it cannot serve at line rate
+    /// under a per-message integration).
+    pub max_models_per_board: Option<usize>,
+}
+
+impl FleetConfig {
+    /// A fleet over `boards` with the default ladder and no model cap.
+    pub fn new(boards: Vec<BoardSpec>) -> Self {
+        FleetConfig {
+            boards,
+            fps_ladder: PlanConfig::default().fps_ladder,
+            max_models_per_board: None,
+        }
+    }
+
+    /// Sets the admission-control model cap (builder style).
+    pub fn with_model_cap(mut self, cap: usize) -> Self {
+        self.max_models_per_board = Some(cap);
+        self
+    }
+}
+
+fn shard_plan_config(spec: &BoardSpec, ladder: &[f64]) -> PlanConfig {
+    PlanConfig {
+        device: spec.device,
+        clock_hz: spec.clock_hz,
+        fps_ladder: ladder.to_vec(),
+    }
+}
+
+/// One board's share of the fleet plan.
+#[derive(Debug, Clone)]
+pub struct FleetShard {
+    /// The board this shard targets.
+    pub spec: BoardSpec,
+    /// Fleet-wide bundle indices assigned here, in assignment order.
+    pub members: Vec<usize>,
+    /// The shard's single-board plan (`None` for a spare board with no
+    /// models — spare capacity is a legitimate migration target).
+    pub plan: Option<DeploymentPlan>,
+}
+
+impl FleetShard {
+    /// Summed planned resources of this shard (zero when spare).
+    pub fn resources(&self) -> ResourceEstimate {
+        self.plan
+            .as_ref()
+            .map(|p| p.total_resources)
+            .unwrap_or_default()
+    }
+
+    /// Peak device utilisation of this shard (zero when spare).
+    pub fn utilization(&self) -> f64 {
+        self.plan.as_ref().map_or(0.0, |p| p.utilization)
+    }
+}
+
+/// A fitted fleet plan: every bundle placed on exactly one board, every
+/// shard proven to fit its device by the single-board allocator.
+#[derive(Debug, Clone)]
+pub struct FleetPlan {
+    /// Per-board shards, index-aligned with the config's board list.
+    pub shards: Vec<FleetShard>,
+    /// Board index per bundle, in bundle order.
+    pub assignment: Vec<usize>,
+}
+
+impl FleetPlan {
+    /// Partitions `bundles` across `config.boards`.
+    ///
+    /// Greedy, capacity-normalised: each bundle goes to the board with
+    /// the lowest current peak utilisation that (a) has a free admission
+    /// slot and (b) still yields a fitting [`DeploymentPlan`] with the
+    /// bundle added — so a small PYNQ-Z2 saturates after a couple of
+    /// models while a ZCU104 keeps absorbing, without hand-tuned
+    /// weights. Re-planning the whole shard per placement keeps the
+    /// fold-deeper ladder in play: a board may accept one more model by
+    /// demoting an existing one.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::EmptyDeployment`] without bundles,
+    /// [`CoreError::EmptyFleet`] without boards,
+    /// [`CoreError::FleetOverflow`] when a bundle fits no board (the
+    /// closest-fit board's shortfall is reported; `resource == "SLOTS"`
+    /// when every board is at the admission cap); lowering errors
+    /// otherwise.
+    pub fn build(bundles: &[DetectorBundle], config: &FleetConfig) -> Result<Self, CoreError> {
+        if bundles.is_empty() {
+            return Err(CoreError::EmptyDeployment);
+        }
+        if config.boards.is_empty() {
+            return Err(CoreError::EmptyFleet);
+        }
+        let m = config.boards.len();
+        let mut members: Vec<Vec<usize>> = vec![Vec::new(); m];
+        let mut plans: Vec<Option<DeploymentPlan>> = vec![None; m];
+        let mut assignment = vec![0usize; bundles.len()];
+
+        for (i, bundle) in bundles.iter().enumerate() {
+            let mut order: Vec<usize> = (0..m).collect();
+            order.sort_by(|&a, &b| {
+                let ua = plans[a].as_ref().map_or(0.0, |p| p.utilization);
+                let ub = plans[b].as_ref().map_or(0.0, |p| p.utilization);
+                ua.total_cmp(&ub).then(a.cmp(&b))
+            });
+
+            // Closest rejection across boards, for the typed overflow —
+            // ranked by *relative* shortfall (required/capacity), since
+            // absolute gaps are incomparable across resource classes
+            // (2 BRAM36 short is much further from fitting than 500 LUTs
+            // short).
+            let mut best_reject: Option<(f64, &'static str, u64, u64)> = None;
+            let mut placed = false;
+            for &b in &order {
+                if let Some(cap) = config.max_models_per_board {
+                    if members[b].len() >= cap {
+                        continue;
+                    }
+                }
+                // Re-planning the whole shard per trial clones the
+                // member models (IntegerMlp weights) — O(N²·M) clones
+                // over a build. Fleets are tens of models on a handful
+                // of boards, and the clones are a few KB each; keeping
+                // the single-board allocator as the one source of fit
+                // truth is worth far more than the copies.
+                let trial: Vec<DetectorBundle> = members[b]
+                    .iter()
+                    .map(|&j| bundles[j].clone())
+                    .chain(std::iter::once(bundle.clone()))
+                    .collect();
+                match DeploymentPlan::build(
+                    &trial,
+                    &shard_plan_config(&config.boards[b], &config.fps_ladder),
+                ) {
+                    Ok(plan) => {
+                        members[b].push(i);
+                        plans[b] = Some(plan);
+                        assignment[i] = b;
+                        placed = true;
+                        break;
+                    }
+                    Err(CoreError::PlanOverflow {
+                        resource,
+                        required,
+                        capacity,
+                        ..
+                    }) => {
+                        let over = required as f64 / capacity.max(1) as f64;
+                        if best_reject.is_none_or(|(o, ..)| over < o) {
+                            best_reject = Some((over, resource, required, capacity));
+                        }
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            if !placed {
+                let (resource, required, capacity) = match best_reject {
+                    Some((_, r, req, cap)) => (r, req, cap),
+                    // Every board skipped at the admission cap.
+                    None => {
+                        let cap = config.max_models_per_board.unwrap_or(0) as u64;
+                        ("SLOTS", cap + 1, cap)
+                    }
+                };
+                return Err(CoreError::FleetOverflow {
+                    detector: i,
+                    name: format!("{}-ids", bundle.kind.slug()),
+                    boards: m,
+                    resource,
+                    required,
+                    capacity,
+                });
+            }
+        }
+
+        let shards = config
+            .boards
+            .iter()
+            .zip(members)
+            .zip(plans)
+            .map(|((spec, members), plan)| FleetShard {
+                spec: spec.clone(),
+                members,
+                plan,
+            })
+            .collect();
+        Ok(FleetPlan { shards, assignment })
+    }
+
+    /// Detectors placed.
+    pub fn models(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Boards carrying at least one model.
+    pub fn occupied_boards(&self) -> usize {
+        self.shards.iter().filter(|s| !s.members.is_empty()).count()
+    }
+
+    /// Worst per-board peak utilisation across the fleet.
+    pub fn max_utilization(&self) -> f64 {
+        self.shards
+            .iter()
+            .map(FleetShard::utilization)
+            .fold(0.0, f64::max)
+    }
+
+    /// Compiles every shard through the single-board engine
+    /// (model-parallel within each shard) and returns the serving-ready
+    /// fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bundles` is not the slice the plan was built from
+    /// (length mismatch).
+    ///
+    /// # Errors
+    ///
+    /// Per-shard compilation and identity errors (see
+    /// [`DeploymentPlan::deploy`]).
+    pub fn deploy(
+        &self,
+        bundles: &[DetectorBundle],
+        base: &CompileConfig,
+    ) -> Result<FleetDeployment, CoreError> {
+        assert_eq!(
+            bundles.len(),
+            self.assignment.len(),
+            "fleet plan was built from a different bundle set"
+        );
+        let mut shards = Vec::with_capacity(self.shards.len());
+        for shard in &self.shards {
+            let sub: Vec<DetectorBundle> =
+                shard.members.iter().map(|&i| bundles[i].clone()).collect();
+            let (ips, kinds) = match &shard.plan {
+                Some(plan) => {
+                    let d = plan.deploy(&sub, base, EcuConfig::default())?;
+                    (d.ips, d.kinds)
+                }
+                None => (Vec::new(), Vec::new()),
+            };
+            shards.push(ShardDeployment {
+                spec: shard.spec.clone(),
+                members: shard.members.clone(),
+                plan: shard.plan.clone(),
+                kinds,
+                ips,
+            });
+        }
+        let mut locations = vec![
+            Slot {
+                shard: usize::MAX,
+                local: usize::MAX,
+            };
+            bundles.len()
+        ];
+        for (s, shard) in shards.iter().enumerate() {
+            for (local, &fleet_idx) in shard.members.iter().enumerate() {
+                locations[fleet_idx] = Slot { shard: s, local };
+            }
+        }
+        Ok(FleetDeployment { shards, locations })
+    }
+}
+
+/// One board's compiled share of the fleet.
+#[derive(Debug, Clone)]
+pub struct ShardDeployment {
+    /// The board this shard runs on.
+    pub spec: BoardSpec,
+    /// Fleet-wide bundle indices, aligned with `ips`.
+    pub members: Vec<usize>,
+    /// The shard's plan (`None` for a spare board).
+    pub plan: Option<DeploymentPlan>,
+    /// Attack kind per compiled IP.
+    pub kinds: Vec<AttackKind>,
+    /// The compiled IPs, in member order.
+    pub ips: Vec<AcceleratorIp>,
+}
+
+/// Where a model runs: board index + accelerator index on that board.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Slot {
+    /// Shard (board) index.
+    pub shard: usize,
+    /// Accelerator index on that board's ECU.
+    pub local: usize,
+}
+
+/// A compiled fleet: per-shard IPs plus the model→slot map. ECUs are
+/// built fresh per replay (the simulated board clock is monotonic), so
+/// one deployment serves any number of scenario/policy replays — in
+/// parallel, since only plain compiled artifacts are shared.
+#[derive(Debug, Clone)]
+pub struct FleetDeployment {
+    /// Per-board shards, index-aligned with the plan's board list.
+    pub shards: Vec<ShardDeployment>,
+    /// Home slot per fleet model, in bundle order.
+    pub locations: Vec<Slot>,
+}
+
+impl FleetDeployment {
+    /// Total detectors across the fleet.
+    pub fn models(&self) -> usize {
+        self.locations.len()
+    }
+}
+
+/// How the fleet reacts to sustained overload of a shard, instead of the
+/// silent per-board FIFO drops the single-board engine defaults to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionPolicy {
+    /// Today's behaviour: a saturated shard drops frames at its FIFO.
+    DropFrames,
+    /// Detach the lowest-priority model of the overloaded shard (its IP
+    /// stays resident) and re-admit it once the shard has drained —
+    /// coverage degrades one model at a time, frames keep flowing.
+    ShedLowestValue {
+        /// Per-model value, in fleet bundle order; higher = shed later.
+        priorities: Vec<u32>,
+    },
+    /// Migrate the overloaded shard's lowest-priority model to the board
+    /// with the most headroom (warm standby pre-provisioned from real
+    /// resource remainders; the model is dark for the migration delay).
+    /// Falls back to shedding when no standby fits anywhere.
+    Rebalance {
+        /// Per-model value, in fleet bundle order; higher = migrated
+        /// later.
+        priorities: Vec<u32>,
+    },
+}
+
+impl AdmissionPolicy {
+    /// Short label for tables and JSON reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            AdmissionPolicy::DropFrames => "drop-frames",
+            AdmissionPolicy::ShedLowestValue { .. } => "shed-lowest-value",
+            AdmissionPolicy::Rebalance { .. } => "rebalance",
+        }
+    }
+
+    fn priorities(&self) -> Option<&[u32]> {
+        match self {
+            AdmissionPolicy::DropFrames => None,
+            AdmissionPolicy::ShedLowestValue { priorities }
+            | AdmissionPolicy::Rebalance { priorities } => Some(priorities),
+        }
+    }
+}
+
+/// Hysteresis thresholds of the per-shard overload detector, as
+/// fractions of the software FIFO depth. Defaults are chosen so that
+/// even a worst-case backlog growth of one frame per arrival cannot
+/// reach the FIFO rim between the high watermark and the shed trigger
+/// (`0.7 · depth + shed_sustain < depth` at the default depth of 64).
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadThresholds {
+    /// Backlog fraction at or above which an arrival counts as hot.
+    pub high_frac: f64,
+    /// Backlog fraction at or below which an arrival counts as cool.
+    pub low_frac: f64,
+    /// Consecutive hot arrivals before the policy acts.
+    pub shed_sustain: u32,
+    /// Consecutive cool arrivals before a shed model is re-admitted.
+    pub readmit_sustain: u32,
+}
+
+impl Default for OverloadThresholds {
+    fn default() -> Self {
+        OverloadThresholds {
+            high_frac: 0.7,
+            low_frac: 0.15,
+            shed_sustain: 12,
+            readmit_sustain: 96,
+        }
+    }
+}
+
+/// How replay arrivals are paced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPacing {
+    /// Back-to-back wire pacing at the replay bitrate (worst-case
+    /// offered load, like [`crate::stream::replay_line_rate`]).
+    Saturated,
+    /// The capture's own timestamps (bursty captures exercise overload
+    /// onset *and* subsidence, which saturated pacing cannot).
+    AsRecorded,
+}
+
+/// One fleet replay configuration.
+#[derive(Debug, Clone)]
+pub struct FleetReplayConfig {
+    /// Backbone bitrate; also the per-board segment rate the gateway
+    /// forwards onto.
+    pub bitrate: Bitrate,
+    /// Arrival pacing.
+    pub pacing: FleetPacing,
+    /// Fleet-level overload governance.
+    pub admission: AdmissionPolicy,
+    /// Base per-shard ECU runtime configuration.
+    pub ecu: EcuConfig,
+    /// Per-board scheduling-policy overrides (board index, policy) —
+    /// heterogeneous fleets run heterogeneous integrations.
+    pub ecu_overrides: Vec<(usize, SchedPolicy)>,
+    /// Gateway store-and-forward processing delay per frame.
+    pub gateway_delay: SimTime,
+    /// Overload-detector hysteresis.
+    pub thresholds: OverloadThresholds,
+    /// Dark time of a migrating model under [`AdmissionPolicy::Rebalance`].
+    pub migration_delay: SimTime,
+}
+
+impl Default for FleetReplayConfig {
+    fn default() -> Self {
+        FleetReplayConfig {
+            bitrate: Bitrate::HIGH_SPEED_1M,
+            pacing: FleetPacing::Saturated,
+            admission: AdmissionPolicy::DropFrames,
+            ecu: EcuConfig::default(),
+            ecu_overrides: Vec::new(),
+            gateway_delay: SimTime::from_micros(20),
+            thresholds: OverloadThresholds::default(),
+            migration_delay: SimTime::from_millis(2),
+        }
+    }
+}
+
+impl FleetReplayConfig {
+    fn ecu_for(&self, board: usize) -> EcuConfig {
+        let mut c = self.ecu;
+        if let Some(&(_, policy)) = self.ecu_overrides.iter().find(|&&(b, _)| b == board) {
+            c.policy = policy;
+        }
+        c
+    }
+}
+
+/// What an admission event did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetAction {
+    /// Model detached from its shard.
+    Shed,
+    /// Previously shed model re-admitted.
+    Readmit,
+    /// Model migrated to another board's warm standby.
+    Migrate {
+        /// Destination board index.
+        to: usize,
+    },
+}
+
+/// One admission-policy event during a replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetEvent {
+    /// Board-local time the action was taken.
+    pub time: SimTime,
+    /// Board the overload was detected on.
+    pub board: usize,
+    /// Fleet model index acted on.
+    pub model: usize,
+    /// What happened.
+    pub action: FleetAction,
+}
+
+/// One board's share of a fleet replay.
+#[derive(Debug, Clone)]
+pub struct FleetBoardReport {
+    /// Board instance name.
+    pub board: String,
+    /// Models homed on this board.
+    pub models: usize,
+    /// Frames offered to this board (every backbone frame is forwarded).
+    pub offered: usize,
+    /// Frames serviced.
+    pub serviced: usize,
+    /// Frames dropped at this board's FIFO.
+    pub dropped: u64,
+    /// Median verdict latency from *backbone* arrival (gateway
+    /// forwarding included).
+    pub p50_latency: SimTime,
+    /// 99th-percentile verdict latency from backbone arrival.
+    pub p99_latency: SimTime,
+    /// Worst verdict latency from backbone arrival.
+    pub max_latency: SimTime,
+    /// Mean board power over the replay.
+    pub mean_power_w: f64,
+    /// Energy per inspected message on this board.
+    pub energy_per_message_j: f64,
+}
+
+/// Outcome of one wire-paced whole-fleet replay.
+#[derive(Debug, Clone)]
+pub struct FleetLineRateReport {
+    /// Admission-policy label the replay ran under.
+    pub policy: String,
+    /// Backbone bitrate (bits per second).
+    pub bitrate_bps: u32,
+    /// Frames offered on the backbone.
+    pub offered: usize,
+    /// Offered load in frames/s.
+    pub offered_fps: f64,
+    /// Frames dropped, summed over every board's FIFO.
+    pub dropped: u64,
+    /// Median fleet verdict latency: per frame, the slowest board's
+    /// verdict measured from backbone arrival.
+    pub p50_latency: SimTime,
+    /// 99th-percentile fleet verdict latency.
+    pub p99_latency: SimTime,
+    /// Worst fleet verdict latency.
+    pub max_latency: SimTime,
+    /// Frames any shard flagged.
+    pub flagged: usize,
+    /// Frames serviced by every board (full fleet coverage).
+    pub fully_covered: usize,
+    /// Summed mean board power across the fleet.
+    pub mean_power_w: f64,
+    /// Summed per-message energy across the fleet.
+    pub energy_per_message_j: f64,
+    /// Per-board breakdown, in board order.
+    pub boards: Vec<FleetBoardReport>,
+    /// Admission events (sheds, re-admissions, migrations), in time
+    /// order.
+    pub events: Vec<FleetEvent>,
+    /// Fused per-frame verdicts: backbone arrival and whether any shard
+    /// flagged it, for frames at least one shard serviced.
+    pub verdicts: Vec<(SimTime, bool)>,
+}
+
+impl FleetLineRateReport {
+    /// `true` when no board dropped a frame.
+    pub fn keeps_up(&self) -> bool {
+        self.dropped == 0
+    }
+
+    /// Shed events (excluding re-admissions and migrations).
+    pub fn shed_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.action == FleetAction::Shed)
+            .count()
+    }
+
+    /// Column headers matching [`FleetLineRateReport::table_row`].
+    pub fn table_header() -> [&'static str; 7] {
+        [
+            "Admission",
+            "Offered fps",
+            "p50",
+            "p99",
+            "Drops",
+            "Events",
+            "Keeps up",
+        ]
+    }
+
+    /// This report as one formatted row for the harness tables.
+    pub fn table_row(&self) -> Vec<String> {
+        vec![
+            self.policy.clone(),
+            format!("{:.0}", self.offered_fps),
+            format!("{:.1} us", self.p50_latency.as_micros_f64()),
+            format!("{:.1} us", self.p99_latency.as_micros_f64()),
+            format!("{}", self.dropped),
+            format!("{}", self.events.len()),
+            if self.keeps_up() { "yes" } else { "NO" }.to_owned(),
+        ]
+    }
+}
+
+/// Per-model replay bookkeeping: where the model may run and where it
+/// currently runs (`None` while shed or mid-migration).
+#[derive(Debug, Clone, Copy)]
+struct ModelState {
+    home: Slot,
+    standby: Option<Slot>,
+    serving: Option<Slot>,
+}
+
+impl ModelState {
+    /// The slot a migration would move this model to, given where it
+    /// currently serves.
+    fn other_slot(&self, from: Slot) -> Option<Slot> {
+        match self.standby {
+            Some(sb) if sb != from => Some(sb),
+            _ if self.home != from => Some(self.home),
+            _ => None,
+        }
+    }
+}
+
+/// Per-shard overload detector state.
+#[derive(Debug, Clone, Default)]
+struct ShardCtl {
+    hot: u32,
+    cool: u32,
+    /// Models shed from this shard: (fleet model, slot it served at).
+    shed: Vec<(usize, Slot)>,
+}
+
+/// Builds a fresh serving ECU for one shard. The runtime board is the
+/// ZCU104 SoC model for every shard (see [`BoardSpec`]); the per-board
+/// heterogeneity lives in the planned resources and compiled IP timing.
+fn build_shard_ecu(
+    shard: &ShardDeployment,
+    standbys: &[AcceleratorIp],
+    config: EcuConfig,
+) -> Result<IdsEcu, CoreError> {
+    let mut board = Zcu104Board::new(BoardConfig::default());
+    let mut models = Vec::with_capacity(shard.ips.len() + standbys.len());
+    for ip in shard.ips.iter().chain(standbys) {
+        models.push(board.attach_accelerator(ip.clone())?);
+    }
+    Ok(IdsEcu::new(board, models, config))
+}
+
+/// Pre-provisions warm standby copies for [`AdmissionPolicy::Rebalance`]:
+/// each model gets at most one standby, on the board (≠ home) whose
+/// *true* resource remainder best absorbs the IP. Models that fit
+/// nowhere simply have no standby (migration falls back to shedding).
+fn place_standbys(
+    deployment: &FleetDeployment,
+    priorities: &[u32],
+) -> (Vec<Vec<AcceleratorIp>>, Vec<Option<Slot>>) {
+    let m = deployment.shards.len();
+    let mut extra_ips: Vec<Vec<AcceleratorIp>> = vec![Vec::new(); m];
+    let mut extra_res: Vec<ResourceEstimate> = vec![ResourceEstimate::default(); m];
+    let mut standby: Vec<Option<Slot>> = vec![None; deployment.locations.len()];
+
+    // Lowest-priority models migrate first, so they get standbys first.
+    let mut order: Vec<usize> = (0..deployment.locations.len()).collect();
+    order.sort_by_key(|&i| (priorities[i], std::cmp::Reverse(i)));
+    for model in order {
+        let home = deployment.locations[model];
+        let ip = &deployment.shards[home.shard].ips[home.local];
+        let need = ip.resources();
+        let mut best: Option<(f64, usize)> = None;
+        for (b, shard) in deployment.shards.iter().enumerate() {
+            if b == home.shard {
+                continue;
+            }
+            let used = shard
+                .plan
+                .as_ref()
+                .map(|p| p.total_resources)
+                .unwrap_or_default()
+                + extra_res[b]
+                + need;
+            if shard.spec.device.first_overflow(used).is_some() {
+                continue;
+            }
+            let frac = shard.spec.device.utilization(used).max_fraction();
+            if best.is_none_or(|(f, _)| frac < f) {
+                best = Some((frac, b));
+            }
+        }
+        if let Some((_, b)) = best {
+            let local = deployment.shards[b].ips.len() + extra_ips[b].len();
+            extra_ips[b].push(ip.clone());
+            extra_res[b] += need;
+            standby[model] = Some(Slot { shard: b, local });
+        }
+    }
+    (extra_ips, standby)
+}
+
+/// Replays one capture through the whole fleet at wire pacing.
+///
+/// Every backbone frame is forwarded to every board through that board's
+/// gateway port ([`SegmentForwarder`]: processing delay + far-segment
+/// serialisation), each shard serves it through the full simulated SoC
+/// path, and the fleet [`AdmissionPolicy`] watches per-shard backlog to
+/// act on sustained overload. Fresh ECUs are built internally, so one
+/// [`FleetDeployment`] supports any number of (possibly concurrent)
+/// replays.
+///
+/// # Errors
+///
+/// [`CoreError::EmptyFleet`] on a fleet with no boards,
+/// [`CoreError::PriorityMismatch`] when the policy's priorities do not
+/// cover every model; driver/bus errors otherwise.
+pub fn fleet_line_rate(
+    capture: &Dataset,
+    deployment: &FleetDeployment,
+    config: &FleetReplayConfig,
+) -> Result<FleetLineRateReport, CoreError> {
+    let m = deployment.shards.len();
+    if m == 0 {
+        return Err(CoreError::EmptyFleet);
+    }
+    let n_models = deployment.models();
+    if let Some(p) = config.admission.priorities() {
+        if p.len() != n_models {
+            return Err(CoreError::PriorityMismatch {
+                expected: n_models,
+                actual: p.len(),
+            });
+        }
+    }
+    let priorities: Vec<u32> = config
+        .admission
+        .priorities()
+        .map(<[u32]>::to_vec)
+        .unwrap_or_else(|| vec![0; n_models]);
+
+    // Warm standbys exist only under Rebalance.
+    let (extra_ips, standbys) = if matches!(config.admission, AdmissionPolicy::Rebalance { .. }) {
+        place_standbys(deployment, &priorities)
+    } else {
+        (vec![Vec::new(); m], vec![None; n_models])
+    };
+
+    let mut model_states: Vec<ModelState> = deployment
+        .locations
+        .iter()
+        .zip(&standbys)
+        .map(|(&home, &standby)| ModelState {
+            home,
+            standby,
+            serving: Some(home),
+        })
+        .collect();
+
+    let depths: Vec<usize> = (0..m)
+        .map(|b| config.ecu_for(b).queue_depth.max(1))
+        .collect();
+    let mut ecus: Vec<IdsEcu> = deployment
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(b, shard)| build_shard_ecu(shard, &extra_ips[b], config.ecu_for(b)))
+        .collect::<Result<_, _>>()?;
+    let mut sessions: Vec<EcuStream<'_>> = ecus.iter_mut().map(IdsEcu::stream).collect();
+    for st in &model_states {
+        if let Some(sb) = st.standby {
+            sessions[sb.shard].set_model_active(sb.local, false);
+        }
+    }
+
+    let encoder = IdBitsPayloadBits;
+    let featurize = |f: &CanFrame| encoder.encode(f);
+    let mut forwarders: Vec<SegmentForwarder> = (0..m)
+        .map(|_| SegmentForwarder::new(config.bitrate, config.gateway_delay))
+        .collect();
+    let mut ctl: Vec<ShardCtl> = vec![ShardCtl::default(); m];
+    // Backbone arrival per frame ordinal, plus the ordinals each board
+    // admitted (in push order). Keying per-frame accounting on the
+    // ordinal, not the timestamp, keeps duplicate-timestamp captures
+    // (possible in external HCRL logs) correctly separated.
+    let mut arrivals: Vec<SimTime> = Vec::new();
+    let mut admitted: Vec<Vec<usize>> = vec![Vec::new(); m];
+    let mut events: Vec<FleetEvent> = Vec::new();
+    let mut pending_activation: Vec<(SimTime, usize, Slot)> = Vec::new();
+    let th = config.thresholds;
+
+    let records: Box<dyn Iterator<Item = LabeledFrame> + '_> = match config.pacing {
+        FleetPacing::Saturated => Box::new(paced_records(capture, config.bitrate)),
+        FleetPacing::AsRecorded => Box::new(capture.iter().copied()),
+    };
+    for rec in records {
+        let arrival = rec.timestamp;
+        let ordinal = arrivals.len();
+        arrivals.push(arrival);
+
+        // Complete due migrations: the standby goes live.
+        pending_activation.retain(|&(t, model, slot)| {
+            if t <= arrival {
+                sessions[slot.shard].set_model_active(slot.local, true);
+                model_states[model].serving = Some(slot);
+                false
+            } else {
+                true
+            }
+        });
+
+        for b in 0..m {
+            let delivered = forwarders[b].forward(arrival, &rec.frame);
+            let dropped_before = sessions[b].dropped();
+            sessions[b].push(delivered, rec.frame, &featurize)?;
+            if sessions[b].dropped() == dropped_before {
+                admitted[b].push(ordinal);
+            }
+
+            if config.admission == AdmissionPolicy::DropFrames {
+                continue;
+            }
+            let frac = sessions[b].backlog() as f64 / depths[b] as f64;
+            if frac >= th.high_frac {
+                ctl[b].hot += 1;
+                ctl[b].cool = 0;
+            } else if frac <= th.low_frac {
+                ctl[b].cool += 1;
+                ctl[b].hot = 0;
+            } else {
+                ctl[b].hot = 0;
+                ctl[b].cool = 0;
+            }
+
+            if ctl[b].hot >= th.shed_sustain {
+                ctl[b].hot = 0;
+                // Victim: the lowest-value model currently served here
+                // (later duplicates go first on ties). A shard never
+                // gives up its last model.
+                let victim = model_states
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(mdl, st)| match st.serving {
+                        Some(sl) if sl.shard == b => Some((mdl, sl)),
+                        _ => None,
+                    })
+                    .min_by_key(|&(mdl, _)| (priorities[mdl], std::cmp::Reverse(mdl)));
+                let Some((victim, slot)) = victim else {
+                    continue;
+                };
+                if sessions[b].active_models() <= 1 {
+                    continue;
+                }
+                let migrate_to = if matches!(config.admission, AdmissionPolicy::Rebalance { .. }) {
+                    model_states[victim].other_slot(slot).filter(|dest| {
+                        let dest_frac =
+                            sessions[dest.shard].backlog() as f64 / depths[dest.shard] as f64;
+                        dest_frac < th.high_frac
+                    })
+                } else {
+                    None
+                };
+                sessions[b].set_model_active(slot.local, false);
+                model_states[victim].serving = None;
+                match migrate_to {
+                    Some(dest) => {
+                        pending_activation.push((delivered + config.migration_delay, victim, dest));
+                        events.push(FleetEvent {
+                            time: delivered,
+                            board: b,
+                            model: victim,
+                            action: FleetAction::Migrate { to: dest.shard },
+                        });
+                    }
+                    None => {
+                        ctl[b].shed.push((victim, slot));
+                        events.push(FleetEvent {
+                            time: delivered,
+                            board: b,
+                            model: victim,
+                            action: FleetAction::Shed,
+                        });
+                    }
+                }
+            } else if ctl[b].cool >= th.readmit_sustain && !ctl[b].shed.is_empty() {
+                ctl[b].cool = 0;
+                // Load has subsided: the most valuable shed model comes
+                // back first.
+                let pos = ctl[b]
+                    .shed
+                    .iter()
+                    .enumerate()
+                    .max_by_key(|&(_, &(mdl, _))| (priorities[mdl], std::cmp::Reverse(mdl)))
+                    .map(|(pos, _)| pos)
+                    .expect("shed list checked non-empty");
+                let (model, slot) = ctl[b].shed.remove(pos);
+                sessions[b].set_model_active(slot.local, true);
+                model_states[model].serving = Some(slot);
+                events.push(FleetEvent {
+                    time: delivered,
+                    board: b,
+                    model,
+                    action: FleetAction::Readmit,
+                });
+            }
+        }
+    }
+
+    let reports: Vec<canids_soc::ecu::EcuReport> = sessions
+        .into_iter()
+        .map(EcuStream::try_finish)
+        .collect::<Result<_, _>>()?;
+
+    // Aggregate: per-board tails from backbone arrival, plus the fused
+    // fleet verdict (slowest board's completion per frame ordinal).
+    let offered = arrivals.len();
+    let mut boards = Vec::with_capacity(m);
+    let mut fused: BTreeMap<usize, (bool, SimTime, usize)> = BTreeMap::new();
+    let mut total_dropped = 0u64;
+    let mut total_power = 0.0;
+    let mut total_energy = 0.0;
+    for (b, report) in reports.iter().enumerate() {
+        debug_assert_eq!(report.detections.len(), admitted[b].len());
+        let mut lat: Vec<SimTime> = report
+            .detections
+            .iter()
+            .zip(&admitted[b])
+            .map(|(d, &ord)| d.completed_at.saturating_sub(arrivals[ord]))
+            .collect();
+        lat.sort_unstable();
+        boards.push(FleetBoardReport {
+            board: deployment.shards[b].spec.name.clone(),
+            models: deployment.shards[b].ips.len(),
+            offered,
+            serviced: report.detections.len(),
+            dropped: report.dropped,
+            p50_latency: percentile(&lat, 0.50),
+            p99_latency: percentile(&lat, 0.99),
+            max_latency: lat.last().copied().unwrap_or(SimTime::ZERO),
+            mean_power_w: report.mean_power_w,
+            energy_per_message_j: report.energy_per_message_j,
+        });
+        total_dropped += report.dropped;
+        total_power += report.mean_power_w;
+        total_energy += report.energy_per_message_j;
+        for (d, &ord) in report.detections.iter().zip(&admitted[b]) {
+            let e = fused.entry(ord).or_insert((false, SimTime::ZERO, 0));
+            e.0 |= d.flagged;
+            e.1 = e.1.max(d.completed_at);
+            e.2 += 1;
+        }
+    }
+    let mut fleet_lat: Vec<SimTime> = fused
+        .iter()
+        .map(|(&ord, &(_, done, _))| done.saturating_sub(arrivals[ord]))
+        .collect();
+    fleet_lat.sort_unstable();
+    let verdicts: Vec<(SimTime, bool)> = fused
+        .iter()
+        .map(|(&ord, &(flagged, _, _))| (arrivals[ord], flagged))
+        .collect();
+    let flagged = verdicts.iter().filter(|&&(_, f)| f).count();
+    let fully_covered = fused.values().filter(|&&(_, _, n)| n == m).count();
+    // Offered load over the capture's own span (external captures carry
+    // epoch timestamps, so an absolute-time denominator would be
+    // nonsense).
+    let span = match (arrivals.first(), arrivals.last()) {
+        (Some(&first), Some(&last)) => last.saturating_sub(first),
+        _ => SimTime::ZERO,
+    };
+    let offered_fps = if span > SimTime::ZERO {
+        offered as f64 / span.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    Ok(FleetLineRateReport {
+        policy: config.admission.label().to_owned(),
+        bitrate_bps: config.bitrate.bits_per_sec(),
+        offered,
+        offered_fps,
+        dropped: total_dropped,
+        p50_latency: percentile(&fleet_lat, 0.50),
+        p99_latency: percentile(&fleet_lat, 0.99),
+        max_latency: fleet_lat.last().copied().unwrap_or(SimTime::ZERO),
+        flagged,
+        fully_covered,
+        mean_power_w: total_power,
+        energy_per_message_j: total_energy,
+        boards,
+        events,
+        verdicts,
+    })
+}
+
+/// Replays one capture under several fleet configurations concurrently
+/// (one scoped thread per replay, like
+/// [`crate::stream::line_rate_sweep`]). Results come back in
+/// configuration order.
+///
+/// # Errors
+///
+/// The first replay error, if any.
+pub fn fleet_policy_sweep(
+    capture: &Dataset,
+    deployment: &FleetDeployment,
+    configs: &[FleetReplayConfig],
+) -> Result<Vec<FleetLineRateReport>, CoreError> {
+    crate::par::scoped_map(configs, |config| {
+        fleet_line_rate(capture, deployment, config)
+    })
+    .into_iter()
+    .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use canids_can::frame::CanId;
+    use canids_dataset::generator::{DatasetBuilder, TrafficConfig};
+    use canids_dataset::record::Label;
+    use canids_qnn::prelude::*;
+
+    fn tiny_model(seed: u64) -> IntegerMlp {
+        QuantMlp::new(MlpConfig {
+            seed,
+            ..MlpConfig::default()
+        })
+        .unwrap()
+        .export()
+        .unwrap()
+    }
+
+    fn bundles(n: usize) -> Vec<DetectorBundle> {
+        let kinds = [
+            AttackKind::Dos,
+            AttackKind::Fuzzy,
+            AttackKind::GearSpoof,
+            AttackKind::RpmSpoof,
+        ];
+        (0..n)
+            .map(|i| DetectorBundle::new(kinds[i % kinds.len()], tiny_model(i as u64 + 1)))
+            .collect()
+    }
+
+    fn hetero_fleet() -> FleetConfig {
+        FleetConfig::new(vec![
+            BoardSpec::zcu104("zcu-a"),
+            BoardSpec::ultra96("u96-a"),
+            BoardSpec::pynq_z2("pynq-a"),
+        ])
+    }
+
+    /// A capture with explicit pacing: `burst` frames every
+    /// `burst_gap_us`, then `quiet` frames every `quiet_gap_us`.
+    fn two_phase_capture(
+        burst: usize,
+        burst_gap_us: u64,
+        quiet: usize,
+        quiet_gap_us: u64,
+    ) -> Dataset {
+        let mut records = Vec::with_capacity(burst + quiet);
+        let mut t = SimTime::ZERO;
+        for i in 0..burst + quiet {
+            let gap = if i < burst {
+                burst_gap_us
+            } else {
+                quiet_gap_us
+            };
+            t += SimTime::from_micros(gap);
+            let frame = CanFrame::new(CanId::standard(0x316).unwrap(), &[i as u8; 8]).unwrap();
+            records.push(LabeledFrame::new(t, frame, Label::Normal));
+        }
+        Dataset::from_records(records)
+    }
+
+    #[test]
+    fn plan_places_every_model_and_every_shard_fits() {
+        let bs = bundles(6);
+        let plan = FleetPlan::build(&bs, &hetero_fleet()).unwrap();
+        assert_eq!(plan.models(), 6);
+        assert_eq!(plan.shards.len(), 3);
+        let mut placed: Vec<usize> = plan
+            .shards
+            .iter()
+            .flat_map(|s| s.members.iter().copied())
+            .collect();
+        placed.sort_unstable();
+        assert_eq!(placed, (0..6).collect::<Vec<_>>(), "exact partition");
+        for shard in &plan.shards {
+            if let Some(p) = &shard.plan {
+                assert!(
+                    shard
+                        .spec
+                        .device
+                        .first_overflow(p.total_resources)
+                        .is_none(),
+                    "{} overflows",
+                    shard.spec.name
+                );
+                assert_eq!(p.models.len(), shard.members.len());
+            } else {
+                assert!(shard.members.is_empty());
+            }
+        }
+        // Capacity-normalised balance: the big ZCU104 carries at least as
+        // many models as the small PYNQ-Z2.
+        assert!(plan.shards[0].members.len() >= plan.shards[2].members.len());
+        assert!(plan.max_utilization() > 0.0);
+    }
+
+    #[test]
+    fn model_cap_overflows_with_slots() {
+        let bs = bundles(5);
+        let config = FleetConfig::new(vec![BoardSpec::zcu104("a"), BoardSpec::zcu104("b")])
+            .with_model_cap(2);
+        let err = FleetPlan::build(&bs, &config).unwrap_err();
+        match err {
+            CoreError::FleetOverflow {
+                detector,
+                boards,
+                resource,
+                required,
+                capacity,
+                ..
+            } => {
+                assert_eq!(detector, 4, "fifth model finds both boards capped");
+                assert_eq!(boards, 2);
+                assert_eq!(resource, "SLOTS");
+                assert!(required > capacity);
+            }
+            other => panic!("expected FleetOverflow, got {other:?}"),
+        }
+        // Four models fit exactly, two per board.
+        let plan = FleetPlan::build(&bundles(4), &config).unwrap();
+        assert!(plan.shards.iter().all(|s| s.members.len() == 2));
+    }
+
+    #[test]
+    fn resource_overflow_names_closest_fit_shortfall() {
+        let toy = Device {
+            name: "toy",
+            luts: 4_000,
+            ffs: 8_000,
+            bram36: 4,
+            dsps: 8,
+        };
+        let boards = vec![
+            BoardSpec {
+                name: "toy-a".to_owned(),
+                device: toy,
+                clock_hz: 100_000_000,
+            },
+            BoardSpec {
+                name: "toy-b".to_owned(),
+                device: toy,
+                clock_hz: 100_000_000,
+            },
+        ];
+        // One model per toy board fits (≈99 % LUT); the third fits
+        // neither, even fold-deepest.
+        let err = FleetPlan::build(&bundles(3), &FleetConfig::new(boards)).unwrap_err();
+        match err {
+            CoreError::FleetOverflow {
+                detector,
+                resource,
+                required,
+                capacity,
+                ..
+            } => {
+                assert_eq!(detector, 2);
+                assert_ne!(resource, "SLOTS");
+                assert!(required > capacity, "{required} !> {capacity}");
+            }
+            other => panic!("expected FleetOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn spare_boards_stay_spare() {
+        let plan = FleetPlan::build(
+            &bundles(1),
+            &FleetConfig::new(vec![BoardSpec::zcu104("a"), BoardSpec::zcu104("b")]),
+        )
+        .unwrap();
+        assert_eq!(plan.shards[0].members, vec![0]);
+        assert!(plan.shards[1].members.is_empty());
+        assert!(plan.shards[1].plan.is_none());
+        assert_eq!(plan.shards[1].resources(), ResourceEstimate::default());
+        assert_eq!(plan.occupied_boards(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_rejected() {
+        assert!(matches!(
+            FleetPlan::build(&[], &hetero_fleet()),
+            Err(CoreError::EmptyDeployment)
+        ));
+        assert!(matches!(
+            FleetPlan::build(&bundles(1), &FleetConfig::new(Vec::new())),
+            Err(CoreError::EmptyFleet)
+        ));
+    }
+
+    #[test]
+    fn priorities_must_cover_every_model() {
+        let bs = bundles(2);
+        let plan = FleetPlan::build(&bs, &hetero_fleet()).unwrap();
+        let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
+        let capture = two_phase_capture(5, 500, 0, 0);
+        let err = fleet_line_rate(
+            &capture,
+            &deployment,
+            &FleetReplayConfig {
+                admission: AdmissionPolicy::ShedLowestValue {
+                    priorities: vec![1],
+                },
+                ..FleetReplayConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::PriorityMismatch {
+                expected: 2,
+                actual: 1
+            }
+        ));
+    }
+
+    #[test]
+    fn fleet_replay_accounts_every_frame_per_board() {
+        let bs = bundles(3);
+        let plan = FleetPlan::build(&bs, &hetero_fleet()).unwrap();
+        let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
+        let capture = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(120),
+            seed: 0xF1EE7,
+            ..TrafficConfig::default()
+        })
+        .build();
+        let config = FleetReplayConfig {
+            ecu: EcuConfig {
+                policy: SchedPolicy::DmaBatch { batch: 32 },
+                ..EcuConfig::default()
+            },
+            ..FleetReplayConfig::default()
+        };
+        let report = fleet_line_rate(&capture, &deployment, &config).unwrap();
+        assert_eq!(report.offered, capture.len());
+        assert_eq!(report.boards.len(), 3);
+        assert_eq!(report.dropped, 0, "DMA batch absorbs 1 Mb/s per shard");
+        assert_eq!(report.fully_covered, report.offered);
+        assert_eq!(report.verdicts.len(), report.offered);
+        assert!(report.keeps_up());
+        assert!(report.events.is_empty(), "DropFrames never acts");
+        for b in &report.boards {
+            assert_eq!(b.offered, report.offered);
+            assert_eq!(b.serviced + b.dropped as usize, b.offered);
+            assert!(b.mean_power_w > 0.0);
+            assert!(b.p50_latency <= b.p99_latency);
+        }
+        // Gateway coupling is not free: every fleet verdict pays at least
+        // the store-and-forward delay plus the far-segment wire time.
+        assert!(
+            report.p50_latency > config.gateway_delay,
+            "p50 {} must exceed the forwarding floor",
+            report.p50_latency
+        );
+        assert!(report.p99_latency <= report.max_latency);
+        assert!(report.offered_fps > 1_000.0, "saturated pacing");
+    }
+
+    #[test]
+    fn shed_then_readmit_when_load_subsides() {
+        // One ZCU104, two models, per-message sequential serving: the
+        // 150 us burst overloads the 2-model service (~240 us/frame) but
+        // is sustainable with one (~120 us/frame); the quiet tail lets
+        // the shard re-admit.
+        let bs = bundles(2);
+        let plan =
+            FleetPlan::build(&bs, &FleetConfig::new(vec![BoardSpec::zcu104("solo")])).unwrap();
+        let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
+        let capture = two_phase_capture(300, 150, 200, 1_000);
+        let config = FleetReplayConfig {
+            pacing: FleetPacing::AsRecorded,
+            admission: AdmissionPolicy::ShedLowestValue {
+                priorities: vec![5, 1],
+            },
+            ecu: EcuConfig {
+                policy: SchedPolicy::Sequential,
+                ..EcuConfig::default()
+            },
+            ..FleetReplayConfig::default()
+        };
+        let report = fleet_line_rate(&capture, &deployment, &config).unwrap();
+        assert_eq!(report.dropped, 0, "shedding must prevent FIFO drops");
+        let sheds: Vec<&FleetEvent> = report
+            .events
+            .iter()
+            .filter(|e| e.action == FleetAction::Shed)
+            .collect();
+        let readmits: Vec<&FleetEvent> = report
+            .events
+            .iter()
+            .filter(|e| e.action == FleetAction::Readmit)
+            .collect();
+        assert_eq!(
+            sheds.len(),
+            1,
+            "one shed rides out the burst: {:?}",
+            report.events
+        );
+        assert_eq!(
+            readmits.len(),
+            1,
+            "quiet tail re-admits: {:?}",
+            report.events
+        );
+        assert_eq!(sheds[0].model, 1, "the lowest-priority model sheds");
+        assert_eq!(readmits[0].model, 1);
+        assert!(sheds[0].time < readmits[0].time);
+        assert_eq!(report.verdicts.len(), report.offered);
+    }
+
+    #[test]
+    fn rebalance_migrates_to_the_spare_board() {
+        // Two boards, both models homed on the first; the second is
+        // spare. Under the same overload the rebalancer moves the
+        // lowest-priority model to the spare board's warm standby instead
+        // of shedding it.
+        let bs = bundles(2);
+        let plan = FleetPlan::build(
+            &bs,
+            &FleetConfig::new(vec![BoardSpec::zcu104("busy"), BoardSpec::zcu104("spare")])
+                .with_model_cap(2),
+        )
+        .unwrap();
+        // The greedy partitioner spreads 2 models over 2 empty boards, so
+        // force co-location through a single-board plan first.
+        let colocated =
+            FleetPlan::build(&bs, &FleetConfig::new(vec![BoardSpec::zcu104("busy")])).unwrap();
+        let mut shards = colocated.shards;
+        shards.push(FleetShard {
+            spec: BoardSpec::zcu104("spare"),
+            members: Vec::new(),
+            plan: None,
+        });
+        let forced = FleetPlan {
+            shards,
+            assignment: colocated.assignment,
+        };
+        drop(plan);
+        let deployment = forced.deploy(&bs, &CompileConfig::default()).unwrap();
+        assert_eq!(deployment.shards[0].ips.len(), 2);
+        assert!(deployment.shards[1].ips.is_empty());
+
+        let capture = two_phase_capture(300, 150, 100, 1_000);
+        let config = FleetReplayConfig {
+            pacing: FleetPacing::AsRecorded,
+            admission: AdmissionPolicy::Rebalance {
+                priorities: vec![5, 1],
+            },
+            ecu: EcuConfig {
+                policy: SchedPolicy::Sequential,
+                ..EcuConfig::default()
+            },
+            ..FleetReplayConfig::default()
+        };
+        let report = fleet_line_rate(&capture, &deployment, &config).unwrap();
+        assert_eq!(report.dropped, 0, "migration must prevent FIFO drops");
+        let migrations: Vec<&FleetEvent> = report
+            .events
+            .iter()
+            .filter(|e| matches!(e.action, FleetAction::Migrate { .. }))
+            .collect();
+        assert_eq!(
+            migrations.len(),
+            1,
+            "one migration settles the fleet: {:?}",
+            report.events
+        );
+        assert_eq!(migrations[0].model, 1, "the lowest-priority model moves");
+        assert_eq!(migrations[0].board, 0);
+        assert!(matches!(
+            migrations[0].action,
+            FleetAction::Migrate { to: 1 }
+        ));
+        assert_eq!(report.shed_count(), 0, "a fitting standby means no shed");
+    }
+
+    #[test]
+    fn external_epoch_timestamps_and_duplicates_are_accounted_per_frame() {
+        // External HCRL captures carry epoch-seconds timestamps and can
+        // repeat a timestamp at microsecond precision: per-frame
+        // accounting must stay keyed on the frame, and the offered load
+        // must be computed over the capture's span, not absolute time.
+        let bs = bundles(1);
+        let plan =
+            FleetPlan::build(&bs, &FleetConfig::new(vec![BoardSpec::zcu104("solo")])).unwrap();
+        let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
+        let epoch = SimTime::from_secs_f64(1_478_198_376.389_427);
+        let frame = CanFrame::new(CanId::standard(0x316).unwrap(), &[1u8; 8]).unwrap();
+        let records: Vec<LabeledFrame> = [0u64, 1_000, 1_000, 2_000]
+            .iter()
+            .map(|&us| LabeledFrame::new(epoch + SimTime::from_micros(us), frame, Label::Normal))
+            .collect();
+        let capture = Dataset::from_records(records);
+        let report = fleet_line_rate(
+            &capture,
+            &deployment,
+            &FleetReplayConfig {
+                pacing: FleetPacing::AsRecorded,
+                ..FleetReplayConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(report.offered, 4);
+        assert_eq!(report.dropped, 0);
+        // The two equal-timestamp frames stay separate entries.
+        assert_eq!(report.verdicts.len(), 4);
+        assert_eq!(report.fully_covered, 4);
+        // 4 frames over a 2 ms span, not over 1.5 billion seconds.
+        assert!(
+            (1_000.0..4_000.0).contains(&report.offered_fps),
+            "offered_fps {}",
+            report.offered_fps
+        );
+    }
+
+    #[test]
+    fn policy_sweep_returns_reports_in_order() {
+        let bs = bundles(2);
+        let plan = FleetPlan::build(
+            &bs,
+            &FleetConfig::new(vec![BoardSpec::zcu104("a"), BoardSpec::ultra96("b")]),
+        )
+        .unwrap();
+        let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
+        let capture = two_phase_capture(60, 500, 0, 0);
+        let configs = vec![
+            FleetReplayConfig {
+                pacing: FleetPacing::AsRecorded,
+                ..FleetReplayConfig::default()
+            },
+            FleetReplayConfig {
+                pacing: FleetPacing::AsRecorded,
+                admission: AdmissionPolicy::ShedLowestValue {
+                    priorities: vec![1, 2],
+                },
+                ..FleetReplayConfig::default()
+            },
+        ];
+        let reports = fleet_policy_sweep(&capture, &deployment, &configs).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].policy, "drop-frames");
+        assert_eq!(reports[1].policy, "shed-lowest-value");
+        // Identical serving conditions, no overload: classifications and
+        // headline accounting agree.
+        assert_eq!(reports[0].offered, reports[1].offered);
+        assert_eq!(reports[0].verdicts, reports[1].verdicts);
+        assert_eq!(
+            FleetLineRateReport::table_header().len(),
+            reports[0].table_row().len()
+        );
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`stream`] — frame-at-a-time streaming evaluation and the
 //!   line-rate harness (saturated 1 Mb/s and CAN-FD-class replay,
 //!   single- and N-detector),
+//! * [`fleet`] — the cross-ECU layer: one detector fleet sharded across
+//!   heterogeneous boards ([`fleet::FleetPlan`]), gateway-coupled frame
+//!   delivery, and admission policies that degrade gracefully under
+//!   overload instead of dropping frames,
 //! * [`report`] — paper-style ASCII tables for the benchmark harness.
 //!
 //! # Quickstart
@@ -30,6 +34,7 @@
 pub mod deploy;
 pub mod dse;
 pub mod error;
+pub mod fleet;
 mod par;
 pub mod pipeline;
 pub mod report;
@@ -40,6 +45,10 @@ pub use deploy::{
 };
 pub use dse::{sweep_bitwidths, DsePoint, DseReport};
 pub use error::CoreError;
+pub use fleet::{
+    fleet_line_rate, fleet_policy_sweep, AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment,
+    FleetLineRateReport, FleetPlan, FleetReplayConfig,
+};
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
 pub use report::{pct, pct_opt, Table};
 pub use stream::{
@@ -55,6 +64,10 @@ pub mod prelude {
     };
     pub use crate::dse::{sweep_bitwidths, DseReport};
     pub use crate::error::CoreError;
+    pub use crate::fleet::{
+        fleet_line_rate, fleet_policy_sweep, AdmissionPolicy, BoardSpec, FleetConfig,
+        FleetDeployment, FleetLineRateReport, FleetPacing, FleetPlan, FleetReplayConfig,
+    };
     pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
     pub use crate::report::{pct, pct_opt, Table};
     pub use crate::stream::{

@@ -400,7 +400,7 @@ pub fn contention_note(scenario_count: usize) -> Option<String> {
     })
 }
 
-fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
+pub(crate) fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
     if sorted.is_empty() {
         return SimTime::ZERO;
     }

@@ -42,9 +42,23 @@ impl MvtuNode {
     ///
     /// Panics when `x.len() != in_dim`.
     pub fn compute(&self, x: &[u32]) -> Vec<u32> {
+        let mut out = Vec::new();
+        self.compute_into(x, &mut out);
+        out
+    }
+
+    /// [`MvtuNode::compute`] into a caller-owned buffer (cleared and
+    /// refilled), so per-frame hot paths — the cycle-accurate simulator's
+    /// inner loop — reuse allocations instead of paying one per stage
+    /// step.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != in_dim`.
+    pub fn compute_into(&self, x: &[u32], out: &mut Vec<u32>) {
         assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
-        let mut out = vec![0u32; self.out_dim];
-        for (j, slot) in out.iter_mut().enumerate() {
+        out.clear();
+        for j in 0..self.out_dim {
             let row = &self.weights[j * self.in_dim..(j + 1) * self.in_dim];
             let mut acc = 0i64;
             for (w, &a) in row.iter().zip(x) {
@@ -59,9 +73,8 @@ impl MvtuNode {
                     break;
                 }
             }
-            *slot = level;
+            out.push(level);
         }
-        out
     }
 
     /// Accumulator range over all neurons for inputs in `0..=in_levels`.
@@ -132,8 +145,20 @@ impl LabelSelectNode {
     ///
     /// Panics when `x.len() != in_dim`.
     pub fn compute(&self, x: &[u32]) -> (usize, Vec<i64>) {
-        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
         let mut scores = Vec::with_capacity(self.classes);
+        let class = self.compute_into(x, &mut scores);
+        (class, scores)
+    }
+
+    /// [`LabelSelectNode::compute`] into a caller-owned score buffer
+    /// (cleared and refilled); returns the argmax class.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len() != in_dim`.
+    pub fn compute_into(&self, x: &[u32], scores: &mut Vec<i64>) -> usize {
+        assert_eq!(x.len(), self.in_dim, "input dimension mismatch");
+        scores.clear();
         for j in 0..self.classes {
             let row = &self.weights[j * self.in_dim..(j + 1) * self.in_dim];
             let mut acc = 0i64;
@@ -148,7 +173,7 @@ impl LabelSelectNode {
                 class = j;
             }
         }
-        (class, scores)
+        class
     }
 
     /// Bits of weight memory.

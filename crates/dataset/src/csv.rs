@@ -168,6 +168,115 @@ pub fn from_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvError> {
     Ok(Dataset::from_records(records))
 }
 
+/// Parses CSV text in the *real* HCRL car-hacking release schema
+/// (`Timestamp,ID,DLC,DATA[0..7],Flag`), so externally supplied captures
+/// drop into every existing harness.
+///
+/// The published files differ from the strict [`from_csv`] layout in
+/// ways this loader tolerates:
+///
+/// * an optional header row (`Timestamp,ID,DLC,DATA0,…,Flag`),
+/// * identifiers with or without a `0x` prefix,
+/// * a **fixed eight** DATA columns regardless of DLC — cells past the
+///   DLC may be empty or zero padding and are ignored,
+/// * rows without a flag column (the attack-free `normal_run` files),
+///   which label as [`Label::Normal`].
+///
+/// Rows flagged `T` receive `attack_label`, exactly like [`from_csv`].
+///
+/// # Example
+///
+/// ```
+/// use canids_dataset::csv::from_hcrl_csv;
+/// use canids_dataset::record::Label;
+///
+/// let text = "Timestamp,ID,DLC,DATA0,DATA1,DATA2,DATA3,DATA4,DATA5,DATA6,DATA7,Flag\n\
+///             1478198376.389427,0x0316,2,05,21,,,,,,,R\n\
+///             1478198376.389500,0000,8,00,00,00,00,00,00,00,00,T\n";
+/// let ds = from_hcrl_csv(text, Label::Dos)?;
+/// assert_eq!(ds.len(), 2);
+/// assert_eq!(ds.records()[0].frame.dlc().value(), 2);
+/// assert_eq!(ds.records()[1].label, Label::Dos);
+/// # Ok::<(), canids_dataset::csv::CsvError>(())
+/// ```
+///
+/// # Errors
+///
+/// Returns a [`CsvError`] describing the first malformed row.
+pub fn from_hcrl_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvError> {
+    let mut records = Vec::new();
+    let mut first_row = true;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() < 4 {
+            return Err(CsvError::MissingField { line: i + 1 });
+        }
+        // Only a literal header row is skipped (first row, first cell
+        // named like a timestamp column); a corrupt first data row still
+        // errors like every other malformed row.
+        let is_header = first_row && fields[0].eq_ignore_ascii_case("timestamp");
+        first_row = false;
+        if is_header {
+            continue;
+        }
+        let ts: f64 = fields[0].parse().map_err(|_| CsvError::BadNumber {
+            line: i + 1,
+            field: "timestamp",
+        })?;
+        let id_text = fields[1]
+            .strip_prefix("0x")
+            .or_else(|| fields[1].strip_prefix("0X"))
+            .unwrap_or(fields[1]);
+        let raw_id = u32::from_str_radix(id_text, 16).map_err(|_| CsvError::BadNumber {
+            line: i + 1,
+            field: "id",
+        })?;
+        // Same extended-identifier rule as the strict codec: the exact
+        // 8-hex-digit form or a value beyond 11 bits means extended.
+        let id = if id_text.len() == 8 || raw_id > canids_can::frame::MAX_STANDARD_ID {
+            CanId::extended(raw_id).map_err(|_| CsvError::IdRange {
+                line: i + 1,
+                id: raw_id,
+            })?
+        } else {
+            CanId::standard(raw_id as u16).expect("raw_id <= 0x7FF in this branch")
+        };
+        let dlc: usize = fields[2].parse().map_err(|_| CsvError::BadNumber {
+            line: i + 1,
+            field: "dlc",
+        })?;
+        if dlc > 8 {
+            return Err(CsvError::DlcRange { line: i + 1, dlc });
+        }
+        // Flags are `R`/`T`; data bytes are hex, so the two cannot
+        // collide and the trailing column is unambiguous. Rows without a
+        // flag (normal_run files) default to regular traffic.
+        let (data_fields, label) = match *fields.last().expect("len checked >= 4") {
+            "R" => (&fields[3..fields.len() - 1], Label::Normal),
+            "T" => (&fields[3..fields.len() - 1], attack_label),
+            _ => (&fields[3..], Label::Normal),
+        };
+        // Either exactly DLC data columns, or the release's fixed eight.
+        if data_fields.len() != dlc && data_fields.len() != 8 {
+            return Err(CsvError::MissingField { line: i + 1 });
+        }
+        let mut payload = [0u8; 8];
+        for (j, byte) in payload.iter_mut().enumerate().take(dlc) {
+            *byte = u8::from_str_radix(data_fields[j], 16).map_err(|_| CsvError::BadNumber {
+                line: i + 1,
+                field: "payload",
+            })?;
+        }
+        let frame = CanFrame::new(id, &payload[..dlc]).expect("dlc <= 8");
+        records.push(LabeledFrame::new(SimTime::from_secs_f64(ts), frame, label));
+    }
+    Ok(Dataset::from_records(records))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -304,5 +413,114 @@ mod tests {
     fn attack_label_is_applied_to_t_rows() {
         let ds = from_csv("1.0,0000,8,00,00,00,00,00,00,00,00,T", Label::Fuzzy).unwrap();
         assert_eq!(ds.records()[0].label, Label::Fuzzy);
+    }
+
+    #[test]
+    fn hcrl_loader_accepts_the_release_schema() {
+        // Header, 0x-prefixed id, fixed eight DATA columns with empty
+        // padding past the DLC, R/T flags.
+        let text = "Timestamp,ID,DLC,DATA0,DATA1,DATA2,DATA3,DATA4,DATA5,DATA6,DATA7,Flag\n\
+                    1478198376.389427,0x0316,8,05,21,68,09,21,21,00,6F,R\n\
+                    1478198376.389636,0x018F,2,FE,5B,,,,,,,R\n\
+                    1478198376.389864,0000,8,00,00,00,00,00,00,00,00,T\n";
+        let ds = from_hcrl_csv(text, Label::Dos).unwrap();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.records()[0].frame.id(), CanId::standard(0x316).unwrap());
+        assert_eq!(ds.records()[0].frame.data()[7], 0x6F);
+        assert_eq!(ds.records()[1].frame.dlc().value(), 2);
+        assert_eq!(ds.records()[1].frame.data(), &[0xFE, 0x5B]);
+        assert_eq!(ds.records()[1].label, Label::Normal);
+        assert_eq!(ds.records()[2].label, Label::Dos);
+        // Timestamps preserved to microsecond precision.
+        let dt = ds.records()[1].timestamp.as_secs_f64() - ds.records()[0].timestamp.as_secs_f64();
+        assert!((dt - 0.000209).abs() < 2e-6, "{dt}");
+    }
+
+    #[test]
+    fn hcrl_loader_defaults_flagless_rows_to_normal() {
+        // normal_run files carry no flag column at all.
+        let text = "1.0,0316,3,05,21,68\n2.0,043F,8,01,45,60,FF,65,00,00,00\n";
+        let ds = from_hcrl_csv(text, Label::Fuzzy).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert!(ds.iter().all(|r| r.label == Label::Normal));
+        assert_eq!(ds.records()[0].frame.dlc().value(), 3);
+        assert_eq!(ds.records()[1].frame.dlc().value(), 8);
+    }
+
+    #[test]
+    fn hcrl_loader_parses_the_strict_writer_format_identically() {
+        // Our own writer's output is a subset of what the tolerant
+        // loader accepts: both parsers must agree record for record.
+        let ds = capture();
+        let text = to_csv(&ds);
+        let strict = from_csv(&text, Label::Dos).unwrap();
+        let tolerant = from_hcrl_csv(&text, Label::Dos).unwrap();
+        assert_eq!(strict.len(), tolerant.len());
+        for (a, b) in strict.iter().zip(tolerant.iter()) {
+            assert_eq!(a.frame, b.frame);
+            assert_eq!(a.label, b.label);
+            assert_eq!(a.timestamp, b.timestamp);
+        }
+    }
+
+    #[test]
+    fn hcrl_loader_only_skips_a_literal_header() {
+        // A corrupt first data row is not mistaken for a header: it
+        // errors like any other malformed row.
+        assert_eq!(
+            from_hcrl_csv("garbage,0316,2,AA,BB,R", Label::Dos).unwrap_err(),
+            CsvError::BadNumber {
+                line: 1,
+                field: "timestamp"
+            }
+        );
+        // Case-insensitive header token.
+        let ds = from_hcrl_csv("TIMESTAMP,ID,DLC,Flag\n1.0,0316,0,R", Label::Dos).unwrap();
+        assert_eq!(ds.len(), 1);
+    }
+
+    #[test]
+    fn hcrl_loader_rejects_malformed_rows() {
+        // Bad rows after the (single) tolerated header still error.
+        assert_eq!(
+            from_hcrl_csv("Timestamp,ID,DLC,Flag\nnot-a-time,0316,0,R", Label::Dos).unwrap_err(),
+            CsvError::BadNumber {
+                line: 2,
+                field: "timestamp"
+            }
+        );
+        assert_eq!(
+            from_hcrl_csv("1.0,0316,9,00,00,00,00,00,00,00,00,00,R", Label::Dos).unwrap_err(),
+            CsvError::DlcRange { line: 1, dlc: 9 }
+        );
+        // Neither DLC-many nor eight data columns.
+        assert_eq!(
+            from_hcrl_csv("1.0,0316,4,AA,BB,R", Label::Dos).unwrap_err(),
+            CsvError::MissingField { line: 1 }
+        );
+        // A required (below-DLC) cell left empty is a payload error, not
+        // silent zero-fill.
+        assert_eq!(
+            from_hcrl_csv("1.0,0316,3,AA,,CC,,,,,,R", Label::Dos).unwrap_err(),
+            CsvError::BadNumber {
+                line: 1,
+                field: "payload"
+            }
+        );
+        assert_eq!(
+            from_hcrl_csv("1.0,FFFFFFFF,0,R", Label::Dos).unwrap_err(),
+            CsvError::IdRange {
+                line: 1,
+                id: 0xFFFF_FFFF
+            }
+        );
+    }
+
+    #[test]
+    fn hcrl_loader_keeps_extended_id_rule() {
+        let ds = from_hcrl_csv("1.0,0x00000316,1,AA,R", Label::Dos).unwrap();
+        assert_eq!(ds.records()[0].frame.id(), CanId::extended(0x316).unwrap());
+        let ds2 = from_hcrl_csv("1.0,0FFF,0,R", Label::Dos).unwrap();
+        assert_eq!(ds2.records()[0].frame.id(), CanId::extended(0xFFF).unwrap());
     }
 }

@@ -36,6 +36,10 @@ pub struct TrafficConfig {
     /// Additional attackers overlaid on the same trace, each on its own
     /// malicious node (multi-attacker captures for N-detector scenarios).
     pub extra_attacks: Vec<AttackProfile>,
+    /// Longer-horizon drift: release-jitter gain under instantaneous bus
+    /// load (see [`crate::vehicle::VehicleSource::with_load_jitter`]).
+    /// `0.0` (the default) is bit-identical to the undrifted model.
+    pub load_jitter_gain: f64,
     /// Master seed; every stochastic component derives from it.
     pub seed: u64,
 }
@@ -59,6 +63,7 @@ impl Default for TrafficConfig {
             vehicle_nodes: 4,
             attack: None,
             extra_attacks: Vec::new(),
+            load_jitter_gain: 0.0,
             seed: 0xCAFE,
         }
     }
@@ -216,6 +221,7 @@ impl DatasetBuilder {
             vehicle_nodes,
             attack,
             extra_attacks,
+            load_jitter_gain,
             seed,
         } = self.config;
 
@@ -229,7 +235,14 @@ impl DatasetBuilder {
         let sources = vehicle.clone().into_sources(vehicle_nodes, seed);
         for source in sources {
             let node = bus.add_node(CanController::default());
-            bus.attach_source(node, Box::new(source.with_horizon(duration)));
+            bus.attach_source(
+                node,
+                Box::new(
+                    source
+                        .with_load_jitter(load_jitter_gain)
+                        .with_horizon(duration),
+                ),
+            );
         }
 
         // Each attacker gets its own malicious node with a seed derived
@@ -416,6 +429,40 @@ mod tests {
         for w in sub.records().windows(2) {
             assert!(w[0].timestamp <= w[1].timestamp);
         }
+    }
+
+    #[test]
+    fn load_jitter_gain_is_wired_into_capture_generation() {
+        // Gain 0 is bit-identical to the undrifted default; a non-zero
+        // gain produces a genuinely different (but still deterministic)
+        // capture from the same seed — the longer-horizon drift is
+        // reachable from the production capture path, not just the
+        // vehicle-source API.
+        let base = quick(300, None, 9);
+        let zero = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            load_jitter_gain: 0.0,
+            seed: 9,
+            ..TrafficConfig::default()
+        })
+        .build();
+        assert_eq!(base.records(), zero.records(), "gain 0 is the identity");
+        let drifted = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            load_jitter_gain: 4.0,
+            seed: 9,
+            ..TrafficConfig::default()
+        })
+        .build();
+        assert_ne!(base.records(), drifted.records(), "drift must take effect");
+        let again = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(300),
+            load_jitter_gain: 4.0,
+            seed: 9,
+            ..TrafficConfig::default()
+        })
+        .build();
+        assert_eq!(drifted.records(), again.records(), "still deterministic");
     }
 
     #[test]

@@ -537,6 +537,47 @@ pub struct VehicleSource {
     queue: BinaryHeap<Reverse<(SimTime, usize)>>,
     rng: StdRng,
     horizon: Option<SimTime>,
+    load_jitter: Option<LoadJitter>,
+}
+
+/// Longer-horizon drift: release jitter that grows with instantaneous
+/// bus load. On a real vehicle a periodic message's release slips when
+/// the bus is busy (its transmission waits out arbitration, and the ECU
+/// task re-arms late); the drift therefore *scales with how loaded the
+/// bus is right now*. This model estimates the instantaneous load as
+/// the wire-time fraction a sliding window of this source's own recent
+/// releases would occupy, and widens each message's jitter span by
+/// `1 + gain · load`. The estimate is deliberately source-local (a
+/// source cannot see attacker traffic sharing the bus): it models the
+/// ECU-side scheduling drift under the vehicle's *own* periodic load;
+/// arbitration delay against attackers is modelled by the bus itself.
+#[derive(Debug, Clone)]
+struct LoadJitter {
+    /// Multiplier on the load fraction.
+    gain: f64,
+    /// Sliding estimation window.
+    window: SimTime,
+    /// Nominal wire cost per frame (8-byte frame at 500 kb/s).
+    frame_cost: SimTime,
+    /// Release times inside the window, oldest first.
+    recent: std::collections::VecDeque<SimTime>,
+}
+
+impl LoadJitter {
+    /// Records a release at `t` and returns the current load fraction in
+    /// `0..=1`.
+    fn observe(&mut self, t: SimTime) -> f64 {
+        while self
+            .recent
+            .front()
+            .is_some_and(|&front| front + self.window < t)
+        {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(t);
+        let occupied = self.frame_cost.as_secs_f64() * self.recent.len() as f64;
+        (occupied / self.window.as_secs_f64()).min(1.0)
+    }
 }
 
 impl VehicleSource {
@@ -558,6 +599,7 @@ impl VehicleSource {
             queue,
             rng,
             horizon: None,
+            load_jitter: None,
         }
     }
 
@@ -565,6 +607,21 @@ impl VehicleSource {
     /// yield `None`). Without a horizon the source is infinite.
     pub fn with_horizon(mut self, horizon: SimTime) -> Self {
         self.horizon = Some(horizon);
+        self
+    }
+
+    /// Enables load-dependent jitter: each message's release jitter span
+    /// widens by `1 + gain · load`, where `load` is the wire-time
+    /// fraction this source's releases occupy over a 50 ms sliding
+    /// window (8-byte-at-500-kb/s frame cost). `gain = 0.0` is
+    /// bit-identical to the plain source.
+    pub fn with_load_jitter(mut self, gain: f64) -> Self {
+        self.load_jitter = (gain > 0.0).then(|| LoadJitter {
+            gain,
+            window: SimTime::from_millis(50),
+            frame_cost: SimTime::from_micros(222),
+            recent: std::collections::VecDeque::new(),
+        });
         self
     }
 }
@@ -578,8 +635,12 @@ impl TrafficSource for VehicleSource {
             }
         }
         let frame = self.states[idx].generate(&mut self.rng);
+        let load_factor = match &mut self.load_jitter {
+            Some(lj) => 1.0 + lj.gain * lj.observe(t),
+            None => 1.0,
+        };
         let spec = &self.states[idx].spec;
-        let jitter_span = (spec.period.as_secs_f64() * spec.jitter_frac).max(0.0);
+        let jitter_span = (spec.period.as_secs_f64() * spec.jitter_frac * load_factor).max(0.0);
         let jitter = SimTime::from_secs_f64(self.rng.gen_range(0.0..=jitter_span));
         let next = t + spec.period + jitter;
         self.queue.push(Reverse((next, idx)));
@@ -707,6 +768,68 @@ mod tests {
         }
         // ~1 kHz for 50 ms ≈ 50 frames (very loose bounds).
         assert!(n > 10 && n < 500, "n = {n}");
+    }
+
+    /// Mean relative release jitter `(gap − period)/period` over a
+    /// uniform catalogue of `n_msgs` messages with the given period.
+    fn mean_relative_jitter(period: SimTime, gain: f64, n_msgs: usize, per_msg: usize) -> f64 {
+        let specs: Vec<MessageSpec> = (0..n_msgs)
+            .map(|i| {
+                let mut s = MessageSpec::constant(0x100 + i as u16, period, 8, [0u8; 8]);
+                s.jitter_frac = 0.1;
+                s
+            })
+            .collect();
+        let mut src = VehicleSource::new(specs, 42).with_load_jitter(gain);
+        let mut releases: std::collections::HashMap<u32, Vec<SimTime>> =
+            std::collections::HashMap::new();
+        for _ in 0..n_msgs * per_msg {
+            let (t, f) = src.next_frame().unwrap();
+            releases.entry(f.id().raw()).or_default().push(t);
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for times in releases.values() {
+            // Skip the estimation-window warm-up.
+            for w in times.windows(2).skip(8) {
+                let gap = (w[1] - w[0]).as_secs_f64();
+                sum += gap / period.as_secs_f64() - 1.0;
+                count += 1;
+            }
+        }
+        sum / count as f64
+    }
+
+    #[test]
+    fn jitter_grows_with_instantaneous_bus_load() {
+        // 20 messages every 2 ms offer ~10 kframe/s — wire-saturating
+        // (load ≈ 1) — while the same catalogue at 100 ms offers ~200
+        // frame/s (load ≈ 0.04). With gain 2 the loaded catalogue's mean
+        // relative jitter must approach (1 + gain) times the quiet one's.
+        let loaded = mean_relative_jitter(SimTime::from_millis(2), 2.0, 20, 300);
+        let quiet = mean_relative_jitter(SimTime::from_millis(100), 2.0, 20, 60);
+        assert!(
+            loaded / quiet > 2.0,
+            "loaded {loaded:.4} vs quiet {quiet:.4}: drift must scale with load"
+        );
+        // Statistical pins: uniform jitter in [0, frac·factor] has mean
+        // frac·factor/2 — ≈ 0.15 at load 1 (factor 3), ≈ 0.055 at load
+        // 0.04 (factor ~1.09), with sampling slack.
+        assert!((0.12..0.18).contains(&loaded), "loaded mean {loaded:.4}");
+        assert!((0.04..0.08).contains(&quiet), "quiet mean {quiet:.4}");
+        // Gain off: load no longer matters.
+        let baseline = mean_relative_jitter(SimTime::from_millis(2), 0.0, 20, 300);
+        assert!((0.04..0.06).contains(&baseline), "baseline {baseline:.4}");
+    }
+
+    #[test]
+    fn zero_gain_is_bit_identical_to_plain_source() {
+        let specs = VehicleModel::sonata().specs().to_vec();
+        let mut plain = VehicleSource::new(specs.clone(), 7);
+        let mut gained = VehicleSource::new(specs, 7).with_load_jitter(0.0);
+        for _ in 0..500 {
+            assert_eq!(plain.next_frame(), gained.next_frame());
+        }
     }
 
     #[test]

@@ -238,13 +238,14 @@ impl IdsEcu {
     /// session, so the two serving modes are equivalent by construction.
     pub fn stream(&mut self) -> EcuStream<'_> {
         let rx_cost = self.board.cpu().rx_path();
-        let k = self.models.len().max(1);
-        let multi_factor = 1.0 + self.config.overhead() * (k as f64 - 1.0);
+        let overhead = self.config.overhead();
         let queue = ServiceQueue::new(self.config.queue_depth);
+        let active = vec![true; self.models.len()];
         EcuStream {
             ecu: self,
             rx_cost,
-            multi_factor,
+            overhead,
+            active,
             detections: Vec::new(),
             queue,
             dropped: 0,
@@ -311,7 +312,12 @@ impl IdsEcu {
 pub struct EcuStream<'a> {
     ecu: &'a mut IdsEcu,
     rx_cost: SimTime,
-    multi_factor: f64,
+    overhead: f64,
+    /// Per-model serving mask, index-aligned with the ECU's `models`.
+    /// Detached (shed or migrated-away) models keep their IP attached but
+    /// are skipped by the service loop — the graceful-degradation lever
+    /// the fleet admission policies pull.
+    active: Vec<bool>,
     detections: Vec<Detection>,
     queue: ServiceQueue,
     dropped: u64,
@@ -464,28 +470,43 @@ impl EcuStream<'_> {
         let words = pack_features(&features);
         let ready = arrival + self.rx_cost;
         let start = self.queue.start_time(ready);
+        let multi_factor = self.multi_factor();
 
         let (flagged, service) = match self.ecu.config.policy {
             SchedPolicy::Sequential => {
-                // One driver context walks the models back to back; the
-                // verdict pays the full software path once per model.
+                // One driver context walks the active models back to back;
+                // the verdict pays the full software path once per model.
                 self.ecu.board.set_now(start);
                 let mut flagged = false;
-                for &idx in &self.ecu.models {
+                for (&idx, _) in self
+                    .ecu
+                    .models
+                    .iter()
+                    .zip(&self.active)
+                    .filter(|&(_, &a)| a)
+                {
                     let rec = self.ecu.board.infer_packed(idx, &words)?;
                     flagged |= rec.class != 0;
                 }
                 (flagged, self.ecu.board.now().saturating_sub(start))
             }
             SchedPolicy::RoundRobin | SchedPolicy::InterruptPerFrame => {
-                // Models spread round-robin over the A53 cores; each core
-                // runs its share back to back and the verdict waits for
-                // the slowest core plus the AXI-arbitration penalty.
+                // Active models spread round-robin over the A53 cores;
+                // each core runs its share back to back and the verdict
+                // waits for the slowest core plus the AXI-arbitration
+                // penalty.
                 let irq = self.ecu.config.policy == SchedPolicy::InterruptPerFrame;
                 let cores = self.ecu.board.cpu().cores.max(1);
                 let mut core_time = vec![SimTime::ZERO; cores];
                 let mut flagged = false;
-                for (i, &idx) in self.ecu.models.iter().enumerate() {
+                let active = self
+                    .ecu
+                    .models
+                    .iter()
+                    .zip(&self.active)
+                    .filter(|&(_, &a)| a)
+                    .map(|(&idx, _)| idx);
+                for (i, idx) in active.enumerate() {
                     self.ecu.board.set_now(start);
                     let rec = if irq {
                         self.ecu.board.infer_packed_irq(idx, &words)?
@@ -496,7 +517,7 @@ impl EcuStream<'_> {
                     core_time[i % cores] += rec.latency();
                 }
                 let slowest = core_time.into_iter().max().unwrap_or(SimTime::ZERO);
-                let service = SimTime::from_secs_f64(slowest.as_secs_f64() * self.multi_factor);
+                let service = SimTime::from_secs_f64(slowest.as_secs_f64() * multi_factor);
                 (flagged, service)
             }
             SchedPolicy::DmaBatch { .. } => unreachable!("handled above"),
@@ -525,15 +546,24 @@ impl EcuStream<'_> {
             .ecu
             .models
             .iter()
-            .map(|&idx| {
+            .zip(&self.active)
+            .filter(|&(_, &a)| a)
+            .map(|(&idx, _)| {
                 self.ecu
                     .board
                     .accelerator(idx)
                     .ok_or(SocError::NoSuchAccelerator(idx))
             })
             .collect::<Result<_, _>>()?;
-        let cpu = *self.ecu.board.cpu();
-        let report = run_batch_multi(&ips, &cpu, self.ecu.config.dma, &self.batch_buf)?;
+        // With every model detached the window still drains (frames pay
+        // only the RX path and are never flagged).
+        let (flagged, total) = if ips.is_empty() {
+            (vec![false; self.batch_meta.len()], SimTime::ZERO)
+        } else {
+            let cpu = *self.ecu.board.cpu();
+            let report = run_batch_multi(&ips, &cpu, self.ecu.config.dma, &self.batch_buf)?;
+            (report.flagged, report.total)
+        };
 
         // The transfer starts once the last frame of the window has been
         // received and the server is free; every frame in the window
@@ -542,7 +572,7 @@ impl EcuStream<'_> {
         let last_arrival = self.batch_meta.last().map(|&(t, _)| t).unwrap_or_default();
         let ready = last_arrival + self.rx_cost;
         let start = self.queue.start_time(ready);
-        let service = SimTime::from_secs_f64(report.total.as_secs_f64() * self.multi_factor);
+        let service = SimTime::from_secs_f64(total.as_secs_f64() * self.multi_factor());
         let completed_at = self.queue.serve(start, service);
         for _ in 1..self.batch_meta.len() {
             // The remaining frames of the window occupy FIFO slots until
@@ -552,7 +582,7 @@ impl EcuStream<'_> {
         self.busy += service;
         self.ecu.board.set_now(completed_at);
 
-        for (&(arrival, frame), &flagged) in self.batch_meta.iter().zip(&report.flagged) {
+        for (&(arrival, frame), &flagged) in self.batch_meta.iter().zip(&flagged) {
             self.detections.push(Detection {
                 arrival,
                 frame,
@@ -563,6 +593,45 @@ impl EcuStream<'_> {
         self.batch_meta.clear();
         self.batch_buf.clear();
         Ok(())
+    }
+
+    /// AXI arbitration margin for the currently active model count.
+    fn multi_factor(&self) -> f64 {
+        let k = self.active.iter().filter(|&&a| a).count().max(1);
+        1.0 + self.overhead * (k as f64 - 1.0)
+    }
+
+    /// Enables or disables model `i` (index into the ECU's model list)
+    /// for subsequent pushes. A detached model's IP stays attached to the
+    /// board; the service loop simply skips it, so re-admission is free.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn set_model_active(&mut self, i: usize, active: bool) {
+        self.active[i] = active;
+    }
+
+    /// Whether model `i` is currently served.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn model_active(&self, i: usize) -> bool {
+        self.active[i]
+    }
+
+    /// Number of models the service loop currently consults.
+    pub fn active_models(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Frames currently occupying FIFO slots: verdicts pending completion
+    /// plus frames buffered in an unflushed DMA window. The fleet
+    /// admission policies watch this to detect sustained overload before
+    /// the FIFO overflows.
+    pub fn backlog(&self) -> usize {
+        self.queue.backlog() + self.batch_meta.len()
     }
 
     /// Frames serviced so far (excluding frames deferred in an unflushed
@@ -1040,6 +1109,88 @@ mod tests {
         let flags_a: Vec<bool> = a.detections.iter().map(|d| d.flagged).collect();
         let flags_b: Vec<bool> = b.detections.iter().map(|d| d.flagged).collect();
         assert_eq!(flags_a, flags_b);
+    }
+
+    #[test]
+    fn detached_models_are_skipped_and_readmitted() {
+        // Sequential pays the path once per *active* model: detaching one
+        // of two models halves the service time, re-attaching restores it.
+        let (board, idxs) = board_with(2);
+        let mut ecu = IdsEcu::new(
+            board,
+            idxs,
+            EcuConfig {
+                policy: SchedPolicy::Sequential,
+                ..EcuConfig::default()
+            },
+        );
+        let f = frames(30, 1_000);
+        let mut session = ecu.stream();
+        assert_eq!(session.active_models(), 2);
+        let d2 = session.push(f[0].0, f[0].1, &zero_feat).unwrap().unwrap();
+        session.set_model_active(1, false);
+        assert_eq!(session.active_models(), 1);
+        assert!(session.model_active(0) && !session.model_active(1));
+        let d1 = session.push(f[1].0, f[1].1, &zero_feat).unwrap().unwrap();
+        let ratio = d2.latency().as_secs_f64() / d1.latency().as_secs_f64();
+        assert!((1.5..2.5).contains(&ratio), "2-model/1-model ratio {ratio}");
+        session.set_model_active(1, true);
+        let d2b = session.push(f[2].0, f[2].1, &zero_feat).unwrap().unwrap();
+        assert!(
+            d2b.latency() > d1.latency(),
+            "re-admitted model serves again"
+        );
+        let report = session.finish();
+        assert_eq!(report.detections.len(), 3);
+    }
+
+    #[test]
+    fn all_models_detached_still_drains_frames() {
+        for policy in [
+            SchedPolicy::Sequential,
+            SchedPolicy::RoundRobin,
+            SchedPolicy::DmaBatch { batch: 4 },
+        ] {
+            let (board, idxs) = board_with(1);
+            let mut ecu = IdsEcu::new(
+                board,
+                idxs,
+                EcuConfig {
+                    policy,
+                    ..EcuConfig::default()
+                },
+            );
+            let mut session = ecu.stream();
+            session.set_model_active(0, false);
+            for (t, frame) in frames(8, 500) {
+                session.push(t, frame, &zero_feat).unwrap();
+            }
+            let report = session.try_finish().unwrap();
+            assert_eq!(report.detections.len(), 8, "{}", policy.label());
+            assert_eq!(report.dropped, 0);
+            assert!(report.detections.iter().all(|d| !d.flagged));
+        }
+    }
+
+    #[test]
+    fn backlog_counts_pending_and_batched_frames() {
+        let (board, idxs) = board_with(1);
+        let mut ecu = IdsEcu::new(
+            board,
+            idxs,
+            EcuConfig {
+                policy: SchedPolicy::DmaBatch { batch: 8 },
+                ..EcuConfig::default()
+            },
+        );
+        let f = frames(3, 10);
+        let mut session = ecu.stream();
+        assert_eq!(session.backlog(), 0);
+        for &(t, frame) in &f {
+            session.push(t, frame, &zero_feat).unwrap();
+        }
+        // Three frames buffered in the unflushed window occupy slots.
+        assert_eq!(session.backlog(), 3);
     }
 
     #[test]
