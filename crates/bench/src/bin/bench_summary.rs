@@ -1,14 +1,22 @@
 //! Per-PR perf snapshot: times the hot substrates the ROADMAP tracks
 //! (dense linear forward, cycle-accurate simulator step, streaming
 //! line-rate harness, N-detector multi-model line rate, cross-ECU fleet
-//! line rate) and writes them as a small JSON file so the per-PR perf
-//! trajectory accumulates in-tree.
+//! line rate, and — since PR 5 — the unified serving harness with the
+//! measured-value admission contrast) and writes them as a small JSON
+//! file so the per-PR perf trajectory accumulates in-tree.
+//!
+//! The `line_rate_harness`/`multi_line_rate`/`fleet_line_rate` sections
+//! keep their historical schema (they now run through the deprecated
+//! wrappers, which are themselves thin projections of the harness), so
+//! the perf trajectory stays comparable across PRs; the `serve` section
+//! is the unified view.
 //!
 //! ```sh
 //! cargo run --release -p canids-bench --bin bench_summary [out.json]
 //! ```
 //!
-//! Defaults to `BENCH_4.json` in the current directory.
+//! Defaults to `BENCH_5.json` in the current directory.
+#![allow(deprecated)] // the historical sections exercise the wrappers on purpose
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -20,6 +28,7 @@ use canids_core::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
 use canids_core::fleet::{
     fleet_line_rate, AdmissionPolicy, BoardSpec, FleetConfig, FleetPlan, FleetReplayConfig,
 };
+use canids_core::serve::{FleetAction, ReplayConfig, ServeHarness, SoftwareBackend};
 use canids_core::stream::{multi_line_rate, replay_line_rate, LineRateScenario};
 use canids_dataflow::folding::{auto_fold, FoldingGoal};
 use canids_dataflow::graph::DataflowGraph;
@@ -68,7 +77,7 @@ fn pr_number(path: &str) -> u32 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_4.json".to_owned());
+        .unwrap_or_else(|| "BENCH_5.json".to_owned());
     let pr = pr_number(&out_path);
 
     // 1. The ROADMAP's named hot kernel: linear_forward at the paper's
@@ -244,6 +253,92 @@ fn main() {
         })
         .collect();
 
+    // 6. The unified serving harness (PR 5): the same substrates through
+    // one ServeHarness — software / 8-detector ECU / 12-detector fleet
+    // on the shared DoS capture under the DMA-batch integration.
+    let serve_config = ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 });
+    let serve_rows: Vec<canids_core::ServeReport> = vec![
+        ServeHarness::new(SoftwareBackend::single(model.clone()))
+            .replay(&multi_capture, &serve_config)
+            .expect("software replay"),
+        ServeHarness::new(deployment.serve_backend())
+            .replay(&multi_capture, &serve_config)
+            .expect("ecu replay"),
+        ServeHarness::new(fleet.serve_backend())
+            .replay(&multi_capture, &serve_config)
+            .expect("fleet replay"),
+    ];
+
+    // The value-driven admission capstone: a 2-model board under the
+    // 750 kb/s sequential overload must shed one model. Model 0 fires on
+    // the capture but is mislabelled lowest static value; model 1 never
+    // fires (its normal-class output bias dominates every achievable
+    // score). The static policy sheds the firing model, the measured
+    // policy reads the verdict stream and sheds the useless one.
+    let firing = {
+        let pipeline = canids_core::IdsPipeline::new(canids_core::PipelineConfig::dos().quick());
+        let train_capture = pipeline.generate_capture();
+        pipeline
+            .train(&train_capture)
+            .expect("quick DoS training")
+            .int_mlp
+    };
+    let never_firing = {
+        let mut m = untrained_model();
+        let dominate = 1i64 << 40;
+        m.output.bias_q[0] += dominate;
+        for b in m.output.bias_q.iter_mut().skip(1) {
+            *b -= dominate;
+        }
+        m
+    };
+    let duo = vec![
+        DetectorBundle::new(AttackKind::Dos, firing),
+        DetectorBundle::new(AttackKind::Fuzzy, never_firing),
+    ];
+    let duo_fleet = FleetPlan::build(&duo, &FleetConfig::new(vec![BoardSpec::zcu104("solo")]))
+        .expect("2-model plan fits")
+        .deploy(&duo, &CompileConfig::default())
+        .expect("2-model fleet compiles");
+    let overload_config = ReplayConfig::default()
+        .with_bitrate(Bitrate::new(750_000))
+        .with_policy(SchedPolicy::Sequential);
+    let static_priorities = vec![1u32, 5u32];
+    let static_shed = ServeHarness::new(duo_fleet.serve_backend())
+        .replay(
+            &multi_capture,
+            &overload_config
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestValue {
+                    priorities: static_priorities.clone(),
+                }),
+        )
+        .expect("static shed replay");
+    let measured_shed = ServeHarness::new(duo_fleet.serve_backend())
+        .replay(
+            &multi_capture,
+            &overload_config
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestMeasuredValue {
+                    window: 256,
+                    priorities: static_priorities,
+                }),
+        )
+        .expect("measured shed replay");
+    let shed_victims = |r: &canids_core::ServeReport| -> Vec<usize> {
+        let mut v: Vec<usize> = r
+            .events
+            .iter()
+            .filter(|e| e.action == FleetAction::Shed)
+            .map(|e| e.model)
+            .collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    };
+    let static_victims = shed_victims(&static_shed);
+    let measured_victims = shed_victims(&measured_shed);
+
     let mut json = String::new();
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"pr\": {pr},");
@@ -355,6 +450,77 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"serve\": {{");
+    let _ = writeln!(json, "    \"backends\": [");
+    for (i, r) in serve_rows.iter().enumerate() {
+        let _ = writeln!(json, "      {{");
+        let _ = writeln!(json, "        \"backend\": \"{}\",", r.backend);
+        let _ = writeln!(json, "        \"sched\": \"{}\",", r.sched);
+        let _ = writeln!(json, "        \"admission\": \"{}\",", r.admission);
+        let _ = writeln!(json, "        \"offered_fps\": {:.1},", r.offered_fps);
+        let _ = writeln!(
+            json,
+            "        \"p50_latency_us\": {:.3},",
+            r.latency.p50.as_micros_f64()
+        );
+        let _ = writeln!(
+            json,
+            "        \"p99_latency_us\": {:.3},",
+            r.latency.p99.as_micros_f64()
+        );
+        let _ = writeln!(json, "        \"dropped\": {},", r.dropped);
+        let _ = writeln!(json, "        \"keeps_up\": {}", r.keeps_up());
+        let _ = write!(json, "      }}");
+        let _ = writeln!(json, "{}", if i + 1 < serve_rows.len() { "," } else { "" });
+    }
+    let _ = writeln!(json, "    ],");
+    let _ = writeln!(json, "    \"value_admission\": {{");
+    let _ = writeln!(json, "      \"bitrate_bps\": 750000,");
+    let _ = writeln!(json, "      \"never_firing_model\": 1,");
+    let _ = writeln!(
+        json,
+        "      \"static_shed_victims\": [{}],",
+        static_victims
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(
+        json,
+        "      \"measured_shed_victims\": [{}],",
+        measured_victims
+            .iter()
+            .map(usize::to_string)
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let _ = writeln!(json, "      \"static_dropped\": {},", static_shed.dropped);
+    let _ = writeln!(
+        json,
+        "      \"measured_dropped\": {},",
+        measured_shed.dropped
+    );
+    let _ = writeln!(
+        json,
+        "      \"static_confirmed_positives\": {},",
+        static_shed
+            .per_model
+            .iter()
+            .map(|m| m.confirmed_positives)
+            .sum::<usize>()
+    );
+    let _ = writeln!(
+        json,
+        "      \"measured_confirmed_positives\": {}",
+        measured_shed
+            .per_model
+            .iter()
+            .map(|m| m.confirmed_positives)
+            .sum::<usize>()
+    );
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
 

@@ -63,6 +63,9 @@ fn main() -> Result<(), CoreError> {
         LineRateScenario::classic_1m("DoS flood @ 1 Mb/s", dos, duration),
         LineRateScenario::fd_class("DoS flood @ FD-class 5 Mb/s", dos, duration),
     ];
+    // The historical report keeps the table columns stable; the wrapper
+    // itself runs through the unified ServeHarness.
+    #[allow(deprecated)]
     let streaming = line_rate_sweep(&report.detector.int_mlp, &scenarios);
     let mut stream_table = Table::new(
         "E3b — streaming line-rate serving (frame-at-a-time)",

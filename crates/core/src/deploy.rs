@@ -418,6 +418,14 @@ impl MultiIdsDeployment {
         build_ecu(&self.ips, config)
     }
 
+    /// A serving backend over this deployment for the unified harness
+    /// ([`crate::serve::ServeHarness`]): every replay session gets a
+    /// fresh ECU, configured from the replay's
+    /// [`crate::serve::ReplayConfig::ecu`].
+    pub fn serve_backend(&self) -> crate::serve::EcuBackend<'_> {
+        crate::serve::EcuBackend::new(self)
+    }
+
     /// Fresh ECUs for each policy, paired with the policy label — the
     /// per-policy ablation harness.
     ///

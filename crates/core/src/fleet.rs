@@ -18,39 +18,32 @@
 //!    through the single-board engine and keeps the compiled IPs
 //!    board-side, so replays can build fresh ECUs per scenario (the
 //!    simulated board clock is monotonic).
-//! 3. **Serving** — [`fleet_line_rate`] replays one capture through the
-//!    whole fleet at wire pacing. Frames reach each shard through the
-//!    [`canids_can::gateway::SegmentForwarder`] store-and-forward model
-//!    (real forwarding delay + far-segment serialisation, not a free
-//!    broadcast), and a fleet-level [`AdmissionPolicy`] governs
-//!    sustained overload: keep today's FIFO drops
-//!    ([`AdmissionPolicy::DropFrames`]), detach the lowest-value model
-//!    and re-admit it when load subsides
-//!    ([`AdmissionPolicy::ShedLowestValue`]), or migrate the model to
-//!    the board with the most headroom ([`AdmissionPolicy::Rebalance`],
-//!    warm standbys pre-provisioned from real resource remainders).
-//!    [`fleet_policy_sweep`] runs several replay configurations on
-//!    scoped threads, mirroring [`crate::stream::line_rate_sweep`].
+//! 3. **Serving** — through the unified serving API: wrap a compiled
+//!    fleet in [`FleetDeployment::serve_backend`] and replay it with
+//!    [`crate::serve::ServeHarness`]. Frames reach each shard through
+//!    the [`canids_can::gateway::SegmentForwarder`] store-and-forward
+//!    model (real forwarding delay + far-segment serialisation, not a
+//!    free broadcast), and a fleet-level [`AdmissionPolicy`] governs
+//!    sustained overload: keep today's FIFO drops, shed by static or
+//!    *measured* model value, or migrate to a warm standby. The
+//!    historical [`fleet_line_rate`]/[`fleet_policy_sweep`] entry
+//!    points survive as deprecated wrappers whose reports are
+//!    bit-identical to the harness path.
 
-use std::collections::BTreeMap;
-
-use canids_can::frame::CanFrame;
-use canids_can::gateway::SegmentForwarder;
 use canids_can::time::SimTime;
 use canids_can::timing::Bitrate;
 use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
 use canids_dataflow::resources::{Device, ResourceEstimate};
 use canids_dataset::attacks::AttackKind;
-use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 use canids_dataset::generator::Dataset;
-use canids_dataset::record::LabeledFrame;
-use canids_dataset::stream::paced_records;
 use canids_soc::board::{BoardConfig, Zcu104Board};
-use canids_soc::ecu::{EcuConfig, EcuStream, IdsEcu, SchedPolicy};
+use canids_soc::ecu::{EcuConfig, IdsEcu, SchedPolicy};
 
 use crate::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
 use crate::error::CoreError;
-use crate::stream::percentile;
+use crate::serve::{FleetBackend, Pacing, ReplayConfig, ServeHarness, ServeReport};
+
+pub use crate::serve::{AdmissionPolicy, FleetAction, FleetEvent, OverloadThresholds};
 
 /// One board of the fleet: which device it is, the PL clock its shard is
 /// planned at, and an instance name for reports.
@@ -419,76 +412,13 @@ impl FleetDeployment {
     pub fn models(&self) -> usize {
         self.locations.len()
     }
-}
 
-/// How the fleet reacts to sustained overload of a shard, instead of the
-/// silent per-board FIFO drops the single-board engine defaults to.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum AdmissionPolicy {
-    /// Today's behaviour: a saturated shard drops frames at its FIFO.
-    DropFrames,
-    /// Detach the lowest-priority model of the overloaded shard (its IP
-    /// stays resident) and re-admit it once the shard has drained —
-    /// coverage degrades one model at a time, frames keep flowing.
-    ShedLowestValue {
-        /// Per-model value, in fleet bundle order; higher = shed later.
-        priorities: Vec<u32>,
-    },
-    /// Migrate the overloaded shard's lowest-priority model to the board
-    /// with the most headroom (warm standby pre-provisioned from real
-    /// resource remainders; the model is dark for the migration delay).
-    /// Falls back to shedding when no standby fits anywhere.
-    Rebalance {
-        /// Per-model value, in fleet bundle order; higher = migrated
-        /// later.
-        priorities: Vec<u32>,
-    },
-}
-
-impl AdmissionPolicy {
-    /// Short label for tables and JSON reports.
-    pub fn label(&self) -> &'static str {
-        match self {
-            AdmissionPolicy::DropFrames => "drop-frames",
-            AdmissionPolicy::ShedLowestValue { .. } => "shed-lowest-value",
-            AdmissionPolicy::Rebalance { .. } => "rebalance",
-        }
-    }
-
-    fn priorities(&self) -> Option<&[u32]> {
-        match self {
-            AdmissionPolicy::DropFrames => None,
-            AdmissionPolicy::ShedLowestValue { priorities }
-            | AdmissionPolicy::Rebalance { priorities } => Some(priorities),
-        }
-    }
-}
-
-/// Hysteresis thresholds of the per-shard overload detector, as
-/// fractions of the software FIFO depth. Defaults are chosen so that
-/// even a worst-case backlog growth of one frame per arrival cannot
-/// reach the FIFO rim between the high watermark and the shed trigger
-/// (`0.7 · depth + shed_sustain < depth` at the default depth of 64).
-#[derive(Debug, Clone, Copy)]
-pub struct OverloadThresholds {
-    /// Backlog fraction at or above which an arrival counts as hot.
-    pub high_frac: f64,
-    /// Backlog fraction at or below which an arrival counts as cool.
-    pub low_frac: f64,
-    /// Consecutive hot arrivals before the policy acts.
-    pub shed_sustain: u32,
-    /// Consecutive cool arrivals before a shed model is re-admitted.
-    pub readmit_sustain: u32,
-}
-
-impl Default for OverloadThresholds {
-    fn default() -> Self {
-        OverloadThresholds {
-            high_frac: 0.7,
-            low_frac: 0.15,
-            shed_sustain: 12,
-            readmit_sustain: 96,
-        }
+    /// A serving backend over this fleet for the unified harness
+    /// ([`ServeHarness`]): every replay session builds fresh per-shard
+    /// ECUs, so one deployment supports any number of (possibly
+    /// concurrent) replays.
+    pub fn serve_backend(&self) -> FleetBackend<'_> {
+        FleetBackend::new(self)
     }
 }
 
@@ -539,43 +469,6 @@ impl Default for FleetReplayConfig {
             migration_delay: SimTime::from_millis(2),
         }
     }
-}
-
-impl FleetReplayConfig {
-    fn ecu_for(&self, board: usize) -> EcuConfig {
-        let mut c = self.ecu;
-        if let Some(&(_, policy)) = self.ecu_overrides.iter().find(|&&(b, _)| b == board) {
-            c.policy = policy;
-        }
-        c
-    }
-}
-
-/// What an admission event did.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FleetAction {
-    /// Model detached from its shard.
-    Shed,
-    /// Previously shed model re-admitted.
-    Readmit,
-    /// Model migrated to another board's warm standby.
-    Migrate {
-        /// Destination board index.
-        to: usize,
-    },
-}
-
-/// One admission-policy event during a replay.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct FleetEvent {
-    /// Board-local time the action was taken.
-    pub time: SimTime,
-    /// Board the overload was detected on.
-    pub board: usize,
-    /// Fleet model index acted on.
-    pub model: usize,
-    /// What happened.
-    pub action: FleetAction,
 }
 
 /// One board's share of a fleet replay.
@@ -683,40 +576,10 @@ impl FleetLineRateReport {
     }
 }
 
-/// Per-model replay bookkeeping: where the model may run and where it
-/// currently runs (`None` while shed or mid-migration).
-#[derive(Debug, Clone, Copy)]
-struct ModelState {
-    home: Slot,
-    standby: Option<Slot>,
-    serving: Option<Slot>,
-}
-
-impl ModelState {
-    /// The slot a migration would move this model to, given where it
-    /// currently serves.
-    fn other_slot(&self, from: Slot) -> Option<Slot> {
-        match self.standby {
-            Some(sb) if sb != from => Some(sb),
-            _ if self.home != from => Some(self.home),
-            _ => None,
-        }
-    }
-}
-
-/// Per-shard overload detector state.
-#[derive(Debug, Clone, Default)]
-struct ShardCtl {
-    hot: u32,
-    cool: u32,
-    /// Models shed from this shard: (fleet model, slot it served at).
-    shed: Vec<(usize, Slot)>,
-}
-
 /// Builds a fresh serving ECU for one shard. The runtime board is the
 /// ZCU104 SoC model for every shard (see [`BoardSpec`]); the per-board
 /// heterogeneity lives in the planned resources and compiled IP timing.
-fn build_shard_ecu(
+pub(crate) fn build_shard_ecu(
     shard: &ShardDeployment,
     standbys: &[AcceleratorIp],
     config: EcuConfig,
@@ -733,7 +596,7 @@ fn build_shard_ecu(
 /// each model gets at most one standby, on the board (≠ home) whose
 /// *true* resource remainder best absorbs the IP. Models that fit
 /// nowhere simply have no standby (migration falls back to shedding).
-fn place_standbys(
+pub(crate) fn place_standbys(
     deployment: &FleetDeployment,
     priorities: &[u32],
 ) -> (Vec<Vec<AcceleratorIp>>, Vec<Option<Slot>>) {
@@ -779,325 +642,120 @@ fn place_standbys(
     (extra_ips, standby)
 }
 
+/// Converts the historical fleet replay configuration into the unified
+/// serving configuration (same defaults, same semantics).
+impl From<&FleetReplayConfig> for ReplayConfig {
+    fn from(c: &FleetReplayConfig) -> Self {
+        ReplayConfig {
+            pacing: match c.pacing {
+                FleetPacing::Saturated => Pacing::Saturated,
+                FleetPacing::AsRecorded => Pacing::AsRecorded,
+            },
+            bitrate: c.bitrate,
+            ecu: c.ecu,
+            ecu_overrides: c.ecu_overrides.clone(),
+            admission: c.admission.clone(),
+            thresholds: c.thresholds,
+            gateway_delay: c.gateway_delay,
+            migration_delay: c.migration_delay,
+        }
+    }
+}
+
+/// Maps a unified [`ServeReport`] back onto the historical fleet report
+/// shape (field-for-field; the numbers are the harness's own).
+fn to_fleet_report(r: ServeReport) -> FleetLineRateReport {
+    FleetLineRateReport {
+        policy: r.admission,
+        bitrate_bps: r.bitrate_bps,
+        offered: r.offered,
+        offered_fps: r.offered_fps,
+        dropped: r.dropped,
+        p50_latency: r.latency.p50,
+        p99_latency: r.latency.p99,
+        max_latency: r.latency.max,
+        flagged: r.flagged,
+        fully_covered: r.fully_covered,
+        mean_power_w: r.energy.map_or(0.0, |e| e.mean_power_w),
+        energy_per_message_j: r.energy.map_or(0.0, |e| e.energy_per_message_j),
+        boards: r
+            .boards
+            .into_iter()
+            .map(|b| FleetBoardReport {
+                board: b.board,
+                models: b.models,
+                offered: b.offered,
+                serviced: b.serviced,
+                dropped: b.dropped,
+                p50_latency: b.latency.p50,
+                p99_latency: b.latency.p99,
+                max_latency: b.latency.max,
+                mean_power_w: b.energy.map_or(0.0, |e| e.mean_power_w),
+                energy_per_message_j: b.energy.map_or(0.0, |e| e.energy_per_message_j),
+            })
+            .collect(),
+        events: r.events,
+        verdicts: r.verdicts,
+    }
+}
+
 /// Replays one capture through the whole fleet at wire pacing.
 ///
-/// Every backbone frame is forwarded to every board through that board's
-/// gateway port ([`SegmentForwarder`]: processing delay + far-segment
-/// serialisation), each shard serves it through the full simulated SoC
-/// path, and the fleet [`AdmissionPolicy`] watches per-shard backlog to
-/// act on sustained overload. Fresh ECUs are built internally, so one
-/// [`FleetDeployment`] supports any number of (possibly concurrent)
-/// replays.
+/// Deprecated thin wrapper over [`ServeHarness`] +
+/// [`FleetBackend`]: the report is the harness's own, mapped
+/// field-for-field onto the historical shape (bit-identical numbers).
 ///
 /// # Errors
 ///
 /// [`CoreError::EmptyFleet`] on a fleet with no boards,
 /// [`CoreError::PriorityMismatch`] when the policy's priorities do not
 /// cover every model; driver/bus errors otherwise.
+#[deprecated(note = "use serve::ServeHarness::replay with serve::FleetBackend")]
 pub fn fleet_line_rate(
     capture: &Dataset,
     deployment: &FleetDeployment,
     config: &FleetReplayConfig,
 ) -> Result<FleetLineRateReport, CoreError> {
-    let m = deployment.shards.len();
-    if m == 0 {
-        return Err(CoreError::EmptyFleet);
-    }
-    let n_models = deployment.models();
-    if let Some(p) = config.admission.priorities() {
-        if p.len() != n_models {
-            return Err(CoreError::PriorityMismatch {
-                expected: n_models,
-                actual: p.len(),
-            });
-        }
-    }
-    let priorities: Vec<u32> = config
-        .admission
-        .priorities()
-        .map(<[u32]>::to_vec)
-        .unwrap_or_else(|| vec![0; n_models]);
-
-    // Warm standbys exist only under Rebalance.
-    let (extra_ips, standbys) = if matches!(config.admission, AdmissionPolicy::Rebalance { .. }) {
-        place_standbys(deployment, &priorities)
-    } else {
-        (vec![Vec::new(); m], vec![None; n_models])
-    };
-
-    let mut model_states: Vec<ModelState> = deployment
-        .locations
-        .iter()
-        .zip(&standbys)
-        .map(|(&home, &standby)| ModelState {
-            home,
-            standby,
-            serving: Some(home),
-        })
-        .collect();
-
-    let depths: Vec<usize> = (0..m)
-        .map(|b| config.ecu_for(b).queue_depth.max(1))
-        .collect();
-    let mut ecus: Vec<IdsEcu> = deployment
-        .shards
-        .iter()
-        .enumerate()
-        .map(|(b, shard)| build_shard_ecu(shard, &extra_ips[b], config.ecu_for(b)))
-        .collect::<Result<_, _>>()?;
-    let mut sessions: Vec<EcuStream<'_>> = ecus.iter_mut().map(IdsEcu::stream).collect();
-    for st in &model_states {
-        if let Some(sb) = st.standby {
-            sessions[sb.shard].set_model_active(sb.local, false);
-        }
-    }
-
-    let encoder = IdBitsPayloadBits;
-    let featurize = |f: &CanFrame| encoder.encode(f);
-    let mut forwarders: Vec<SegmentForwarder> = (0..m)
-        .map(|_| SegmentForwarder::new(config.bitrate, config.gateway_delay))
-        .collect();
-    let mut ctl: Vec<ShardCtl> = vec![ShardCtl::default(); m];
-    // Backbone arrival per frame ordinal, plus the ordinals each board
-    // admitted (in push order). Keying per-frame accounting on the
-    // ordinal, not the timestamp, keeps duplicate-timestamp captures
-    // (possible in external HCRL logs) correctly separated.
-    let mut arrivals: Vec<SimTime> = Vec::new();
-    let mut admitted: Vec<Vec<usize>> = vec![Vec::new(); m];
-    let mut events: Vec<FleetEvent> = Vec::new();
-    let mut pending_activation: Vec<(SimTime, usize, Slot)> = Vec::new();
-    let th = config.thresholds;
-
-    let records: Box<dyn Iterator<Item = LabeledFrame> + '_> = match config.pacing {
-        FleetPacing::Saturated => Box::new(paced_records(capture, config.bitrate)),
-        FleetPacing::AsRecorded => Box::new(capture.iter().copied()),
-    };
-    for rec in records {
-        let arrival = rec.timestamp;
-        let ordinal = arrivals.len();
-        arrivals.push(arrival);
-
-        // Complete due migrations: the standby goes live.
-        pending_activation.retain(|&(t, model, slot)| {
-            if t <= arrival {
-                sessions[slot.shard].set_model_active(slot.local, true);
-                model_states[model].serving = Some(slot);
-                false
-            } else {
-                true
-            }
-        });
-
-        for b in 0..m {
-            let delivered = forwarders[b].forward(arrival, &rec.frame);
-            let dropped_before = sessions[b].dropped();
-            sessions[b].push(delivered, rec.frame, &featurize)?;
-            if sessions[b].dropped() == dropped_before {
-                admitted[b].push(ordinal);
-            }
-
-            if config.admission == AdmissionPolicy::DropFrames {
-                continue;
-            }
-            let frac = sessions[b].backlog() as f64 / depths[b] as f64;
-            if frac >= th.high_frac {
-                ctl[b].hot += 1;
-                ctl[b].cool = 0;
-            } else if frac <= th.low_frac {
-                ctl[b].cool += 1;
-                ctl[b].hot = 0;
-            } else {
-                ctl[b].hot = 0;
-                ctl[b].cool = 0;
-            }
-
-            if ctl[b].hot >= th.shed_sustain {
-                ctl[b].hot = 0;
-                // Victim: the lowest-value model currently served here
-                // (later duplicates go first on ties). A shard never
-                // gives up its last model.
-                let victim = model_states
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(mdl, st)| match st.serving {
-                        Some(sl) if sl.shard == b => Some((mdl, sl)),
-                        _ => None,
-                    })
-                    .min_by_key(|&(mdl, _)| (priorities[mdl], std::cmp::Reverse(mdl)));
-                let Some((victim, slot)) = victim else {
-                    continue;
-                };
-                if sessions[b].active_models() <= 1 {
-                    continue;
-                }
-                let migrate_to = if matches!(config.admission, AdmissionPolicy::Rebalance { .. }) {
-                    model_states[victim].other_slot(slot).filter(|dest| {
-                        let dest_frac =
-                            sessions[dest.shard].backlog() as f64 / depths[dest.shard] as f64;
-                        dest_frac < th.high_frac
-                    })
-                } else {
-                    None
-                };
-                sessions[b].set_model_active(slot.local, false);
-                model_states[victim].serving = None;
-                match migrate_to {
-                    Some(dest) => {
-                        pending_activation.push((delivered + config.migration_delay, victim, dest));
-                        events.push(FleetEvent {
-                            time: delivered,
-                            board: b,
-                            model: victim,
-                            action: FleetAction::Migrate { to: dest.shard },
-                        });
-                    }
-                    None => {
-                        ctl[b].shed.push((victim, slot));
-                        events.push(FleetEvent {
-                            time: delivered,
-                            board: b,
-                            model: victim,
-                            action: FleetAction::Shed,
-                        });
-                    }
-                }
-            } else if ctl[b].cool >= th.readmit_sustain && !ctl[b].shed.is_empty() {
-                ctl[b].cool = 0;
-                // Load has subsided: the most valuable shed model comes
-                // back first.
-                let pos = ctl[b]
-                    .shed
-                    .iter()
-                    .enumerate()
-                    .max_by_key(|&(_, &(mdl, _))| (priorities[mdl], std::cmp::Reverse(mdl)))
-                    .map(|(pos, _)| pos)
-                    .expect("shed list checked non-empty");
-                let (model, slot) = ctl[b].shed.remove(pos);
-                sessions[b].set_model_active(slot.local, true);
-                model_states[model].serving = Some(slot);
-                events.push(FleetEvent {
-                    time: delivered,
-                    board: b,
-                    model,
-                    action: FleetAction::Readmit,
-                });
-            }
-        }
-    }
-
-    let reports: Vec<canids_soc::ecu::EcuReport> = sessions
-        .into_iter()
-        .map(EcuStream::try_finish)
-        .collect::<Result<_, _>>()?;
-
-    // Aggregate: per-board tails from backbone arrival, plus the fused
-    // fleet verdict (slowest board's completion per frame ordinal).
-    let offered = arrivals.len();
-    let mut boards = Vec::with_capacity(m);
-    let mut fused: BTreeMap<usize, (bool, SimTime, usize)> = BTreeMap::new();
-    let mut total_dropped = 0u64;
-    let mut total_power = 0.0;
-    let mut total_energy = 0.0;
-    for (b, report) in reports.iter().enumerate() {
-        debug_assert_eq!(report.detections.len(), admitted[b].len());
-        let mut lat: Vec<SimTime> = report
-            .detections
-            .iter()
-            .zip(&admitted[b])
-            .map(|(d, &ord)| d.completed_at.saturating_sub(arrivals[ord]))
-            .collect();
-        lat.sort_unstable();
-        boards.push(FleetBoardReport {
-            board: deployment.shards[b].spec.name.clone(),
-            models: deployment.shards[b].ips.len(),
-            offered,
-            serviced: report.detections.len(),
-            dropped: report.dropped,
-            p50_latency: percentile(&lat, 0.50),
-            p99_latency: percentile(&lat, 0.99),
-            max_latency: lat.last().copied().unwrap_or(SimTime::ZERO),
-            mean_power_w: report.mean_power_w,
-            energy_per_message_j: report.energy_per_message_j,
-        });
-        total_dropped += report.dropped;
-        total_power += report.mean_power_w;
-        total_energy += report.energy_per_message_j;
-        for (d, &ord) in report.detections.iter().zip(&admitted[b]) {
-            let e = fused.entry(ord).or_insert((false, SimTime::ZERO, 0));
-            e.0 |= d.flagged;
-            e.1 = e.1.max(d.completed_at);
-            e.2 += 1;
-        }
-    }
-    let mut fleet_lat: Vec<SimTime> = fused
-        .iter()
-        .map(|(&ord, &(_, done, _))| done.saturating_sub(arrivals[ord]))
-        .collect();
-    fleet_lat.sort_unstable();
-    let verdicts: Vec<(SimTime, bool)> = fused
-        .iter()
-        .map(|(&ord, &(flagged, _, _))| (arrivals[ord], flagged))
-        .collect();
-    let flagged = verdicts.iter().filter(|&&(_, f)| f).count();
-    let fully_covered = fused.values().filter(|&&(_, _, n)| n == m).count();
-    // Offered load over the capture's own span (external captures carry
-    // epoch timestamps, so an absolute-time denominator would be
-    // nonsense).
-    let span = match (arrivals.first(), arrivals.last()) {
-        (Some(&first), Some(&last)) => last.saturating_sub(first),
-        _ => SimTime::ZERO,
-    };
-    let offered_fps = if span > SimTime::ZERO {
-        offered as f64 / span.as_secs_f64()
-    } else {
-        0.0
-    };
-
-    Ok(FleetLineRateReport {
-        policy: config.admission.label().to_owned(),
-        bitrate_bps: config.bitrate.bits_per_sec(),
-        offered,
-        offered_fps,
-        dropped: total_dropped,
-        p50_latency: percentile(&fleet_lat, 0.50),
-        p99_latency: percentile(&fleet_lat, 0.99),
-        max_latency: fleet_lat.last().copied().unwrap_or(SimTime::ZERO),
-        flagged,
-        fully_covered,
-        mean_power_w: total_power,
-        energy_per_message_j: total_energy,
-        boards,
-        events,
-        verdicts,
-    })
+    let mut harness = ServeHarness::new(FleetBackend::new(deployment));
+    harness
+        .replay(capture, &ReplayConfig::from(config))
+        .map(to_fleet_report)
 }
 
 /// Replays one capture under several fleet configurations concurrently
-/// (one scoped thread per replay, like
-/// [`crate::stream::line_rate_sweep`]). Results come back in
-/// configuration order.
+/// (one scoped thread per replay).
+///
+/// Deprecated thin wrapper over [`ServeHarness::sweep`] with a
+/// [`FleetBackend`] factory. Results come back in configuration order.
 ///
 /// # Errors
 ///
 /// The first replay error, if any.
+#[deprecated(note = "use serve::ServeHarness::sweep with a serve::FleetBackend factory")]
 pub fn fleet_policy_sweep(
     capture: &Dataset,
     deployment: &FleetDeployment,
     configs: &[FleetReplayConfig],
 ) -> Result<Vec<FleetLineRateReport>, CoreError> {
-    crate::par::scoped_map(configs, |config| {
-        fleet_line_rate(capture, deployment, config)
-    })
-    .into_iter()
-    .collect()
+    let scenarios: Vec<crate::serve::ServeScenario<'_>> = configs
+        .iter()
+        .map(|config| crate::serve::ServeScenario {
+            name: config.admission.label().to_owned(),
+            source: crate::serve::CaptureSource::Capture(capture),
+            config: ReplayConfig::from(config),
+        })
+        .collect();
+    let reports = ServeHarness::sweep(|| Ok(FleetBackend::new(deployment)), &scenarios)?;
+    Ok(reports.into_iter().map(to_fleet_report).collect())
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
-    use canids_can::frame::CanId;
+    use canids_can::frame::{CanFrame, CanId};
     use canids_dataset::generator::{DatasetBuilder, TrafficConfig};
-    use canids_dataset::record::Label;
+    use canids_dataset::record::{Label, LabeledFrame};
     use canids_qnn::prelude::*;
 
     fn tiny_model(seed: u64) -> IntegerMlp {

@@ -10,14 +10,19 @@
 //! * [`deploy`] — the N-detector deployment engine: per-model
 //!   folding-budget allocation ([`deploy::DeploymentPlan`]), shared
 //!   feature packing and pluggable ECU scheduling policies,
-//! * [`stream`] — frame-at-a-time streaming evaluation and the
-//!   line-rate harness (saturated 1 Mb/s and CAN-FD-class replay,
-//!   single- and N-detector),
+//! * [`stream`] — frame-at-a-time streaming evaluation
+//!   ([`stream::StreamingEvaluator`]) plus the deprecated line-rate
+//!   entry points, now thin wrappers over the serving harness,
 //! * [`fleet`] — the cross-ECU layer: one detector fleet sharded across
 //!   heterogeneous boards ([`fleet::FleetPlan`]), gateway-coupled frame
 //!   delivery, and admission policies that degrade gracefully under
 //!   overload instead of dropping frames,
-//! * [`report`] — paper-style ASCII tables for the benchmark harness.
+//! * [`serve`] — **the unified serving API**: one [`serve::ServeHarness`]
+//!   over the software, single-ECU and fleet backends, with a typed
+//!   per-frame verdict stream ([`serve::VerdictSink`]) and value-driven
+//!   admission ([`serve::AdmissionPolicy::ShedLowestMeasuredValue`]),
+//! * [`report`] — shared latency/energy statistics and paper-style
+//!   ASCII tables for the benchmark harness.
 //!
 //! # Quickstart
 //!
@@ -38,6 +43,7 @@ pub mod fleet;
 mod par;
 pub mod pipeline;
 pub mod report;
+pub mod serve;
 pub mod stream;
 
 pub use deploy::{
@@ -45,16 +51,23 @@ pub use deploy::{
 };
 pub use dse::{sweep_bitwidths, DsePoint, DseReport};
 pub use error::CoreError;
+#[allow(deprecated)]
+pub use fleet::{fleet_line_rate, fleet_policy_sweep};
 pub use fleet::{
-    fleet_line_rate, fleet_policy_sweep, AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment,
-    FleetLineRateReport, FleetPlan, FleetReplayConfig,
+    AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment, FleetLineRateReport, FleetPlan,
+    FleetReplayConfig,
 };
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
-pub use report::{pct, pct_opt, Table};
+pub use report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
+pub use serve::{
+    EcuBackend, FleetBackend, Pacing, ReplayConfig, ServeBackend, ServeHarness, ServeReport,
+    ServeScenario, SoftwareBackend, Verdict, VerdictSink,
+};
+#[allow(deprecated)]
+pub use stream::{line_rate_sweep, multi_line_rate, replay_line_rate};
 pub use stream::{
-    line_rate_sweep, multi_line_rate, replay_line_rate, LineRateReport, LineRateScenario,
-    MultiLineRateReport, MultiStreamVerdict, MultiStreamingEvaluator, StreamVerdict,
-    StreamingEvaluator,
+    LineRateReport, LineRateScenario, MultiLineRateReport, MultiStreamVerdict,
+    MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,
 };
 
 /// Convenience re-exports spanning the whole stack.
@@ -64,15 +77,23 @@ pub mod prelude {
     };
     pub use crate::dse::{sweep_bitwidths, DseReport};
     pub use crate::error::CoreError;
+    #[allow(deprecated)]
+    pub use crate::fleet::{fleet_line_rate, fleet_policy_sweep};
     pub use crate::fleet::{
-        fleet_line_rate, fleet_policy_sweep, AdmissionPolicy, BoardSpec, FleetConfig,
-        FleetDeployment, FleetLineRateReport, FleetPacing, FleetPlan, FleetReplayConfig,
+        AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment, FleetLineRateReport, FleetPacing,
+        FleetPlan, FleetReplayConfig,
     };
     pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
-    pub use crate::report::{pct, pct_opt, Table};
+    pub use crate::report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
+    pub use crate::serve::{
+        CaptureSource, EcuBackend, FleetBackend, Pacing, ReplayConfig, ServeBackend, ServeHarness,
+        ServeReport, ServeScenario, SoftwareBackend, Verdict, VerdictSink,
+    };
+    #[allow(deprecated)]
+    pub use crate::stream::{line_rate_sweep, multi_line_rate, replay_line_rate};
     pub use crate::stream::{
-        line_rate_sweep, multi_line_rate, replay_line_rate, LineRateReport, LineRateScenario,
-        MultiLineRateReport, MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,
+        LineRateReport, LineRateScenario, MultiLineRateReport, MultiStreamingEvaluator,
+        StreamVerdict, StreamingEvaluator,
     };
     pub use canids_baselines::prelude::*;
     pub use canids_can::prelude::*;

@@ -1,7 +1,88 @@
-//! ASCII table rendering for the benchmark harness — the same rows and
-//! columns the paper prints.
+//! Shared report building blocks: the latency/energy statistics every
+//! serving path aggregates through, and ASCII table rendering for the
+//! benchmark harness — the same rows and columns the paper prints.
 
 use std::fmt::Write as _;
+
+use canids_can::time::SimTime;
+
+/// Latency distribution summary shared by every serving report
+/// (software line rate, single-ECU, fleet): median, tail and worst-case
+/// verdict latency over one replay.
+///
+/// Percentiles use the **nearest-rank on the zero-based index** rule:
+/// for `n` sorted samples, quantile `q` reads index
+/// `round((n - 1) · q)`. This is exactly the formula the three
+/// pre-unification report paths used, so reports computed through this
+/// type are bit-identical to the historical numbers.
+///
+/// # Example
+///
+/// ```
+/// use canids_can::time::SimTime;
+/// use canids_core::report::LatencyStats;
+///
+/// let samples: Vec<SimTime> = (1..=100).map(SimTime::from_micros).collect();
+/// let stats = LatencyStats::from_unsorted(samples);
+/// assert_eq!(stats.p50, SimTime::from_micros(51)); // round(99 * 0.5) = 50
+/// assert_eq!(stats.p99, SimTime::from_micros(99)); // round(99 * 0.99) = 98
+/// assert_eq!(stats.max, SimTime::from_micros(100));
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LatencyStats {
+    /// Median (50th-percentile) latency.
+    pub p50: SimTime,
+    /// 99th-percentile latency.
+    pub p99: SimTime,
+    /// Worst observed latency.
+    pub max: SimTime,
+}
+
+impl LatencyStats {
+    /// Nearest-rank percentile over **sorted** samples (see the type
+    /// docs for the exact rule). Empty input reads as zero.
+    pub fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
+        if sorted.is_empty() {
+            return SimTime::ZERO;
+        }
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx.min(sorted.len() - 1)]
+    }
+
+    /// Summarises a **sorted** sample vector.
+    pub fn from_sorted(sorted: &[SimTime]) -> Self {
+        LatencyStats {
+            p50: Self::percentile(sorted, 0.50),
+            p99: Self::percentile(sorted, 0.99),
+            max: sorted.last().copied().unwrap_or(SimTime::ZERO),
+        }
+    }
+
+    /// Sorts the samples, then summarises them.
+    pub fn from_unsorted(mut samples: Vec<SimTime>) -> Self {
+        samples.sort_unstable();
+        Self::from_sorted(&samples)
+    }
+}
+
+/// Power/energy accounting of one replay on a modelled board (absent on
+/// the pure-software serving path, which has no rail model).
+///
+/// # Example
+///
+/// ```
+/// use canids_core::report::EnergyStats;
+///
+/// let e = EnergyStats { mean_power_w: 2.09, energy_per_message_j: 0.25e-3 };
+/// assert!(e.mean_power_w > 2.0 && e.energy_per_message_j < 1e-3);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyStats {
+    /// Mean board power over the replay (rail model).
+    pub mean_power_w: f64,
+    /// Energy per inspected message.
+    pub energy_per_message_j: f64,
+}
 
 /// A simple fixed-column table with aligned ASCII rendering.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -134,5 +215,65 @@ mod tests {
         assert!(t.is_empty());
         t.push_strs(&["1"]);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn latency_stats_empty_is_zero() {
+        let s = LatencyStats::from_sorted(&[]);
+        assert_eq!(s, LatencyStats::default());
+        assert_eq!(LatencyStats::percentile(&[], 0.99), SimTime::ZERO);
+    }
+
+    #[test]
+    fn latency_stats_single_sample_is_every_quantile() {
+        let one = [SimTime::from_micros(7)];
+        let s = LatencyStats::from_sorted(&one);
+        assert_eq!(s.p50, SimTime::from_micros(7));
+        assert_eq!(s.p99, SimTime::from_micros(7));
+        assert_eq!(s.max, SimTime::from_micros(7));
+    }
+
+    #[test]
+    fn nearest_rank_semantics_are_pinned() {
+        // n = 4 sorted samples: p50 reads round(3 · 0.5) = round(1.5) =
+        // index 2 (round half away from zero), p99 reads round(2.97) =
+        // index 3.
+        let sorted: Vec<SimTime> = [10u64, 20, 30, 40]
+            .iter()
+            .map(|&us| SimTime::from_micros(us))
+            .collect();
+        assert_eq!(
+            LatencyStats::percentile(&sorted, 0.50),
+            SimTime::from_micros(30)
+        );
+        assert_eq!(
+            LatencyStats::percentile(&sorted, 0.99),
+            SimTime::from_micros(40)
+        );
+        assert_eq!(
+            LatencyStats::percentile(&sorted, 0.0),
+            SimTime::from_micros(10)
+        );
+        assert_eq!(
+            LatencyStats::percentile(&sorted, 1.0),
+            SimTime::from_micros(40)
+        );
+    }
+
+    #[test]
+    fn from_unsorted_sorts_first() {
+        let shuffled: Vec<SimTime> = [40u64, 10, 30, 20]
+            .iter()
+            .map(|&us| SimTime::from_micros(us))
+            .collect();
+        let sorted: Vec<SimTime> = {
+            let mut v = shuffled.clone();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(
+            LatencyStats::from_unsorted(shuffled),
+            LatencyStats::from_sorted(&sorted)
+        );
     }
 }

@@ -11,16 +11,12 @@
 //!   Streaming and batch evaluation produce *identical* predictions and
 //!   confusion matrices on the same capture — the equivalence tests pin
 //!   this.
-//! * [`replay_line_rate`] — replays a capture against a
-//!   `StreamingEvaluator` at true bus pacing (saturated 1 Mb/s classic
-//!   CAN, or a CAN-FD-class rate), measuring each frame's real software
-//!   service time and reporting sustained frames/s, p50/p99/max verdict
-//!   latency and FIFO drops.
-//! * [`line_rate_sweep`] — generates and evaluates several scenarios
-//!   (attack × bitrate) concurrently on scoped threads, mirroring the
-//!   bit-width DSE sweep.
-
-use std::time::Instant;
+//! * [`replay_line_rate`] / [`line_rate_sweep`] / [`multi_line_rate`] —
+//!   the historical line-rate entry points, now deprecated thin
+//!   wrappers over the unified serving harness
+//!   ([`crate::serve::ServeHarness`] with
+//!   [`crate::serve::SoftwareBackend`] / [`crate::serve::EcuBackend`]);
+//!   their reports are bit-identical to the harness path.
 
 use canids_can::time::SimTime;
 use canids_can::timing::Bitrate;
@@ -28,12 +24,15 @@ use canids_dataset::attacks::AttackProfile;
 use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 use canids_dataset::generator::{Dataset, DatasetBuilder, TrafficConfig};
 use canids_dataset::record::LabeledFrame;
-use canids_dataset::stream::paced_records;
 use canids_qnn::export::IntegerMlp;
 use canids_qnn::metrics::ConfusionMatrix;
-use canids_soc::ecu::{IdsEcu, SchedPolicy, ServiceQueue};
+use canids_soc::ecu::{EcuConfig, IdsEcu, SchedPolicy};
 
 use crate::error::CoreError;
+use crate::serve::{
+    CaptureSource, EcuBackend, ReplayConfig, ServeHarness, ServeReport, ServeScenario,
+    SoftwareBackend,
+};
 
 /// One streaming verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -400,100 +399,100 @@ pub fn contention_note(scenario_count: usize) -> Option<String> {
     })
 }
 
-pub(crate) fn percentile(sorted: &[SimTime], q: f64) -> SimTime {
-    if sorted.is_empty() {
-        return SimTime::ZERO;
+/// The unified replay configuration a [`LineRateScenario`] maps to:
+/// saturated pacing at the scenario's bitrate, software FIFO at the
+/// scenario's queue depth.
+impl LineRateScenario {
+    /// This scenario as a [`ReplayConfig`] for the serving harness.
+    pub fn replay_config(&self) -> ReplayConfig {
+        ReplayConfig {
+            bitrate: self.bitrate,
+            ecu: EcuConfig {
+                queue_depth: self.queue_depth,
+                ..EcuConfig::default()
+            },
+            ..ReplayConfig::default()
+        }
     }
-    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Replays `capture` through a [`StreamingEvaluator`] at saturated line
-/// rate, one frame at a time.
-///
-/// Arrivals come from [`paced_records`] (true wire pacing at
-/// `scenario.bitrate`); each frame's *service time* is the measured wall
-/// time of the software inference, so the latency distribution and the
-/// sustained rate reflect what this host can actually serve. A frame
-/// arriving while `queue_depth` verdicts are still pending is dropped —
-/// the same [`ServiceQueue`] state machine the ECU service loop runs, so
-/// the two paths share one drop/queue policy by construction.
-pub fn replay_line_rate(
-    capture: &Dataset,
-    model: &IntegerMlp,
-    scenario: &LineRateScenario,
-) -> LineRateReport {
-    let mut eval = StreamingEvaluator::new(model.clone());
-    // Warm the evaluator outside the clock (page in weights, settle
-    // caches), then clear the online accounting it touched.
-    if let Some(first) = capture.records().first() {
-        for _ in 0..8 {
-            eval.push(first);
-        }
-        eval.reset();
-    }
-    let mut latencies: Vec<SimTime> = Vec::with_capacity(capture.len());
-    let mut queue = ServiceQueue::new(scenario.queue_depth);
-    let mut dropped = 0u64;
-    let mut busy_wall_ns = 0u128;
-    let mut last_arrival = SimTime::ZERO;
-    let mut offered = 0usize;
-
-    for rec in paced_records(capture, scenario.bitrate) {
-        let arrival = rec.timestamp;
-        offered += 1;
-        last_arrival = arrival;
-        if !queue.admit(arrival) {
-            dropped += 1;
-            continue;
-        }
-        let t0 = Instant::now();
-        let _ = eval.push(&rec);
-        let wall = t0.elapsed().as_nanos();
-        busy_wall_ns += wall;
-        // At least 1 ns of simulated service so completions advance.
-        let service = SimTime::from_nanos((wall as u64).max(1));
-        let start = queue.start_time(arrival);
-        let completed_at = queue.serve(start, service);
-        latencies.push(completed_at.saturating_sub(arrival));
-    }
-
-    latencies.sort_unstable();
-    let serviced = latencies.len();
-    let offered_fps = if last_arrival > SimTime::ZERO {
-        offered as f64 / last_arrival.as_secs_f64()
-    } else {
-        0.0
-    };
-    let sustained_fps = if busy_wall_ns > 0 {
-        serviced as f64 / (busy_wall_ns as f64 / 1e9)
+/// Maps a unified [`ServeReport`] back onto the historical software
+/// line-rate report shape. The historical `offered_fps` denominator is
+/// the last arrival (captures start at the bus epoch), not the span.
+fn to_line_rate_report(r: ServeReport, scenario: &LineRateScenario) -> LineRateReport {
+    let offered_fps = if r.last_arrival > SimTime::ZERO {
+        r.offered as f64 / r.last_arrival.as_secs_f64()
     } else {
         0.0
     };
     LineRateReport {
         scenario: scenario.name.clone(),
         bitrate_bps: scenario.bitrate.bits_per_sec(),
-        offered,
-        serviced,
-        dropped,
+        offered: r.offered,
+        serviced: r.serviced,
+        dropped: r.dropped,
         offered_fps,
-        sustained_fps,
-        p50_latency: percentile(&latencies, 0.50),
-        p99_latency: percentile(&latencies, 0.99),
-        max_latency: latencies.last().copied().unwrap_or(SimTime::ZERO),
-        cm: *eval.confusion(),
+        sustained_fps: r.sustained_fps.unwrap_or(0.0),
+        p50_latency: r.latency.p50,
+        p99_latency: r.latency.p99,
+        max_latency: r.latency.max,
+        cm: r.cm,
     }
+}
+
+/// Replays `capture` through a [`StreamingEvaluator`] at saturated line
+/// rate, one frame at a time.
+///
+/// Deprecated thin wrapper over [`ServeHarness`] +
+/// [`SoftwareBackend`]: arrivals are wire-paced at `scenario.bitrate`,
+/// each frame's *service time* is the measured wall time of the
+/// software inference, and a frame arriving while `queue_depth`
+/// verdicts are pending is dropped — the same `ServiceQueue` state
+/// machine the ECU service loop runs.
+#[deprecated(note = "use serve::ServeHarness::replay with serve::SoftwareBackend")]
+pub fn replay_line_rate(
+    capture: &Dataset,
+    model: &IntegerMlp,
+    scenario: &LineRateScenario,
+) -> LineRateReport {
+    let mut harness = ServeHarness::new(SoftwareBackend::single(model.clone()));
+    let report = harness
+        .replay(capture, &scenario.replay_config())
+        .expect("the software backend is infallible");
+    to_line_rate_report(report, scenario)
 }
 
 /// Generates and replays every scenario concurrently on scoped threads
 /// (capture synthesis *and* evaluation run in parallel, one thread per
 /// scenario — the same pattern as [`crate::dse::sweep_bitwidths`]).
 ///
-/// Results come back in scenario order.
+/// Deprecated thin wrapper over [`ServeHarness::sweep`] with a
+/// [`SoftwareBackend`] factory. Results come back in scenario order.
+#[deprecated(note = "use serve::ServeHarness::sweep with a serve::SoftwareBackend factory")]
 pub fn line_rate_sweep(model: &IntegerMlp, scenarios: &[LineRateScenario]) -> Vec<LineRateReport> {
-    crate::par::scoped_map(scenarios, |scenario| {
-        replay_line_rate(&scenario.generate_capture(), model, scenario)
-    })
+    let serve_scenarios: Vec<ServeScenario<'_>> = scenarios
+        .iter()
+        .map(|s| ServeScenario {
+            name: s.name.clone(),
+            source: CaptureSource::Generate(TrafficConfig {
+                duration: s.duration,
+                attack: s.attack,
+                seed: s.seed,
+                ..TrafficConfig::default()
+            }),
+            config: s.replay_config(),
+        })
+        .collect();
+    let reports = ServeHarness::sweep(
+        || Ok(SoftwareBackend::single(model.clone())),
+        &serve_scenarios,
+    )
+    .expect("the software backend is infallible");
+    reports
+        .into_iter()
+        .zip(scenarios)
+        .map(|(r, s)| to_line_rate_report(r, s))
+        .collect()
 }
 
 /// Outcome of one wire-paced N-detector ECU replay.
@@ -564,11 +563,11 @@ impl MultiLineRateReport {
 /// pacing (`bitrate`), frame at a time, under the ECU's configured
 /// [`SchedPolicy`].
 ///
-/// Arrivals come from [`paced_records`]; every frame is featurised and
-/// packed **once** inside the ECU session and shared by all N models.
-/// Timing is the *simulated* SoC path (driver, DMA, interrupts, FIFO
-/// queueing), so the per-policy p50/p99 latencies, drops and energy are
-/// properties of the modelled ECU rather than of the benchmarking host.
+/// Deprecated thin wrapper over [`ServeHarness`] + [`EcuBackend::over`]:
+/// every frame is featurised and packed **once** inside the ECU session
+/// and shared by all N models; timing is the *simulated* SoC path, so
+/// the per-policy p50/p99 latencies, drops and energy are properties of
+/// the modelled ECU rather than of the benchmarking host.
 ///
 /// The ECU must be fresh (board clock at the capture's epoch) — take one
 /// from [`crate::deploy::MultiIdsDeployment::fresh_ecu`] per replay.
@@ -576,48 +575,47 @@ impl MultiLineRateReport {
 /// # Errors
 ///
 /// Propagates driver/bus errors.
+#[deprecated(note = "use serve::ServeHarness::replay with serve::EcuBackend")]
 pub fn multi_line_rate(
     capture: &Dataset,
     ecu: &mut IdsEcu,
     bitrate: Bitrate,
 ) -> Result<MultiLineRateReport, CoreError> {
-    let encoder = IdBitsPayloadBits;
-    let featurize = |f: &canids_can::frame::CanFrame| encoder.encode(f);
-    let mut session = ecu.stream();
-    let mut offered = 0usize;
-    let mut last_arrival = SimTime::ZERO;
-    for rec in paced_records(capture, bitrate) {
-        offered += 1;
-        last_arrival = rec.timestamp;
-        session.push(rec.timestamp, rec.frame, &featurize)?;
-    }
-    let report = session.try_finish()?;
-
-    let mut latencies: Vec<SimTime> = report.detections.iter().map(|d| d.latency()).collect();
-    latencies.sort_unstable();
-    let offered_fps = if last_arrival > SimTime::ZERO {
-        offered as f64 / last_arrival.as_secs_f64()
+    let policy = ecu.config().policy;
+    let models = ecu.models().len();
+    let mut harness = ServeHarness::new(EcuBackend::over(ecu));
+    let r = harness.replay(
+        capture,
+        &ReplayConfig {
+            bitrate,
+            ..ReplayConfig::default()
+        },
+    )?;
+    let offered_fps = if r.last_arrival > SimTime::ZERO {
+        r.offered as f64 / r.last_arrival.as_secs_f64()
     } else {
         0.0
     };
+    let energy = r.energy.unwrap_or_default();
     Ok(MultiLineRateReport {
-        policy: report.policy,
-        models: ecu.models().len(),
+        policy,
+        models,
         bitrate_bps: bitrate.bits_per_sec(),
-        offered,
-        serviced: report.detections.len(),
-        dropped: report.dropped,
+        offered: r.offered,
+        serviced: r.serviced,
+        dropped: r.dropped,
         offered_fps,
-        p50_latency: percentile(&latencies, 0.50),
-        p99_latency: percentile(&latencies, 0.99),
-        max_latency: latencies.last().copied().unwrap_or(SimTime::ZERO),
-        flagged: report.detections.iter().filter(|d| d.flagged).count(),
-        mean_power_w: report.mean_power_w,
-        energy_per_message_j: report.energy_per_message_j,
+        p50_latency: r.latency.p50,
+        p99_latency: r.latency.p99,
+        max_latency: r.latency.max,
+        flagged: r.flagged,
+        mean_power_w: energy.mean_power_w,
+        energy_per_message_j: energy.energy_per_message_j,
     })
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use canids_dataset::attacks::BurstSchedule;

@@ -120,6 +120,15 @@ pub struct Detection {
     pub flagged: bool,
     /// Time the verdict became available.
     pub completed_at: SimTime,
+    /// Per-model verdict bitmask: bit `i` is set when the `i`-th model of
+    /// the ECU's model list flagged the frame. Models beyond index 63 are
+    /// folded into `flagged` only (no deployed board carries that many).
+    pub model_flags: u64,
+    /// Which models were consulted for this frame, as the same bitmask —
+    /// detached (shed/migrated-away) models have their bit clear, so a
+    /// clear `model_flags` bit is distinguishable between "saw nothing"
+    /// and "was not serving".
+    pub active_mask: u64,
 }
 
 impl Detection {
@@ -127,6 +136,28 @@ impl Detection {
     pub fn latency(&self) -> SimTime {
         self.completed_at.saturating_sub(self.arrival)
     }
+
+    /// Whether model `i` (ECU model-list index) flagged this frame.
+    pub fn model_flagged(&self, i: usize) -> bool {
+        i < 64 && self.model_flags & (1 << i) != 0
+    }
+
+    /// Whether model `i` (ECU model-list index) was consulted for this
+    /// frame.
+    pub fn model_consulted(&self, i: usize) -> bool {
+        i < 64 && self.active_mask & (1 << i) != 0
+    }
+}
+
+/// Bitmask over the first 64 board-local model positions marked active
+/// — the single source of the 64-bit fold rule `Detection::model_flags`
+/// and the serving harness share.
+pub fn active_mask_of(active: &[bool]) -> u64 {
+    active
+        .iter()
+        .take(64)
+        .enumerate()
+        .fold(0u64, |m, (k, &a)| if a { m | (1 << k) } else { m })
 }
 
 /// Aggregate report of a processed capture.
@@ -472,21 +503,28 @@ impl EcuStream<'_> {
         let start = self.queue.start_time(ready);
         let multi_factor = self.multi_factor();
 
+        let mut model_flags = 0u64;
         let (flagged, service) = match self.ecu.config.policy {
             SchedPolicy::Sequential => {
                 // One driver context walks the active models back to back;
                 // the verdict pays the full software path once per model.
                 self.ecu.board.set_now(start);
                 let mut flagged = false;
-                for (&idx, _) in self
+                for (k, (&idx, _)) in self
                     .ecu
                     .models
                     .iter()
                     .zip(&self.active)
-                    .filter(|&(_, &a)| a)
+                    .enumerate()
+                    .filter(|&(_, (_, &a))| a)
                 {
                     let rec = self.ecu.board.infer_packed(idx, &words)?;
-                    flagged |= rec.class != 0;
+                    if rec.class != 0 {
+                        flagged = true;
+                        if k < 64 {
+                            model_flags |= 1 << k;
+                        }
+                    }
                 }
                 (flagged, self.ecu.board.now().saturating_sub(start))
             }
@@ -504,16 +542,22 @@ impl EcuStream<'_> {
                     .models
                     .iter()
                     .zip(&self.active)
-                    .filter(|&(_, &a)| a)
-                    .map(|(&idx, _)| idx);
-                for (i, idx) in active.enumerate() {
+                    .enumerate()
+                    .filter(|&(_, (_, &a))| a)
+                    .map(|(k, (&idx, _))| (k, idx));
+                for (i, (k, idx)) in active.enumerate() {
                     self.ecu.board.set_now(start);
                     let rec = if irq {
                         self.ecu.board.infer_packed_irq(idx, &words)?
                     } else {
                         self.ecu.board.infer_packed(idx, &words)?
                     };
-                    flagged |= rec.class != 0;
+                    if rec.class != 0 {
+                        flagged = true;
+                        if k < 64 {
+                            model_flags |= 1 << k;
+                        }
+                    }
                     core_time[i % cores] += rec.latency();
                 }
                 let slowest = core_time.into_iter().max().unwrap_or(SimTime::ZERO);
@@ -531,6 +575,8 @@ impl EcuStream<'_> {
             frame,
             flagged,
             completed_at,
+            model_flags,
+            active_mask: active_mask_of(&self.active),
         };
         self.detections.push(detection);
         Ok(Some(detection))
@@ -542,27 +588,48 @@ impl EcuStream<'_> {
         if self.batch_meta.is_empty() {
             return Ok(());
         }
-        let ips: Vec<&canids_dataflow::ip::AcceleratorIp> = self
+        let mut positions: Vec<usize> = Vec::with_capacity(self.ecu.models.len());
+        let mut ips: Vec<&canids_dataflow::ip::AcceleratorIp> = Vec::new();
+        for (k, (&idx, _)) in self
             .ecu
             .models
             .iter()
             .zip(&self.active)
-            .filter(|&(_, &a)| a)
-            .map(|(&idx, _)| {
+            .enumerate()
+            .filter(|&(_, (_, &a))| a)
+        {
+            positions.push(k);
+            ips.push(
                 self.ecu
                     .board
                     .accelerator(idx)
-                    .ok_or(SocError::NoSuchAccelerator(idx))
-            })
-            .collect::<Result<_, _>>()?;
+                    .ok_or(SocError::NoSuchAccelerator(idx))?,
+            );
+        }
         // With every model detached the window still drains (frames pay
         // only the RX path and are never flagged).
-        let (flagged, total) = if ips.is_empty() {
-            (vec![false; self.batch_meta.len()], SimTime::ZERO)
+        let (flagged, model_flags, total) = if ips.is_empty() {
+            (
+                vec![false; self.batch_meta.len()],
+                vec![0u64; self.batch_meta.len()],
+                SimTime::ZERO,
+            )
         } else {
             let cpu = *self.ecu.board.cpu();
             let report = run_batch_multi(&ips, &cpu, self.ecu.config.dma, &self.batch_buf)?;
-            (report.flagged, report.total)
+            // Fold the per-model class grid into one bitmask per frame,
+            // keyed on board-local model positions.
+            let masks: Vec<u64> = (0..self.batch_meta.len())
+                .map(|f| {
+                    report
+                        .classes
+                        .iter()
+                        .zip(&positions)
+                        .filter(|(per_model, _)| per_model[f] != 0)
+                        .fold(0u64, |m, (_, &k)| if k < 64 { m | (1 << k) } else { m })
+                })
+                .collect();
+            (report.flagged, masks, report.total)
         };
 
         // The transfer starts once the last frame of the window has been
@@ -582,12 +649,17 @@ impl EcuStream<'_> {
         self.busy += service;
         self.ecu.board.set_now(completed_at);
 
-        for (&(arrival, frame), &flagged) in self.batch_meta.iter().zip(&flagged) {
+        let active_mask = active_mask_of(&self.active);
+        for ((&(arrival, frame), &flagged), &frame_flags) in
+            self.batch_meta.iter().zip(&flagged).zip(&model_flags)
+        {
             self.detections.push(Detection {
                 arrival,
                 frame,
                 flagged,
                 completed_at,
+                model_flags: frame_flags,
+                active_mask,
             });
         }
         self.batch_meta.clear();
@@ -638,6 +710,14 @@ impl EcuStream<'_> {
     /// DMA batch).
     pub fn serviced(&self) -> usize {
         self.detections.len()
+    }
+
+    /// Verdicts booked so far, in service order — the incremental view a
+    /// streaming harness drains between pushes (new entries appear at
+    /// the tail; under [`SchedPolicy::DmaBatch`] a whole window lands at
+    /// once).
+    pub fn detections(&self) -> &[Detection] {
+        &self.detections
     }
 
     /// Frames dropped so far.
@@ -964,6 +1044,60 @@ mod tests {
                     policy.label()
                 ),
             }
+        }
+    }
+
+    #[test]
+    fn model_flags_agree_across_policies_and_respect_the_mask() {
+        // Per-model verdict bits: consistent across every scheduling
+        // policy (the functional model is shared), consistent with the
+        // fused flag, and cleared together with the active mask when a
+        // model is detached.
+        let f = frames(50, 1_000);
+        let mut baseline: Option<Vec<u64>> = None;
+        for policy in [
+            SchedPolicy::Sequential,
+            SchedPolicy::RoundRobin,
+            SchedPolicy::DmaBatch { batch: 8 },
+            SchedPolicy::InterruptPerFrame,
+        ] {
+            let (board, idxs) = board_with(2);
+            let mut ecu = IdsEcu::new(
+                board,
+                idxs,
+                EcuConfig {
+                    policy,
+                    ..EcuConfig::default()
+                },
+            );
+            let report = ecu.process_capture(&f, &featurize_bits).unwrap();
+            for d in &report.detections {
+                assert_eq!(d.active_mask, 0b11, "{}", policy.label());
+                assert_eq!(d.flagged, d.model_flags != 0, "{}", policy.label());
+                assert_eq!(d.model_flagged(0), d.model_flags & 1 != 0);
+                assert!(d.model_consulted(0) && d.model_consulted(1));
+                assert!(!d.model_consulted(64), "out-of-range index is false");
+            }
+            let masks: Vec<u64> = report.detections.iter().map(|d| d.model_flags).collect();
+            match &baseline {
+                None => baseline = Some(masks),
+                Some(b) => assert_eq!(&masks, b, "{} diverged per-model", policy.label()),
+            }
+        }
+
+        // Detach model 1: its bit disappears from both masks.
+        let (board, idxs) = board_with(2);
+        let mut ecu = IdsEcu::new(board, idxs, EcuConfig::default());
+        let mut session = ecu.stream();
+        session.set_model_active(1, false);
+        for &(t, frame) in &f {
+            session.push(t, frame, &featurize_bits).unwrap();
+        }
+        assert!(!session.detections().is_empty());
+        for d in session.detections() {
+            assert_eq!(d.active_mask, 0b01);
+            assert!(!d.model_flagged(1));
+            assert!(!d.model_consulted(1));
         }
     }
 

@@ -71,35 +71,46 @@ fn main() -> Result<(), CoreError> {
     })
     .build();
     let priorities: Vec<u32> = (0..12u32).map(|i| 100 - i).collect();
-    let overload_ecu = EcuConfig {
-        policy: SchedPolicy::Sequential,
-        ..EcuConfig::default()
-    };
-    let replays = vec![
-        FleetReplayConfig {
-            ecu: EcuConfig {
-                policy: SchedPolicy::DmaBatch { batch: 32 },
-                ..EcuConfig::default()
-            },
-            ..FleetReplayConfig::default()
+    let overload = ReplayConfig::default()
+        .with_bitrate(Bitrate::new(750_000))
+        .with_policy(SchedPolicy::Sequential);
+    let scenarios = vec![
+        ServeScenario {
+            name: "dma-batch-32 @ 1M".into(),
+            source: CaptureSource::Capture(&capture),
+            config: ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 }),
         },
-        FleetReplayConfig {
-            bitrate: Bitrate::new(750_000),
-            ecu: overload_ecu,
-            ..FleetReplayConfig::default()
+        ServeScenario {
+            name: "sequential @ 750k".into(),
+            source: CaptureSource::Capture(&capture),
+            config: overload.clone(),
         },
-        FleetReplayConfig {
-            bitrate: Bitrate::new(750_000),
-            ecu: overload_ecu,
-            admission: AdmissionPolicy::ShedLowestValue { priorities },
-            ..FleetReplayConfig::default()
+        ServeScenario {
+            name: "sequential @ 750k, shed".into(),
+            source: CaptureSource::Capture(&capture),
+            config: overload
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestValue {
+                    priorities: priorities.clone(),
+                }),
+        },
+        ServeScenario {
+            name: "sequential @ 750k, measured".into(),
+            source: CaptureSource::Capture(&capture),
+            config: overload
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestMeasuredValue {
+                    window: 256,
+                    priorities,
+                }),
         },
     ];
-    let reports = fleet_policy_sweep(&capture, &deployment, &replays)?;
+    // One scoped thread per replay, each through a fresh FleetBackend.
+    let reports = ServeHarness::sweep(|| Ok(deployment.serve_backend()), &scenarios)?;
 
     let mut results = Table::new(
         "Fleet line rate (gateway-coupled, per-board SoC path)",
-        &FleetLineRateReport::table_header(),
+        &ServeReport::table_header(),
     );
     for report in &reports {
         results.push_row(&report.table_row());
@@ -114,7 +125,8 @@ fn main() -> Result<(), CoreError> {
         .collect();
     println!(
         "under the same overload, drop-frames lost {} frames; shed-lowest-value lost {}\n\
-         and degraded coverage instead ({} shed event(s): {})",
+         and degraded coverage instead ({} shed event(s): {}); the measured-value policy\n\
+         shed {} model(s) by live confirmed-positive rate instead of static labels",
         reports[1].dropped,
         shed.dropped,
         shed.shed_count(),
@@ -122,7 +134,8 @@ fn main() -> Result<(), CoreError> {
             "none".to_owned()
         } else {
             victims.join(", ")
-        }
+        },
+        reports[3].shed_count(),
     );
     Ok(())
 }

@@ -68,24 +68,39 @@ fn main() -> Result<(), CoreError> {
     );
 
     // Replay it at saturated 1 Mb/s wire pacing under every scheduling
-    // policy: classification is identical by construction; timing,
+    // policy through the unified harness (one EcuBackend, a fresh ECU
+    // per replay): classification is identical by construction; timing,
     // drops and energy are the policy trade.
     let mut policies = Table::new(
         "Scheduling-policy ablation (1 Mb/s line rate, 4 detectors)",
-        &MultiLineRateReport::table_header(),
+        &[
+            "Policy",
+            "Offered fps",
+            "p50",
+            "p99",
+            "Drops",
+            "Energy/msg",
+            "Keeps up",
+        ],
     );
+    let mut harness = ServeHarness::new(deployment.serve_backend());
     for policy in [
         SchedPolicy::Sequential,
         SchedPolicy::RoundRobin,
         SchedPolicy::DmaBatch { batch: 32 },
         SchedPolicy::InterruptPerFrame,
     ] {
-        let mut ecu = deployment.fresh_ecu(EcuConfig {
-            policy,
-            ..EcuConfig::default()
-        })?;
-        let report = multi_line_rate(&mixed, &mut ecu, Bitrate::HIGH_SPEED_1M)?;
-        policies.push_row(&report.table_row());
+        let report = harness.replay(&mixed, &ReplayConfig::default().with_policy(policy))?;
+        let energy = report.energy.expect("the SoC path reports energy");
+        policies.push_row(&[
+            policy.label(),
+            format!("{:.0}", report.offered_fps),
+            format!("{:.1} us", report.latency.p50.as_micros_f64()),
+            format!("{:.1} us", report.latency.p99.as_micros_f64()),
+            format!("{}", report.dropped),
+            format!("{:.3} mJ", energy.energy_per_message_j * 1e3),
+            if report.keeps_up() { "yes" } else { "NO" }.to_owned(),
+        ]);
     }
     println!("{policies}");
     println!(

@@ -21,20 +21,40 @@ fn main() -> Result<(), CoreError> {
         detector.test_set.len()
     );
 
-    // Scenario sweep: capture generation and replay run concurrently on
-    // scoped threads, one per scenario.
+    // Scenario sweep through the unified harness: capture generation and
+    // replay run concurrently on scoped threads, one per scenario, each
+    // through a fresh SoftwareBackend.
     let duration = canids_can::time::SimTime::from_millis(400);
     let attack = Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous));
+    let traffic = |attack, seed| TrafficConfig {
+        duration,
+        attack,
+        seed,
+        ..TrafficConfig::default()
+    };
     let scenarios = vec![
-        LineRateScenario::classic_1m("normal @ 1 Mb/s", None, duration),
-        LineRateScenario::classic_1m("DoS flood @ 1 Mb/s", attack, duration),
-        LineRateScenario::fd_class("DoS flood @ FD-class 5 Mb/s", attack, duration),
+        ServeScenario {
+            name: "normal @ 1 Mb/s".into(),
+            source: CaptureSource::Generate(traffic(None, 0x11E)),
+            config: ReplayConfig::default(),
+        },
+        ServeScenario {
+            name: "DoS flood @ 1 Mb/s".into(),
+            source: CaptureSource::Generate(traffic(attack, 0x11E)),
+            config: ReplayConfig::default(),
+        },
+        ServeScenario {
+            name: "DoS flood @ FD-class 5 Mb/s".into(),
+            source: CaptureSource::Generate(traffic(attack, 0x5FD)),
+            config: ReplayConfig::default().with_pacing(Pacing::FdClass),
+        },
     ];
-    let reports = line_rate_sweep(&detector.int_mlp, &scenarios);
+    let model = detector.int_mlp.clone();
+    let reports = ServeHarness::sweep(|| Ok(SoftwareBackend::single(model.clone())), &scenarios)?;
 
     let mut table = Table::new(
         "streaming line-rate replay (frame-at-a-time serving)",
-        &LineRateReport::table_header(),
+        &ServeReport::table_header(),
     );
     for r in &reports {
         table.push_row(&r.table_row());
@@ -49,7 +69,7 @@ fn main() -> Result<(), CoreError> {
         "1 Mb/s DoS replay: {} frames, accuracy {:.2}%, sustained {:.0} fps vs offered {:.0} fps",
         classic.serviced,
         classic.cm.accuracy() * 100.0,
-        classic.sustained_fps,
+        classic.sustained_fps.unwrap_or(0.0),
         classic.offered_fps,
     );
     Ok(())

@@ -6,6 +6,8 @@
 //! frame drops — while `DropFrames` measurably drops. `bench_summary`
 //! records the same scenario in `BENCH_4.json`.
 
+#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
+
 use canids_core::fleet::{FleetAction, FleetEvent};
 use canids_core::prelude::*;
 

@@ -5,6 +5,7 @@
 //! a genuine shortfall — and a sharded fleet classifies bit-identically
 //! to the same detectors deployed together on one sufficiently large
 //! board.
+#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
 
 use canids_core::fleet::{FleetPacing, FleetPlan, FleetShard};
 use canids_core::prelude::*;

@@ -4,6 +4,8 @@
 //! ZCU104 under the folding-budget allocator and sustains saturated
 //! 1 Mb/s replay with zero FIFO drops under the DMA-batch policy.
 
+#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
+
 use canids_core::deploy::{DeploymentPlan, PlanConfig};
 use canids_core::prelude::*;
 

@@ -1,0 +1,404 @@
+//! Unified serving API acceptance (ISSUE 5).
+//!
+//! 1. The `ServeHarness` + `FleetBackend` path reproduces the PR 4
+//!    acceptance numbers (12 detectors / 6 boards: zero drops under
+//!    DmaBatch-32; shed-vs-drop frame counts under the 750 kb/s
+//!    sequential overload) and the deprecated `fleet_line_rate` /
+//!    `multi_line_rate` wrappers report the *same bits* as the direct
+//!    harness path.
+//! 2. The capstone: `AdmissionPolicy::ShedLowestMeasuredValue` sheds the
+//!    never-firing (useless) model on the overload capture, while the
+//!    static `ShedLowestValue` policy sheds a different, actually-firing
+//!    model that someone labelled lowest priority. `bench_summary`
+//!    records the same contrast in `BENCH_5.json`.
+//! 3. `ServeHarness::sweep` results are independent of thread
+//!    interleaving: the scenario-parallel sweep matches sequential
+//!    replays bit for bit on the simulated backends.
+#![allow(deprecated)] // wrapper-vs-harness equivalence is the point here
+
+use canids_core::prelude::*;
+use canids_core::serve::FleetAction;
+
+/// Untrained paper-topology model (weights seeded).
+fn seeded_model(seed: u64) -> canids_qnn::IntegerMlp {
+    QuantMlp::new(MlpConfig {
+        seed,
+        ..MlpConfig::paper_4bit()
+    })
+    .unwrap()
+    .export()
+    .unwrap()
+}
+
+/// The PR 4 acceptance fleet: 12 detectors, 4 kinds tripled.
+fn twelve_bundles() -> Vec<DetectorBundle> {
+    let kinds = [
+        AttackKind::Dos,
+        AttackKind::Fuzzy,
+        AttackKind::GearSpoof,
+        AttackKind::RpmSpoof,
+    ];
+    (0..12)
+        .map(|i| DetectorBundle::new(kinds[i % 4], seeded_model(400 + i as u64)))
+        .collect()
+}
+
+fn six_board_fleet() -> FleetConfig {
+    FleetConfig::new(vec![
+        BoardSpec::zcu104("zcu-a"),
+        BoardSpec::zcu104("zcu-b"),
+        BoardSpec::ultra96("u96-a"),
+        BoardSpec::ultra96("u96-b"),
+        BoardSpec::pynq_z2("pynq-a"),
+        BoardSpec::pynq_z2("pynq-b"),
+    ])
+    .with_model_cap(2)
+}
+
+fn saturated_dos_capture() -> Dataset {
+    DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(400),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed: 0xF1EE7,
+        ..TrafficConfig::default()
+    })
+    .build()
+}
+
+/// Field-for-field equality between the wrapper's report and the
+/// harness's own (the wrapper must be a pure projection).
+fn assert_fleet_reports_identical(old: &FleetLineRateReport, new: &ServeReport) {
+    assert_eq!(old.policy, new.admission);
+    assert_eq!(old.bitrate_bps, new.bitrate_bps);
+    assert_eq!(old.offered, new.offered);
+    assert_eq!(old.offered_fps.to_bits(), new.offered_fps.to_bits());
+    assert_eq!(old.dropped, new.dropped);
+    assert_eq!(old.p50_latency, new.latency.p50);
+    assert_eq!(old.p99_latency, new.latency.p99);
+    assert_eq!(old.max_latency, new.latency.max);
+    assert_eq!(old.flagged, new.flagged);
+    assert_eq!(old.fully_covered, new.fully_covered);
+    let energy = new.energy.expect("fleet reports energy");
+    assert_eq!(old.mean_power_w.to_bits(), energy.mean_power_w.to_bits());
+    assert_eq!(
+        old.energy_per_message_j.to_bits(),
+        energy.energy_per_message_j.to_bits()
+    );
+    assert_eq!(old.events, new.events);
+    assert_eq!(old.verdicts, new.verdicts);
+    assert_eq!(old.boards.len(), new.boards.len());
+    for (ob, nb) in old.boards.iter().zip(&new.boards) {
+        assert_eq!(ob.board, nb.board);
+        assert_eq!(ob.serviced, nb.serviced);
+        assert_eq!(ob.dropped, nb.dropped);
+        assert_eq!(ob.p50_latency, nb.latency.p50);
+        assert_eq!(ob.p99_latency, nb.latency.p99);
+        assert_eq!(ob.max_latency, nb.latency.max);
+    }
+}
+
+#[test]
+fn harness_reproduces_pr4_acceptance_bit_identically() {
+    let bundles = twelve_bundles();
+    let plan = FleetPlan::build(&bundles, &six_board_fleet()).expect("fleet plan fits");
+    let deployment = plan
+        .deploy(&bundles, &CompileConfig::default())
+        .expect("fleet compiles");
+    let capture = saturated_dos_capture();
+
+    // 1. Best integration through the new API: 12 detectors over 6
+    // boards absorb the saturated 1 Mb/s backbone with zero drops.
+    let best_config = ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 });
+    let mut harness = ServeHarness::new(deployment.serve_backend());
+    let best = harness.replay(&capture, &best_config).unwrap();
+    assert_eq!(best.offered, capture.len());
+    assert_eq!(best.dropped, 0, "DMA batching must absorb full line rate");
+    assert_eq!(best.fully_covered, best.offered);
+    assert_eq!(best.boards.len(), 6);
+    assert!(best.events.is_empty());
+
+    // The deprecated wrapper reports the same bits.
+    let best_old = fleet_line_rate(
+        &capture,
+        &deployment,
+        &FleetReplayConfig {
+            ecu: EcuConfig {
+                policy: SchedPolicy::DmaBatch { batch: 32 },
+                ..EcuConfig::default()
+            },
+            ..FleetReplayConfig::default()
+        },
+    )
+    .unwrap();
+    assert_fleet_reports_identical(&best_old, &best);
+
+    // 2. The 750 kb/s sequential overload: drop-frames loses >100
+    // frames, shed-lowest-value loses none — the PR 4 contrast.
+    let overload = ReplayConfig::default()
+        .with_bitrate(Bitrate::new(750_000))
+        .with_policy(SchedPolicy::Sequential);
+    let dropped = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &overload)
+        .unwrap();
+    assert!(dropped.dropped > 100, "dropped {}", dropped.dropped);
+
+    let priorities: Vec<u32> = (0..12u32).map(|i| 100 - i).collect();
+    let shed_config = overload
+        .clone()
+        .with_admission(AdmissionPolicy::ShedLowestValue {
+            priorities: priorities.clone(),
+        });
+    let shed = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &shed_config)
+        .unwrap();
+    assert_eq!(shed.dropped, 0, "shedding must prevent every FIFO drop");
+    assert!(shed.shed_count() >= 1);
+
+    // Wrapper equivalence on both overload replays.
+    let overload_old = FleetReplayConfig {
+        bitrate: Bitrate::new(750_000),
+        ecu: EcuConfig {
+            policy: SchedPolicy::Sequential,
+            ..EcuConfig::default()
+        },
+        ..FleetReplayConfig::default()
+    };
+    let dropped_old = fleet_line_rate(&capture, &deployment, &overload_old).unwrap();
+    assert_fleet_reports_identical(&dropped_old, &dropped);
+    let shed_old = fleet_line_rate(
+        &capture,
+        &deployment,
+        &FleetReplayConfig {
+            admission: AdmissionPolicy::ShedLowestValue { priorities },
+            ..overload_old
+        },
+    )
+    .unwrap();
+    assert_fleet_reports_identical(&shed_old, &shed);
+}
+
+#[test]
+fn multi_line_rate_wrapper_matches_direct_ecu_backend() {
+    let bundles: Vec<DetectorBundle> = (0..4)
+        .map(|i| {
+            DetectorBundle::new(
+                [
+                    AttackKind::Dos,
+                    AttackKind::Fuzzy,
+                    AttackKind::GearSpoof,
+                    AttackKind::RpmSpoof,
+                ][i % 4],
+                seeded_model(100 + i as u64),
+            )
+        })
+        .collect();
+    let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
+    let capture = DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(250),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed: 0x8DE7,
+        ..TrafficConfig::default()
+    })
+    .build();
+
+    for policy in [SchedPolicy::Sequential, SchedPolicy::DmaBatch { batch: 32 }] {
+        let mut ecu = deployment
+            .fresh_ecu(EcuConfig {
+                policy,
+                ..EcuConfig::default()
+            })
+            .unwrap();
+        let old = multi_line_rate(&capture, &mut ecu, Bitrate::HIGH_SPEED_1M).unwrap();
+
+        let mut harness = ServeHarness::new(deployment.serve_backend());
+        let new = harness
+            .replay(&capture, &ReplayConfig::default().with_policy(policy))
+            .unwrap();
+        assert_eq!(old.policy, policy);
+        assert_eq!(old.offered, new.offered);
+        assert_eq!(old.serviced, new.serviced);
+        assert_eq!(old.dropped, new.dropped);
+        assert_eq!(old.p50_latency, new.latency.p50);
+        assert_eq!(old.p99_latency, new.latency.p99);
+        assert_eq!(old.max_latency, new.latency.max);
+        assert_eq!(old.flagged, new.flagged);
+        let energy = new.energy.unwrap();
+        assert_eq!(old.mean_power_w.to_bits(), energy.mean_power_w.to_bits());
+        assert_eq!(
+            old.energy_per_message_j.to_bits(),
+            energy.energy_per_message_j.to_bits()
+        );
+    }
+}
+
+/// A detector that can never fire: the output layer's normal-class bias
+/// is pushed far above (and every attack class far below) any
+/// achievable accumulator score, so the argmax is always "normal". The
+/// doctored bias lowers verbatim through the dataflow compiler, so the
+/// compiled IP is just as silent as the integer model.
+fn never_firing_model(seed: u64) -> canids_qnn::IntegerMlp {
+    let mut model = seeded_model(seed);
+    let dominate = 1i64 << 40;
+    model.output.bias_q[0] += dominate;
+    for b in model.output.bias_q.iter_mut().skip(1) {
+        *b -= dominate;
+    }
+    model
+}
+
+#[test]
+fn measured_value_sheds_the_never_firing_model_not_the_lowest_priority() {
+    // One ZCU104 carrying two models under a sequential overload: the
+    // shard must shed exactly one. Model 0 is a *trained* DoS detector
+    // that fires on the capture (real detection value); model 1 never
+    // fires (useless). Static priorities are deliberately wrong: model 0
+    // is labelled the *lowest* static value, so `ShedLowestValue` sheds
+    // the useful model — while `ShedLowestMeasuredValue` reads the
+    // verdict stream and sheds the useless one instead.
+    let capture = saturated_dos_capture();
+    let trained = {
+        let pipeline = IdsPipeline::new(PipelineConfig::dos().quick());
+        let train_capture = pipeline.generate_capture();
+        pipeline.train(&train_capture).expect("training").int_mlp
+    };
+    let never_fires = never_firing_model(7_001);
+    {
+        let mut eval = StreamingEvaluator::new(never_fires.clone());
+        assert!(
+            capture.iter().all(|rec| !eval.push(rec).flagged),
+            "the doctored model must never fire"
+        );
+    }
+    let bundles = vec![
+        DetectorBundle::new(AttackKind::Dos, trained),
+        DetectorBundle::new(AttackKind::Fuzzy, never_fires),
+    ];
+    let plan = FleetPlan::build(&bundles, &FleetConfig::new(vec![BoardSpec::zcu104("solo")]))
+        .expect("two models fit one board");
+    let deployment = plan.deploy(&bundles, &CompileConfig::default()).unwrap();
+
+    let overload = ReplayConfig::default()
+        .with_bitrate(Bitrate::new(750_000))
+        .with_policy(SchedPolicy::Sequential);
+    // Static labels: the firing model 0 is "lowest value", the useless
+    // model 1 is "highest value".
+    let static_priorities = vec![1u32, 5u32];
+
+    let static_shed = ServeHarness::new(deployment.serve_backend())
+        .replay(
+            &capture,
+            &overload
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestValue {
+                    priorities: static_priorities.clone(),
+                }),
+        )
+        .unwrap();
+    let measured_shed = ServeHarness::new(deployment.serve_backend())
+        .replay(
+            &capture,
+            &overload
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestMeasuredValue {
+                    window: 256,
+                    priorities: static_priorities,
+                }),
+        )
+        .unwrap();
+
+    // Both policies keep the line flowing.
+    assert_eq!(static_shed.dropped, 0, "static shed must prevent drops");
+    assert_eq!(measured_shed.dropped, 0, "measured shed must prevent drops");
+    let static_victims: Vec<usize> = static_shed
+        .events
+        .iter()
+        .filter(|e| e.action == FleetAction::Shed)
+        .map(|e| e.model)
+        .collect();
+    let measured_victims: Vec<usize> = measured_shed
+        .events
+        .iter()
+        .filter(|e| e.action == FleetAction::Shed)
+        .map(|e| e.model)
+        .collect();
+    assert!(!static_victims.is_empty(), "overload must trigger shedding");
+    assert!(!measured_victims.is_empty());
+    assert!(
+        static_victims.iter().all(|&m| m == 0),
+        "static priorities shed the mislabelled-but-useful model 0: {static_victims:?}"
+    );
+    assert!(
+        measured_victims.iter().all(|&m| m == 1),
+        "measured value sheds the never-firing model 1: {measured_victims:?}"
+    );
+    // The measured replay keeps the firing detector serving: its
+    // confirmed-positive count stays positive, the useless model's is 0.
+    assert!(measured_shed.per_model[0].confirmed_positives > 0);
+    assert_eq!(measured_shed.per_model[1].confirmed_positives, 0);
+    // And keeping the useful model online preserves detections the
+    // static policy gave away.
+    assert!(
+        measured_shed.flagged > static_shed.flagged,
+        "measured {} !> static {}",
+        measured_shed.flagged,
+        static_shed.flagged
+    );
+}
+
+#[test]
+fn sweep_results_are_independent_of_thread_interleaving() {
+    // Simulated backends are deterministic, so the scenario-parallel
+    // sweep must reproduce sequential replays bit for bit — per-scenario
+    // results cannot depend on thread interleaving.
+    let bundles = twelve_bundles();
+    let plan = FleetPlan::build(&bundles, &six_board_fleet()).unwrap();
+    let deployment = plan.deploy(&bundles, &CompileConfig::default()).unwrap();
+    let capture = DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(200),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed: 0x5EED,
+        ..TrafficConfig::default()
+    })
+    .build();
+    let priorities: Vec<u32> = (0..12u32).map(|i| 100 - i).collect();
+    let scenarios: Vec<ServeScenario<'_>> = [
+        ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 }),
+        ReplayConfig::default()
+            .with_bitrate(Bitrate::new(750_000))
+            .with_policy(SchedPolicy::Sequential),
+        ReplayConfig::default()
+            .with_bitrate(Bitrate::new(750_000))
+            .with_policy(SchedPolicy::Sequential)
+            .with_admission(AdmissionPolicy::ShedLowestValue {
+                priorities: priorities.clone(),
+            }),
+    ]
+    .into_iter()
+    .enumerate()
+    .map(|(i, config)| ServeScenario {
+        name: format!("scenario-{i}"),
+        source: CaptureSource::Capture(&capture),
+        config,
+    })
+    .collect();
+
+    let parallel = ServeHarness::sweep(|| Ok(deployment.serve_backend()), &scenarios).unwrap();
+    for (scenario, from_sweep) in scenarios.iter().zip(&parallel) {
+        let sequential = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &scenario.config)
+            .unwrap();
+        assert_eq!(from_sweep.offered, sequential.offered);
+        assert_eq!(from_sweep.dropped, sequential.dropped);
+        assert_eq!(from_sweep.latency, sequential.latency);
+        assert_eq!(from_sweep.events, sequential.events);
+        assert_eq!(from_sweep.verdicts, sequential.verdicts);
+        assert_eq!(from_sweep.cm, sequential.cm);
+    }
+    // And a second parallel run agrees with the first.
+    let parallel2 = ServeHarness::sweep(|| Ok(deployment.serve_backend()), &scenarios).unwrap();
+    for (a, b) in parallel.iter().zip(&parallel2) {
+        assert_eq!(a.verdicts, b.verdicts);
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.events, b.events);
+    }
+}

@@ -1,6 +1,8 @@
 //! Streaming-vs-batch equivalence — the correctness anchor of the
 //! streaming serving mode — plus line-rate harness accounting.
 
+#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
+
 use canids_core::prelude::*;
 
 fn trained() -> TrainedDetector {
