@@ -6,30 +6,30 @@
 //! file so the per-PR perf trajectory accumulates in-tree.
 //!
 //! The `line_rate_harness`/`multi_line_rate`/`fleet_line_rate` sections
-//! keep their historical schema (they now run through the deprecated
-//! wrappers, which are themselves thin projections of the harness), so
-//! the perf trajectory stays comparable across PRs; the `serve` section
-//! is the unified view.
+//! keep their historical schema (same keys, same denominators) but run
+//! through the unified serving harness directly — the deprecated
+//! wrappers are gone — so the perf trajectory stays comparable across
+//! PRs; the `serve` section is the unified view and the `net` section
+//! times the event-driven network core.
 //!
 //! ```sh
 //! cargo run --release -p canids-bench --bin bench_summary [out.json]
 //! ```
 //!
-//! Defaults to `BENCH_5.json` in the current directory.
-#![allow(deprecated)] // the historical sections exercise the wrappers on purpose
+//! Defaults to `BENCH_6.json` in the current directory.
 
 use std::fmt::Write as _;
 use std::time::Instant;
 
 use canids_bench::untrained_model;
+use canids_can::frame::{CanFrame, CanId};
 use canids_can::time::SimTime;
 use canids_can::timing::Bitrate;
 use canids_core::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
-use canids_core::fleet::{
-    fleet_line_rate, AdmissionPolicy, BoardSpec, FleetConfig, FleetPlan, FleetReplayConfig,
-};
-use canids_core::serve::{FleetAction, ReplayConfig, ServeHarness, SoftwareBackend};
-use canids_core::stream::{multi_line_rate, replay_line_rate, LineRateScenario};
+use canids_core::fleet::{AdmissionPolicy, BoardSpec, FleetConfig, FleetPlan};
+use canids_core::net::{Fault, FleetNet, NetConfig, NetSim, QueueDiscipline, Topology};
+use canids_core::serve::{EcuBackend, FleetAction, ReplayConfig, ServeHarness, SoftwareBackend};
+use canids_core::stream::LineRateScenario;
 use canids_dataflow::folding::{auto_fold, FoldingGoal};
 use canids_dataflow::graph::DataflowGraph;
 use canids_dataflow::ip::CompileConfig;
@@ -77,7 +77,7 @@ fn pr_number(path: &str) -> u32 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_5.json".to_owned());
+        .unwrap_or_else(|| "BENCH_6.json".to_owned());
     let pr = pr_number(&out_path);
 
     // 1. The ROADMAP's named hot kernel: linear_forward at the paper's
@@ -108,9 +108,11 @@ fn main() {
     // 3. Streaming line-rate harness: saturated DoS replay at classic
     // 1 Mb/s and a CAN-FD-class rate (untrained weights — the harness
     // measures serving speed, not accuracy). Scenarios run one at a
-    // time here, unlike the scenario-parallel `line_rate_sweep`: the
-    // snapshot should time an uncontended evaluator, not thread
-    // scheduling noise.
+    // time here, not scenario-parallel: the snapshot should time an
+    // uncontended evaluator, not thread scheduling noise. The section
+    // keeps the historical schema: `offered_fps` over the last arrival
+    // (captures start at the bus epoch) and `keeps_up` requiring the
+    // measured service capacity to cover the offered load.
     let duration = SimTime::from_millis(400);
     let dos = Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous));
     let scenarios = [
@@ -119,7 +121,13 @@ fn main() {
     ];
     let reports: Vec<_> = scenarios
         .iter()
-        .map(|scenario| replay_line_rate(&scenario.generate_capture(), &model, scenario))
+        .map(|scenario| {
+            let capture = scenario.generate_capture();
+            let r = ServeHarness::new(SoftwareBackend::single(model.clone()))
+                .replay(&capture, &scenario.replay_config())
+                .expect("software replay");
+            (scenario.name.clone(), scenario.bitrate.bits_per_sec(), r)
+        })
         .collect();
 
     // 4. N-detector deployment engine: the acceptance fleet (DoS, fuzzy,
@@ -166,13 +174,8 @@ fn main() {
     let multi_reports: Vec<_> = policies
         .iter()
         .map(|&policy| {
-            let mut ecu = deployment
-                .fresh_ecu(EcuConfig {
-                    policy,
-                    ..EcuConfig::default()
-                })
-                .expect("fresh ECU");
-            multi_line_rate(&multi_capture, &mut ecu, Bitrate::HIGH_SPEED_1M)
+            ServeHarness::new(EcuBackend::new(&deployment))
+                .replay(&multi_capture, &ReplayConfig::default().with_policy(policy))
                 .expect("multi line-rate replay")
         })
         .collect();
@@ -215,31 +218,25 @@ fn main() {
     let fleet_replays = [
         (
             "dma-batch-32 @ 1M",
-            FleetReplayConfig {
-                ecu: EcuConfig {
-                    policy: SchedPolicy::DmaBatch { batch: 32 },
-                    ..EcuConfig::default()
-                },
-                ..FleetReplayConfig::default()
-            },
+            ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 }),
         ),
         (
             "sequential @ 750k (drop-frames)",
-            FleetReplayConfig {
+            ReplayConfig {
                 bitrate: Bitrate::new(750_000),
                 ecu: overload_ecu,
-                ..FleetReplayConfig::default()
+                ..ReplayConfig::default()
             },
         ),
         (
             "sequential @ 750k (shed-lowest-value)",
-            FleetReplayConfig {
+            ReplayConfig {
                 bitrate: Bitrate::new(750_000),
                 ecu: overload_ecu,
                 admission: AdmissionPolicy::ShedLowestValue {
                     priorities: priorities.clone(),
                 },
-                ..FleetReplayConfig::default()
+                ..ReplayConfig::default()
             },
         ),
     ];
@@ -248,12 +245,82 @@ fn main() {
         .map(|(label, config)| {
             (
                 *label,
-                fleet_line_rate(&multi_capture, &fleet, config).expect("fleet replay"),
+                ServeHarness::new(fleet.serve_backend())
+                    .replay(&multi_capture, config)
+                    .expect("fleet replay"),
             )
         })
         .collect();
 
-    // 6. The unified serving harness (PR 5): the same substrates through
+    // 6. The event-driven network core: wall cost per scheduler event,
+    // delivered frames/sec at 1 Mb/s through the 2-segment (1 board)
+    // and 4-segment (3 board) backbone topologies, and flood-drop
+    // counts per queue discipline on a 2-port gateway under a 50 ms
+    // babbling-idiot attack.
+    let gw_delay = SimTime::from_micros(20);
+    let bench_frame = CanFrame::new(CanId::standard(0x100).unwrap(), &[0u8; 8]).unwrap();
+    let mut net_fps = |boards: usize| -> (f64, f64) {
+        let frames_per_board = 2_000u64;
+        let t0 = Instant::now();
+        let mut net = FleetNet::single_backbone(
+            boards,
+            Bitrate::HIGH_SPEED_1M,
+            gw_delay,
+            &NetConfig::default(),
+        );
+        for i in 0..frames_per_board {
+            let at = SimTime::from_micros(120 * i);
+            for b in 0..boards {
+                sink += matches!(
+                    net.deliver(b, at, bench_frame),
+                    canids_core::net::NetOutcome::Delivered(_)
+                ) as u32 as f32;
+            }
+        }
+        net.finish();
+        let wall = t0.elapsed().as_secs_f64();
+        let events = net.sim().executed().max(1) as f64;
+        (
+            (frames_per_board * boards as u64) as f64 / wall,
+            wall * 1e6 / events,
+        )
+    };
+    let (net_fps_2seg, _) = net_fps(1);
+    let (net_fps_4seg, net_us_per_event) = net_fps(3);
+    let flood_drops = |discipline: QueueDiscipline| -> (u64, u64) {
+        let mut b = Topology::builder();
+        let backbone = b.segment(Bitrate::HIGH_SPEED_1M);
+        let near = b.segment(Bitrate::new(125_000));
+        let far = b.segment(Bitrate::HIGH_SPEED_1M);
+        let gw = b.gateway(backbone, gw_delay, discipline);
+        b.port(gw, near);
+        b.port(gw, far);
+        let near_sink = b.sink(near);
+        let far_sink = b.sink(far);
+        let mut sim = NetSim::new(b.build());
+        sim.apply(Fault::BabblingIdiot {
+            segment: backbone,
+            dest: near_sink,
+            start: SimTime::ZERO,
+            stop: SimTime::from_millis(50),
+            gap: SimTime::from_micros(120),
+        });
+        for i in 0..40u64 {
+            let at = SimTime::from_millis(10) + SimTime::from_micros(1_000 * i);
+            sim.inject(at, backbone, near_sink, bench_frame);
+            sim.inject(at, backbone, far_sink, bench_frame);
+        }
+        sim.run();
+        let loads = sim.topology().gateway_loads();
+        (
+            loads.iter().map(|l| l.dropped()).sum(),
+            loads.iter().map(|l| l.paused).sum(),
+        )
+    };
+    let (drop_tail_dropped, _) = flood_drops(QueueDiscipline::DropTail { capacity: 16 });
+    let (pfc_dropped, pfc_paused) = flood_drops(QueueDiscipline::Pfc { quota: 16 });
+
+    // 7. The unified serving harness (PR 5): the same substrates through
     // one ServeHarness — software / 8-detector ECU / 12-detector fleet
     // on the shared DoS capture under the DMA-batch integration.
     let serve_config = ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 });
@@ -351,24 +418,35 @@ fn main() {
     let _ = writeln!(json, "    \"pr3_baseline_us_per_frame\": 38.829");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"line_rate_harness\": [");
-    for (i, r) in reports.iter().enumerate() {
+    for (i, (name, bitrate_bps, r)) in reports.iter().enumerate() {
+        // Historical denominator: the last arrival, not the span.
+        let offered_fps = if r.last_arrival > SimTime::ZERO {
+            r.offered as f64 / r.last_arrival.as_secs_f64()
+        } else {
+            0.0
+        };
+        let sustained_fps = r.sustained_fps.unwrap_or(0.0);
         let _ = writeln!(json, "    {{");
-        let _ = writeln!(json, "      \"scenario\": \"{}\",", r.scenario);
-        let _ = writeln!(json, "      \"bitrate_bps\": {},", r.bitrate_bps);
-        let _ = writeln!(json, "      \"offered_fps\": {:.1},", r.offered_fps);
-        let _ = writeln!(json, "      \"sustained_fps\": {:.1},", r.sustained_fps);
+        let _ = writeln!(json, "      \"scenario\": \"{name}\",");
+        let _ = writeln!(json, "      \"bitrate_bps\": {bitrate_bps},");
+        let _ = writeln!(json, "      \"offered_fps\": {offered_fps:.1},");
+        let _ = writeln!(json, "      \"sustained_fps\": {sustained_fps:.1},");
         let _ = writeln!(
             json,
             "      \"p50_latency_us\": {:.3},",
-            r.p50_latency.as_micros_f64()
+            r.latency.p50.as_micros_f64()
         );
         let _ = writeln!(
             json,
             "      \"p99_latency_us\": {:.3},",
-            r.p99_latency.as_micros_f64()
+            r.latency.p99.as_micros_f64()
         );
         let _ = writeln!(json, "      \"dropped\": {},", r.dropped);
-        let _ = writeln!(json, "      \"keeps_up\": {}", r.keeps_up());
+        let _ = writeln!(
+            json,
+            "      \"keeps_up\": {}",
+            r.dropped == 0 && sustained_fps >= offered_fps
+        );
         let _ = write!(json, "    }}");
         let _ = writeln!(json, "{}", if i + 1 < reports.len() { "," } else { "" });
     }
@@ -384,24 +462,31 @@ fn main() {
     let _ = writeln!(json, "    \"bitrate_bps\": 1000000,");
     let _ = writeln!(json, "    \"policies\": [");
     for (i, r) in multi_reports.iter().enumerate() {
+        // Historical denominator: the last arrival, not the span.
+        let offered_fps = if r.last_arrival > SimTime::ZERO {
+            r.offered as f64 / r.last_arrival.as_secs_f64()
+        } else {
+            0.0
+        };
+        let energy = r.energy.expect("the simulated ECU meters energy");
         let _ = writeln!(json, "      {{");
-        let _ = writeln!(json, "        \"policy\": \"{}\",", r.policy.label());
-        let _ = writeln!(json, "        \"offered_fps\": {:.1},", r.offered_fps);
+        let _ = writeln!(json, "        \"policy\": \"{}\",", r.sched);
+        let _ = writeln!(json, "        \"offered_fps\": {offered_fps:.1},");
         let _ = writeln!(
             json,
             "        \"p50_latency_us\": {:.3},",
-            r.p50_latency.as_micros_f64()
+            r.latency.p50.as_micros_f64()
         );
         let _ = writeln!(
             json,
             "        \"p99_latency_us\": {:.3},",
-            r.p99_latency.as_micros_f64()
+            r.latency.p99.as_micros_f64()
         );
         let _ = writeln!(json, "        \"dropped\": {},", r.dropped);
         let _ = writeln!(
             json,
             "        \"energy_per_message_mj\": {:.4},",
-            r.energy_per_message_j * 1e3
+            energy.energy_per_message_j * 1e3
         );
         let _ = writeln!(json, "        \"keeps_up\": {}", r.keeps_up());
         let _ = write!(json, "      }}");
@@ -425,22 +510,26 @@ fn main() {
     for (i, (label, r)) in fleet_reports.iter().enumerate() {
         let _ = writeln!(json, "      {{");
         let _ = writeln!(json, "        \"scenario\": \"{label}\",");
-        let _ = writeln!(json, "        \"admission\": \"{}\",", r.policy);
+        let _ = writeln!(json, "        \"admission\": \"{}\",", r.admission);
         let _ = writeln!(json, "        \"bitrate_bps\": {},", r.bitrate_bps);
         let _ = writeln!(json, "        \"offered_fps\": {:.1},", r.offered_fps);
         let _ = writeln!(
             json,
             "        \"p50_latency_us\": {:.3},",
-            r.p50_latency.as_micros_f64()
+            r.latency.p50.as_micros_f64()
         );
         let _ = writeln!(
             json,
             "        \"p99_latency_us\": {:.3},",
-            r.p99_latency.as_micros_f64()
+            r.latency.p99.as_micros_f64()
         );
         let _ = writeln!(json, "        \"dropped\": {},", r.dropped);
         let _ = writeln!(json, "        \"shed_events\": {},", r.shed_count());
-        let _ = writeln!(json, "        \"fleet_power_w\": {:.3},", r.mean_power_w);
+        let _ = writeln!(
+            json,
+            "        \"fleet_power_w\": {:.3},",
+            r.energy.expect("fleet boards meter energy").mean_power_w
+        );
         let _ = writeln!(json, "        \"keeps_up\": {}", r.keeps_up());
         let _ = write!(json, "      }}");
         let _ = writeln!(
@@ -450,6 +539,25 @@ fn main() {
         );
     }
     let _ = writeln!(json, "    ]");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"net\": {{");
+    let _ = writeln!(
+        json,
+        "    \"event_core_us_per_event\": {net_us_per_event:.4},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"frames_per_sec_1m_2_segments\": {net_fps_2seg:.0},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"frames_per_sec_1m_4_segments\": {net_fps_4seg:.0},"
+    );
+    let _ = writeln!(json, "    \"flood_drops\": {{");
+    let _ = writeln!(json, "      \"drop_tail_16_dropped\": {drop_tail_dropped},");
+    let _ = writeln!(json, "      \"pfc_16_dropped\": {pfc_dropped},");
+    let _ = writeln!(json, "      \"pfc_16_paused\": {pfc_paused}");
+    let _ = writeln!(json, "    }}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"serve\": {{");
     let _ = writeln!(json, "    \"backends\": [");

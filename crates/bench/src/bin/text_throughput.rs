@@ -58,18 +58,32 @@ fn main() -> Result<(), CoreError> {
     eprintln!("[throughput] streaming line-rate replay ...");
     let duration = SimTime::from_millis(500);
     let dos = Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous));
-    let scenarios = vec![
+    let scenarios = [
         LineRateScenario::classic_1m("normal @ 1 Mb/s", None, duration),
         LineRateScenario::classic_1m("DoS flood @ 1 Mb/s", dos, duration),
         LineRateScenario::fd_class("DoS flood @ FD-class 5 Mb/s", dos, duration),
     ];
-    // The historical report keeps the table columns stable; the wrapper
-    // itself runs through the unified ServeHarness.
-    #[allow(deprecated)]
-    let streaming = line_rate_sweep(&report.detector.int_mlp, &scenarios);
+    let serve_scenarios: Vec<ServeScenario<'_>> = scenarios
+        .iter()
+        .map(|s| ServeScenario {
+            name: s.name.clone(),
+            source: CaptureSource::Generate(canids_dataset::generator::TrafficConfig {
+                duration: s.duration,
+                attack: s.attack,
+                seed: s.seed,
+                ..canids_dataset::generator::TrafficConfig::default()
+            }),
+            config: s.replay_config(),
+        })
+        .collect();
+    let model = report.detector.int_mlp.clone();
+    let streaming = ServeHarness::sweep(
+        || Ok(SoftwareBackend::single(model.clone())),
+        &serve_scenarios,
+    )?;
     let mut stream_table = Table::new(
         "E3b — streaming line-rate serving (frame-at-a-time)",
-        &LineRateReport::table_header(),
+        &ServeReport::table_header(),
     );
     for r in &streaming {
         stream_table.push_row(&r.table_row());

@@ -148,7 +148,7 @@ impl Gateway {
 ///
 /// The full [`Gateway`] + [`Bus`] pair simulates forwarding with real
 /// arbitration; replay harnesses that pace thousands of frames per
-/// second (the cross-ECU fleet's `fleet_line_rate`) need the same
+/// second (the cross-ECU fleet serving backend) need the same
 /// first-order facts — the store-and-forward processing delay and the
 /// destination segment's serialisation — without running a second
 /// event-driven bus per board. This forwarder keeps exactly that state:

@@ -19,7 +19,8 @@
 //! 3. **Serving** — the ECU featurises and packs each frame **once** and
 //!    feeds the same packed words to all N models (see
 //!    [`canids_soc::ecu::EcuStream::push`]); wire-paced N-detector
-//!    replays live in [`crate::stream::multi_line_rate`].
+//!    replays live in [`crate::serve::ServeHarness`] over
+//!    [`crate::serve::EcuBackend`].
 //!
 //! Headroom is computed against the device's *true* remaining resources
 //! ([`Device::headroom_after`]) — an exhausted resource class reports

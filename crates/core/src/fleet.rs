@@ -25,23 +25,21 @@
 //!    model (real forwarding delay + far-segment serialisation, not a
 //!    free broadcast), and a fleet-level [`AdmissionPolicy`] governs
 //!    sustained overload: keep today's FIFO drops, shed by static or
-//!    *measured* model value, or migrate to a warm standby. The
-//!    historical [`fleet_line_rate`]/[`fleet_policy_sweep`] entry
-//!    points survive as deprecated wrappers whose reports are
-//!    bit-identical to the harness path.
+//!    *measured* model value, or migrate to a warm standby. Frame
+//!    transport is selectable per replay
+//!    ([`crate::serve::FleetTransport`]): the analytic forwarder, or
+//!    the event-driven [`crate::net`] runtime with finite gateway
+//!    buffers and fault injection.
 
-use canids_can::time::SimTime;
-use canids_can::timing::Bitrate;
 use canids_dataflow::ip::{AcceleratorIp, CompileConfig};
 use canids_dataflow::resources::{Device, ResourceEstimate};
 use canids_dataset::attacks::AttackKind;
-use canids_dataset::generator::Dataset;
 use canids_soc::board::{BoardConfig, Zcu104Board};
-use canids_soc::ecu::{EcuConfig, IdsEcu, SchedPolicy};
+use canids_soc::ecu::{EcuConfig, IdsEcu};
 
 use crate::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
 use crate::error::CoreError;
-use crate::serve::{FleetBackend, Pacing, ReplayConfig, ServeHarness, ServeReport};
+use crate::serve::FleetBackend;
 
 pub use crate::serve::{AdmissionPolicy, FleetAction, FleetEvent, OverloadThresholds};
 
@@ -414,165 +412,12 @@ impl FleetDeployment {
     }
 
     /// A serving backend over this fleet for the unified harness
-    /// ([`ServeHarness`]): every replay session builds fresh per-shard
+    /// ([`crate::serve::ServeHarness`]): every replay session builds
+    /// fresh per-shard
     /// ECUs, so one deployment supports any number of (possibly
     /// concurrent) replays.
     pub fn serve_backend(&self) -> FleetBackend<'_> {
         FleetBackend::new(self)
-    }
-}
-
-/// How replay arrivals are paced.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FleetPacing {
-    /// Back-to-back wire pacing at the replay bitrate (worst-case
-    /// offered load, like [`crate::stream::replay_line_rate`]).
-    Saturated,
-    /// The capture's own timestamps (bursty captures exercise overload
-    /// onset *and* subsidence, which saturated pacing cannot).
-    AsRecorded,
-}
-
-/// One fleet replay configuration.
-#[derive(Debug, Clone)]
-pub struct FleetReplayConfig {
-    /// Backbone bitrate; also the per-board segment rate the gateway
-    /// forwards onto.
-    pub bitrate: Bitrate,
-    /// Arrival pacing.
-    pub pacing: FleetPacing,
-    /// Fleet-level overload governance.
-    pub admission: AdmissionPolicy,
-    /// Base per-shard ECU runtime configuration.
-    pub ecu: EcuConfig,
-    /// Per-board scheduling-policy overrides (board index, policy) —
-    /// heterogeneous fleets run heterogeneous integrations.
-    pub ecu_overrides: Vec<(usize, SchedPolicy)>,
-    /// Gateway store-and-forward processing delay per frame.
-    pub gateway_delay: SimTime,
-    /// Overload-detector hysteresis.
-    pub thresholds: OverloadThresholds,
-    /// Dark time of a migrating model under [`AdmissionPolicy::Rebalance`].
-    pub migration_delay: SimTime,
-}
-
-impl Default for FleetReplayConfig {
-    fn default() -> Self {
-        FleetReplayConfig {
-            bitrate: Bitrate::HIGH_SPEED_1M,
-            pacing: FleetPacing::Saturated,
-            admission: AdmissionPolicy::DropFrames,
-            ecu: EcuConfig::default(),
-            ecu_overrides: Vec::new(),
-            gateway_delay: SimTime::from_micros(20),
-            thresholds: OverloadThresholds::default(),
-            migration_delay: SimTime::from_millis(2),
-        }
-    }
-}
-
-/// One board's share of a fleet replay.
-#[derive(Debug, Clone)]
-pub struct FleetBoardReport {
-    /// Board instance name.
-    pub board: String,
-    /// Models homed on this board.
-    pub models: usize,
-    /// Frames offered to this board (every backbone frame is forwarded).
-    pub offered: usize,
-    /// Frames serviced.
-    pub serviced: usize,
-    /// Frames dropped at this board's FIFO.
-    pub dropped: u64,
-    /// Median verdict latency from *backbone* arrival (gateway
-    /// forwarding included).
-    pub p50_latency: SimTime,
-    /// 99th-percentile verdict latency from backbone arrival.
-    pub p99_latency: SimTime,
-    /// Worst verdict latency from backbone arrival.
-    pub max_latency: SimTime,
-    /// Mean board power over the replay.
-    pub mean_power_w: f64,
-    /// Energy per inspected message on this board.
-    pub energy_per_message_j: f64,
-}
-
-/// Outcome of one wire-paced whole-fleet replay.
-#[derive(Debug, Clone)]
-pub struct FleetLineRateReport {
-    /// Admission-policy label the replay ran under.
-    pub policy: String,
-    /// Backbone bitrate (bits per second).
-    pub bitrate_bps: u32,
-    /// Frames offered on the backbone.
-    pub offered: usize,
-    /// Offered load in frames/s.
-    pub offered_fps: f64,
-    /// Frames dropped, summed over every board's FIFO.
-    pub dropped: u64,
-    /// Median fleet verdict latency: per frame, the slowest board's
-    /// verdict measured from backbone arrival.
-    pub p50_latency: SimTime,
-    /// 99th-percentile fleet verdict latency.
-    pub p99_latency: SimTime,
-    /// Worst fleet verdict latency.
-    pub max_latency: SimTime,
-    /// Frames any shard flagged.
-    pub flagged: usize,
-    /// Frames serviced by every board (full fleet coverage).
-    pub fully_covered: usize,
-    /// Summed mean board power across the fleet.
-    pub mean_power_w: f64,
-    /// Summed per-message energy across the fleet.
-    pub energy_per_message_j: f64,
-    /// Per-board breakdown, in board order.
-    pub boards: Vec<FleetBoardReport>,
-    /// Admission events (sheds, re-admissions, migrations), in time
-    /// order.
-    pub events: Vec<FleetEvent>,
-    /// Fused per-frame verdicts: backbone arrival and whether any shard
-    /// flagged it, for frames at least one shard serviced.
-    pub verdicts: Vec<(SimTime, bool)>,
-}
-
-impl FleetLineRateReport {
-    /// `true` when no board dropped a frame.
-    pub fn keeps_up(&self) -> bool {
-        self.dropped == 0
-    }
-
-    /// Shed events (excluding re-admissions and migrations).
-    pub fn shed_count(&self) -> usize {
-        self.events
-            .iter()
-            .filter(|e| e.action == FleetAction::Shed)
-            .count()
-    }
-
-    /// Column headers matching [`FleetLineRateReport::table_row`].
-    pub fn table_header() -> [&'static str; 7] {
-        [
-            "Admission",
-            "Offered fps",
-            "p50",
-            "p99",
-            "Drops",
-            "Events",
-            "Keeps up",
-        ]
-    }
-
-    /// This report as one formatted row for the harness tables.
-    pub fn table_row(&self) -> Vec<String> {
-        vec![
-            self.policy.clone(),
-            format!("{:.0}", self.offered_fps),
-            format!("{:.1} us", self.p50_latency.as_micros_f64()),
-            format!("{:.1} us", self.p99_latency.as_micros_f64()),
-            format!("{}", self.dropped),
-            format!("{}", self.events.len()),
-            if self.keeps_up() { "yes" } else { "NO" }.to_owned(),
-        ]
     }
 }
 
@@ -642,121 +487,21 @@ pub(crate) fn place_standbys(
     (extra_ips, standby)
 }
 
-/// Converts the historical fleet replay configuration into the unified
-/// serving configuration (same defaults, same semantics).
-impl From<&FleetReplayConfig> for ReplayConfig {
-    fn from(c: &FleetReplayConfig) -> Self {
-        ReplayConfig {
-            pacing: match c.pacing {
-                FleetPacing::Saturated => Pacing::Saturated,
-                FleetPacing::AsRecorded => Pacing::AsRecorded,
-            },
-            bitrate: c.bitrate,
-            ecu: c.ecu,
-            ecu_overrides: c.ecu_overrides.clone(),
-            admission: c.admission.clone(),
-            thresholds: c.thresholds,
-            gateway_delay: c.gateway_delay,
-            migration_delay: c.migration_delay,
-        }
-    }
-}
-
-/// Maps a unified [`ServeReport`] back onto the historical fleet report
-/// shape (field-for-field; the numbers are the harness's own).
-fn to_fleet_report(r: ServeReport) -> FleetLineRateReport {
-    FleetLineRateReport {
-        policy: r.admission,
-        bitrate_bps: r.bitrate_bps,
-        offered: r.offered,
-        offered_fps: r.offered_fps,
-        dropped: r.dropped,
-        p50_latency: r.latency.p50,
-        p99_latency: r.latency.p99,
-        max_latency: r.latency.max,
-        flagged: r.flagged,
-        fully_covered: r.fully_covered,
-        mean_power_w: r.energy.map_or(0.0, |e| e.mean_power_w),
-        energy_per_message_j: r.energy.map_or(0.0, |e| e.energy_per_message_j),
-        boards: r
-            .boards
-            .into_iter()
-            .map(|b| FleetBoardReport {
-                board: b.board,
-                models: b.models,
-                offered: b.offered,
-                serviced: b.serviced,
-                dropped: b.dropped,
-                p50_latency: b.latency.p50,
-                p99_latency: b.latency.p99,
-                max_latency: b.latency.max,
-                mean_power_w: b.energy.map_or(0.0, |e| e.mean_power_w),
-                energy_per_message_j: b.energy.map_or(0.0, |e| e.energy_per_message_j),
-            })
-            .collect(),
-        events: r.events,
-        verdicts: r.verdicts,
-    }
-}
-
-/// Replays one capture through the whole fleet at wire pacing.
-///
-/// Deprecated thin wrapper over [`ServeHarness`] +
-/// [`FleetBackend`]: the report is the harness's own, mapped
-/// field-for-field onto the historical shape (bit-identical numbers).
-///
-/// # Errors
-///
-/// [`CoreError::EmptyFleet`] on a fleet with no boards,
-/// [`CoreError::PriorityMismatch`] when the policy's priorities do not
-/// cover every model; driver/bus errors otherwise.
-#[deprecated(note = "use serve::ServeHarness::replay with serve::FleetBackend")]
-pub fn fleet_line_rate(
-    capture: &Dataset,
-    deployment: &FleetDeployment,
-    config: &FleetReplayConfig,
-) -> Result<FleetLineRateReport, CoreError> {
-    let mut harness = ServeHarness::new(FleetBackend::new(deployment));
-    harness
-        .replay(capture, &ReplayConfig::from(config))
-        .map(to_fleet_report)
-}
-
-/// Replays one capture under several fleet configurations concurrently
-/// (one scoped thread per replay).
-///
-/// Deprecated thin wrapper over [`ServeHarness::sweep`] with a
-/// [`FleetBackend`] factory. Results come back in configuration order.
-///
-/// # Errors
-///
-/// The first replay error, if any.
-#[deprecated(note = "use serve::ServeHarness::sweep with a serve::FleetBackend factory")]
-pub fn fleet_policy_sweep(
-    capture: &Dataset,
-    deployment: &FleetDeployment,
-    configs: &[FleetReplayConfig],
-) -> Result<Vec<FleetLineRateReport>, CoreError> {
-    let scenarios: Vec<crate::serve::ServeScenario<'_>> = configs
-        .iter()
-        .map(|config| crate::serve::ServeScenario {
-            name: config.admission.label().to_owned(),
-            source: crate::serve::CaptureSource::Capture(capture),
-            config: ReplayConfig::from(config),
-        })
-        .collect();
-    let reports = ServeHarness::sweep(|| Ok(FleetBackend::new(deployment)), &scenarios)?;
-    Ok(reports.into_iter().map(to_fleet_report).collect())
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use canids_can::frame::{CanFrame, CanId};
     use canids_dataset::generator::{DatasetBuilder, TrafficConfig};
     use canids_dataset::record::{Label, LabeledFrame};
     use canids_qnn::prelude::*;
+
+    use canids_can::time::SimTime;
+    use canids_dataset::generator::Dataset;
+    use canids_soc::ecu::SchedPolicy;
+
+    use crate::serve::{
+        CaptureSource, Pacing, ReplayConfig, ServeHarness, ServeReport, ServeScenario,
+    };
 
     fn tiny_model(seed: u64) -> IntegerMlp {
         QuantMlp::new(MlpConfig {
@@ -945,17 +690,14 @@ mod tests {
         let plan = FleetPlan::build(&bs, &hetero_fleet()).unwrap();
         let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
         let capture = two_phase_capture(5, 500, 0, 0);
-        let err = fleet_line_rate(
-            &capture,
-            &deployment,
-            &FleetReplayConfig {
-                admission: AdmissionPolicy::ShedLowestValue {
+        let err = ServeHarness::new(deployment.serve_backend())
+            .replay(
+                &capture,
+                &ReplayConfig::default().with_admission(AdmissionPolicy::ShedLowestValue {
                     priorities: vec![1],
-                },
-                ..FleetReplayConfig::default()
-            },
-        )
-        .unwrap_err();
+                }),
+            )
+            .unwrap_err();
         assert!(matches!(
             err,
             CoreError::PriorityMismatch {
@@ -976,14 +718,10 @@ mod tests {
             ..TrafficConfig::default()
         })
         .build();
-        let config = FleetReplayConfig {
-            ecu: EcuConfig {
-                policy: SchedPolicy::DmaBatch { batch: 32 },
-                ..EcuConfig::default()
-            },
-            ..FleetReplayConfig::default()
-        };
-        let report = fleet_line_rate(&capture, &deployment, &config).unwrap();
+        let config = ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 });
+        let report = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &config)
+            .unwrap();
         assert_eq!(report.offered, capture.len());
         assert_eq!(report.boards.len(), 3);
         assert_eq!(report.dropped, 0, "DMA batch absorbs 1 Mb/s per shard");
@@ -994,17 +732,17 @@ mod tests {
         for b in &report.boards {
             assert_eq!(b.offered, report.offered);
             assert_eq!(b.serviced + b.dropped as usize, b.offered);
-            assert!(b.mean_power_w > 0.0);
-            assert!(b.p50_latency <= b.p99_latency);
+            assert!(b.energy.expect("fleet boards meter energy").mean_power_w > 0.0);
+            assert!(b.latency.p50 <= b.latency.p99);
         }
         // Gateway coupling is not free: every fleet verdict pays at least
         // the store-and-forward delay plus the far-segment wire time.
         assert!(
-            report.p50_latency > config.gateway_delay,
+            report.latency.p50 > config.gateway_delay,
             "p50 {} must exceed the forwarding floor",
-            report.p50_latency
+            report.latency.p50
         );
-        assert!(report.p99_latency <= report.max_latency);
+        assert!(report.latency.p99 <= report.latency.max);
         assert!(report.offered_fps > 1_000.0, "saturated pacing");
     }
 
@@ -1019,8 +757,8 @@ mod tests {
             FleetPlan::build(&bs, &FleetConfig::new(vec![BoardSpec::zcu104("solo")])).unwrap();
         let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
         let capture = two_phase_capture(300, 150, 200, 1_000);
-        let config = FleetReplayConfig {
-            pacing: FleetPacing::AsRecorded,
+        let config = ReplayConfig {
+            pacing: Pacing::AsRecorded,
             admission: AdmissionPolicy::ShedLowestValue {
                 priorities: vec![5, 1],
             },
@@ -1028,9 +766,11 @@ mod tests {
                 policy: SchedPolicy::Sequential,
                 ..EcuConfig::default()
             },
-            ..FleetReplayConfig::default()
+            ..ReplayConfig::default()
         };
-        let report = fleet_line_rate(&capture, &deployment, &config).unwrap();
+        let report = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &config)
+            .unwrap();
         assert_eq!(report.dropped, 0, "shedding must prevent FIFO drops");
         let sheds: Vec<&FleetEvent> = report
             .events
@@ -1093,8 +833,8 @@ mod tests {
         assert!(deployment.shards[1].ips.is_empty());
 
         let capture = two_phase_capture(300, 150, 100, 1_000);
-        let config = FleetReplayConfig {
-            pacing: FleetPacing::AsRecorded,
+        let config = ReplayConfig {
+            pacing: Pacing::AsRecorded,
             admission: AdmissionPolicy::Rebalance {
                 priorities: vec![5, 1],
             },
@@ -1102,9 +842,11 @@ mod tests {
                 policy: SchedPolicy::Sequential,
                 ..EcuConfig::default()
             },
-            ..FleetReplayConfig::default()
+            ..ReplayConfig::default()
         };
-        let report = fleet_line_rate(&capture, &deployment, &config).unwrap();
+        let report = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &config)
+            .unwrap();
         assert_eq!(report.dropped, 0, "migration must prevent FIFO drops");
         let migrations: Vec<&FleetEvent> = report
             .events
@@ -1143,15 +885,12 @@ mod tests {
             .map(|&us| LabeledFrame::new(epoch + SimTime::from_micros(us), frame, Label::Normal))
             .collect();
         let capture = Dataset::from_records(records);
-        let report = fleet_line_rate(
-            &capture,
-            &deployment,
-            &FleetReplayConfig {
-                pacing: FleetPacing::AsRecorded,
-                ..FleetReplayConfig::default()
-            },
-        )
-        .unwrap();
+        let report = ServeHarness::new(deployment.serve_backend())
+            .replay(
+                &capture,
+                &ReplayConfig::default().with_pacing(Pacing::AsRecorded),
+            )
+            .unwrap();
         assert_eq!(report.offered, 4);
         assert_eq!(report.dropped, 0);
         // The two equal-timestamp frames stay separate entries.
@@ -1175,29 +914,32 @@ mod tests {
         .unwrap();
         let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
         let capture = two_phase_capture(60, 500, 0, 0);
-        let configs = vec![
-            FleetReplayConfig {
-                pacing: FleetPacing::AsRecorded,
-                ..FleetReplayConfig::default()
+        let scenarios = vec![
+            ServeScenario {
+                name: "drop".into(),
+                source: CaptureSource::Capture(&capture),
+                config: ReplayConfig::default().with_pacing(Pacing::AsRecorded),
             },
-            FleetReplayConfig {
-                pacing: FleetPacing::AsRecorded,
-                admission: AdmissionPolicy::ShedLowestValue {
-                    priorities: vec![1, 2],
-                },
-                ..FleetReplayConfig::default()
+            ServeScenario {
+                name: "shed".into(),
+                source: CaptureSource::Capture(&capture),
+                config: ReplayConfig::default()
+                    .with_pacing(Pacing::AsRecorded)
+                    .with_admission(AdmissionPolicy::ShedLowestValue {
+                        priorities: vec![1, 2],
+                    }),
             },
         ];
-        let reports = fleet_policy_sweep(&capture, &deployment, &configs).unwrap();
+        let reports = ServeHarness::sweep(|| Ok(deployment.serve_backend()), &scenarios).unwrap();
         assert_eq!(reports.len(), 2);
-        assert_eq!(reports[0].policy, "drop-frames");
-        assert_eq!(reports[1].policy, "shed-lowest-value");
+        assert_eq!(reports[0].admission, "drop-frames");
+        assert_eq!(reports[1].admission, "shed-lowest-value");
         // Identical serving conditions, no overload: classifications and
         // headline accounting agree.
         assert_eq!(reports[0].offered, reports[1].offered);
         assert_eq!(reports[0].verdicts, reports[1].verdicts);
         assert_eq!(
-            FleetLineRateReport::table_header().len(),
+            ServeReport::table_header().len(),
             reports[0].table_row().len()
         );
     }

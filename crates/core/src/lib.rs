@@ -11,12 +11,17 @@
 //!   folding-budget allocation ([`deploy::DeploymentPlan`]), shared
 //!   feature packing and pluggable ECU scheduling policies,
 //! * [`stream`] — frame-at-a-time streaming evaluation
-//!   ([`stream::StreamingEvaluator`]) plus the deprecated line-rate
-//!   entry points, now thin wrappers over the serving harness,
+//!   ([`stream::StreamingEvaluator`]) and canned line-rate scenarios
+//!   ([`stream::LineRateScenario`]) for the serving harness,
 //! * [`fleet`] — the cross-ECU layer: one detector fleet sharded across
 //!   heterogeneous boards ([`fleet::FleetPlan`]), gateway-coupled frame
 //!   delivery, and admission policies that degrade gracefully under
 //!   overload instead of dropping frames,
+//! * [`net`] — the event-driven network runtime: a deterministic
+//!   [`net::Scheduler`], multi-segment [`net::Topology`]s with finite
+//!   gateway buffers ([`net::QueueDiscipline`]) and first-class fault
+//!   events ([`net::Fault`]), selectable per replay through
+//!   [`serve::FleetTransport::EventDriven`],
 //! * [`serve`] — **the unified serving API**: one [`serve::ServeHarness`]
 //!   over the software, single-ECU and fleet backends, with a typed
 //!   per-frame verdict stream ([`serve::VerdictSink`]) and value-driven
@@ -40,6 +45,7 @@ pub mod deploy;
 pub mod dse;
 pub mod error;
 pub mod fleet;
+pub mod net;
 mod par;
 pub mod pipeline;
 pub mod report;
@@ -51,23 +57,20 @@ pub use deploy::{
 };
 pub use dse::{sweep_bitwidths, DsePoint, DseReport};
 pub use error::CoreError;
-#[allow(deprecated)]
-pub use fleet::{fleet_line_rate, fleet_policy_sweep};
-pub use fleet::{
-    AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment, FleetLineRateReport, FleetPlan,
-    FleetReplayConfig,
+pub use fleet::{AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment, FleetPlan};
+pub use net::{
+    DropReason, Fault, FleetNet, GatewayLoad, NetConfig, NetOutcome, NetSim, QueueDiscipline,
+    Topology,
 };
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
 pub use report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
 pub use serve::{
-    EcuBackend, FleetBackend, Pacing, ReplayConfig, ServeBackend, ServeHarness, ServeReport,
-    ServeScenario, SoftwareBackend, Verdict, VerdictSink,
+    EcuBackend, FleetBackend, FleetTransport, Pacing, ReplayConfig, ServeBackend, ServeHarness,
+    ServeReport, ServeScenario, SoftwareBackend, Verdict, VerdictSink,
 };
-#[allow(deprecated)]
-pub use stream::{line_rate_sweep, multi_line_rate, replay_line_rate};
 pub use stream::{
-    LineRateReport, LineRateScenario, MultiLineRateReport, MultiStreamVerdict,
-    MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,
+    LineRateScenario, MultiStreamVerdict, MultiStreamingEvaluator, StreamVerdict,
+    StreamingEvaluator,
 };
 
 /// Convenience re-exports spanning the whole stack.
@@ -77,23 +80,19 @@ pub mod prelude {
     };
     pub use crate::dse::{sweep_bitwidths, DseReport};
     pub use crate::error::CoreError;
-    #[allow(deprecated)]
-    pub use crate::fleet::{fleet_line_rate, fleet_policy_sweep};
-    pub use crate::fleet::{
-        AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment, FleetLineRateReport, FleetPacing,
-        FleetPlan, FleetReplayConfig,
+    pub use crate::fleet::{AdmissionPolicy, BoardSpec, FleetConfig, FleetDeployment, FleetPlan};
+    pub use crate::net::{
+        DropReason, Fault, FleetNet, GatewayLoad, NetConfig, NetOutcome, QueueDiscipline,
     };
     pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
     pub use crate::report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
     pub use crate::serve::{
-        CaptureSource, EcuBackend, FleetBackend, Pacing, ReplayConfig, ServeBackend, ServeHarness,
-        ServeReport, ServeScenario, SoftwareBackend, Verdict, VerdictSink,
+        CaptureSource, EcuBackend, FleetBackend, FleetTransport, Pacing, ReplayConfig,
+        ServeBackend, ServeHarness, ServeReport, ServeScenario, SoftwareBackend, Verdict,
+        VerdictSink,
     };
-    #[allow(deprecated)]
-    pub use crate::stream::{line_rate_sweep, multi_line_rate, replay_line_rate};
     pub use crate::stream::{
-        LineRateReport, LineRateScenario, MultiLineRateReport, MultiStreamingEvaluator,
-        StreamVerdict, StreamingEvaluator,
+        LineRateScenario, MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,
     };
     pub use canids_baselines::prelude::*;
     pub use canids_can::prelude::*;

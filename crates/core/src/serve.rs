@@ -5,8 +5,8 @@
 //! replay surfaces — `replay_line_rate` (software),
 //! `multi_line_rate` (single N-detector ECU) and `fleet_line_rate`
 //! (cross-ECU fleet) — each with its own configuration struct, report
-//! type and percentile maths. They are now thin deprecated wrappers over
-//! this module:
+//! type and percentile maths. All three are gone; this module is the
+//! one serving surface:
 //!
 //! * [`ServeBackend`] — the substrate trait, with three
 //!   implementations: [`SoftwareBackend`] (host-measured
@@ -22,8 +22,7 @@
 //!   [`LatencyStats`]/[`EnergyStats`]/drop accounting, optional
 //!   per-model and per-board sections, admission event log).
 //!   [`ServeHarness::sweep`] replays several [`ServeScenario`]s on
-//!   scoped threads, replacing both `line_rate_sweep` and
-//!   `fleet_policy_sweep`.
+//!   scoped threads — one sweep entry point for every backend.
 //! * [`Verdict`] / [`VerdictSink`] — the typed per-frame verdict
 //!   stream every replay emits. Verdicts carry per-model flag masks and
 //!   ground truth, which is what makes **value-driven admission**
@@ -55,6 +54,7 @@ use canids_soc::ecu::{EcuConfig, EcuStream, IdsEcu, SchedPolicy, ServiceQueue};
 use crate::deploy::MultiIdsDeployment;
 use crate::error::CoreError;
 use crate::fleet::{FleetDeployment, Slot};
+use crate::net::{FleetNet, GatewayLoad, NetConfig, NetOutcome};
 use crate::report::{EnergyStats, LatencyStats};
 use crate::stream::StreamingEvaluator;
 
@@ -218,6 +218,13 @@ pub enum FleetAction {
         /// Destination board index.
         to: usize,
     },
+    /// The board's gateway went dark (event-driven transport fault):
+    /// every frame arriving before `until` was dropped. For this
+    /// variant `FleetEvent::model` carries no meaning and is 0.
+    GatewayDark {
+        /// End of the outage window (exclusive).
+        until: SimTime,
+    },
 }
 
 /// One admission-policy event during a replay.
@@ -248,12 +255,42 @@ pub struct FleetEvent {
     pub action: FleetAction,
 }
 
+/// How the fleet backend moves frames from the backbone to each
+/// board: the closed-form analytic gateway model, or the event-driven
+/// [`crate::net`] runtime (finite buffers, queue disciplines, faults).
+///
+/// On uncongested single-backbone topologies the two produce
+/// bit-identical [`ServeReport`]s (`tests/net_equivalence.rs`); the
+/// event-driven path additionally fills [`ServeReport::gateways`] and
+/// logs outage windows into [`ServeReport::events`].
+///
+/// # Example
+///
+/// ```
+/// use canids_core::net::NetConfig;
+/// use canids_core::serve::FleetTransport;
+///
+/// assert_eq!(FleetTransport::default(), FleetTransport::Analytic);
+/// let event = FleetTransport::EventDriven(NetConfig::default());
+/// assert!(matches!(event, FleetTransport::EventDriven(_)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum FleetTransport {
+    /// Per-shard [`SegmentForwarder`] recurrence — exact, allocation
+    /// free, no congestion or fault model.
+    #[default]
+    Analytic,
+    /// The [`crate::net`] discrete-event simulation with the given
+    /// queue discipline and fault schedule.
+    EventDriven(NetConfig),
+}
+
 /// The unified replay configuration every backend serves under.
 ///
 /// # Example
 ///
 /// ```
-/// use canids_core::serve::{AdmissionPolicy, Pacing, ReplayConfig};
+/// use canids_core::serve::{AdmissionPolicy, FleetTransport, Pacing, ReplayConfig};
 /// use canids_soc::ecu::SchedPolicy;
 ///
 /// let config = ReplayConfig::default()
@@ -261,6 +298,7 @@ pub struct FleetEvent {
 ///     .with_admission(AdmissionPolicy::ShedLowestValue { priorities: vec![2, 1] });
 /// assert_eq!(config.pacing, Pacing::Saturated);
 /// assert_eq!(config.ecu.policy, SchedPolicy::DmaBatch { batch: 32 });
+/// assert_eq!(config.transport, FleetTransport::Analytic);
 /// ```
 #[derive(Debug, Clone)]
 pub struct ReplayConfig {
@@ -288,6 +326,8 @@ pub struct ReplayConfig {
     /// Dark time of a migrating model under
     /// [`AdmissionPolicy::Rebalance`].
     pub migration_delay: SimTime,
+    /// Backbone-to-board frame transport (fleet backend only).
+    pub transport: FleetTransport,
 }
 
 impl Default for ReplayConfig {
@@ -301,6 +341,7 @@ impl Default for ReplayConfig {
             thresholds: OverloadThresholds::default(),
             gateway_delay: SimTime::from_micros(20),
             migration_delay: SimTime::from_millis(2),
+            transport: FleetTransport::Analytic,
         }
     }
 }
@@ -321,6 +362,12 @@ impl ReplayConfig {
     /// Sets the wire bitrate (builder style).
     pub fn with_bitrate(mut self, bitrate: Bitrate) -> Self {
         self.bitrate = bitrate;
+        self
+    }
+
+    /// Sets the fleet transport (builder style).
+    pub fn with_transport(mut self, transport: FleetTransport) -> Self {
+        self.transport = transport;
         self
     }
 
@@ -645,6 +692,14 @@ pub trait ServeSession {
 
     /// Enables or disables the model at `slot` for subsequent pushes.
     fn set_slot_active(&mut self, slot: Slot, active: bool);
+
+    /// Drains any remaining network events and returns the per-gateway
+    /// queue/occupancy section plus network fault events for the
+    /// report's event log. Non-networked backends (and the analytic
+    /// fleet transport) return empty lists.
+    fn network(&mut self) -> (Vec<GatewayLoad>, Vec<FleetEvent>) {
+        (Vec::new(), Vec::new())
+    }
 
     /// Flushes trailing state (e.g. a partial DMA window), appends the
     /// remaining verdicts and returns per-shard totals.
@@ -1246,16 +1301,31 @@ impl ServeBackend for FleetBackend<'_> {
                 .collect(),
         };
         let wire = config.wire_bitrate();
+        let transport = match &config.transport {
+            FleetTransport::Analytic => FleetTransportState::Analytic(
+                (0..m)
+                    .map(|_| SegmentForwarder::new(wire, config.gateway_delay))
+                    .collect(),
+            ),
+            FleetTransport::EventDriven(net_config) => FleetTransportState::EventDriven(Box::new(
+                FleetNet::single_backbone(m, wire, config.gateway_delay, net_config),
+            )),
+        };
         Ok(FleetSession {
             sessions,
-            forwarders: (0..m)
-                .map(|_| SegmentForwarder::new(wire, config.gateway_delay))
-                .collect(),
+            transport,
+            net_dropped: vec![0; m],
             admitted: vec![Vec::new(); m],
             cursors: vec![0; m],
             topology,
         })
     }
+}
+
+/// The fleet session's frame transport state (see [`FleetTransport`]).
+enum FleetTransportState {
+    Analytic(Vec<SegmentForwarder>),
+    EventDriven(Box<FleetNet>),
 }
 
 /// An open [`FleetBackend`] session (see [`ServeSession`]).
@@ -1276,7 +1346,9 @@ impl ServeBackend for FleetBackend<'_> {
 /// ```
 pub struct FleetSession<'a> {
     sessions: Vec<EcuStream<'a>>,
-    forwarders: Vec<SegmentForwarder>,
+    transport: FleetTransportState,
+    /// Frames the network transport lost per shard, before the ECU.
+    net_dropped: Vec<u64>,
     admitted: Vec<Vec<usize>>,
     cursors: Vec<usize>,
     topology: ServeTopology,
@@ -1303,7 +1375,25 @@ impl ServeSession for FleetSession<'_> {
     ) -> Result<ShardPush, CoreError> {
         let encoder = IdBitsPayloadBits;
         let featurize = |f: &CanFrame| encoder.encode(f);
-        let delivered = self.forwarders[shard].forward(rec.timestamp, &rec.frame);
+        let delivered = match &mut self.transport {
+            FleetTransportState::Analytic(forwarders) => {
+                forwarders[shard].forward(rec.timestamp, &rec.frame)
+            }
+            FleetTransportState::EventDriven(net) => {
+                match net.deliver(shard, rec.timestamp, rec.frame) {
+                    NetOutcome::Delivered(t) => t,
+                    NetOutcome::Dropped(_) => {
+                        // Lost before the board: the typed reason is in
+                        // the net drop log and the gateway counters.
+                        self.net_dropped[shard] += 1;
+                        return Ok(ShardPush {
+                            delivered: rec.timestamp,
+                            admitted: false,
+                        });
+                    }
+                }
+            }
+        };
         let before = self.sessions[shard].dropped();
         self.sessions[shard].push(delivered, rec.frame, &featurize)?;
         let admitted = self.sessions[shard].dropped() == before;
@@ -1338,9 +1428,30 @@ impl ServeSession for FleetSession<'_> {
         self.sessions[slot.shard].set_model_active(slot.local, active);
     }
 
+    fn network(&mut self) -> (Vec<GatewayLoad>, Vec<FleetEvent>) {
+        match &mut self.transport {
+            FleetTransportState::Analytic(_) => (Vec::new(), Vec::new()),
+            FleetTransportState::EventDriven(net) => {
+                net.finish();
+                let events = net
+                    .outage_windows()
+                    .iter()
+                    .map(|&(board, start, until)| FleetEvent {
+                        time: start,
+                        board,
+                        model: 0,
+                        action: FleetAction::GatewayDark { until },
+                    })
+                    .collect();
+                (net.gateway_loads(), events)
+            }
+        }
+    }
+
     fn finish(self, out: &mut Vec<ShardVerdict>) -> Result<Vec<ShardTotals>, CoreError> {
         let FleetSession {
             sessions,
+            net_dropped,
             admitted,
             mut cursors,
             ..
@@ -1351,7 +1462,7 @@ impl ServeSession for FleetSession<'_> {
             drain_ecu_detections(b, &report.detections, &admitted[b], &mut cursors[b], out);
             debug_assert_eq!(report.detections.len(), admitted[b].len());
             totals.push(ShardTotals {
-                dropped: report.dropped,
+                dropped: report.dropped + net_dropped[b],
                 serviced: report.detections.len(),
                 energy: Some(EnergyStats {
                     mean_power_w: report.mean_power_w,
@@ -1492,9 +1603,14 @@ pub struct ServeReport {
     pub boards: Vec<BoardServeReport>,
     /// Per-model breakdown, in fleet bundle order.
     pub per_model: Vec<ModelServeReport>,
-    /// Admission events (sheds, re-admissions, migrations), in time
-    /// order.
+    /// Admission events (sheds, re-admissions, migrations) in time
+    /// order, followed by any network fault events (gateway dark
+    /// windows) from the event-driven transport.
     pub events: Vec<FleetEvent>,
+    /// Per-gateway queue/occupancy section. Empty for non-fleet
+    /// backends and for [`FleetTransport::Analytic`], which has no
+    /// buffer model.
+    pub gateways: Vec<GatewayLoad>,
     /// Fused per-frame verdicts: backbone arrival and whether any shard
     /// flagged it, for frames at least one shard serviced.
     pub verdicts: Vec<(SimTime, bool)>,
@@ -2101,6 +2217,7 @@ impl<B: ServeBackend> ServeHarness<B> {
             }
             agg.emit_ready(sink);
         }
+        let (gateways, net_events) = session.network();
         fresh.clear();
         let totals = session.finish(&mut fresh)?;
         for v in &fresh {
@@ -2115,6 +2232,8 @@ impl<B: ServeBackend> ServeHarness<B> {
             agg,
             ctl,
             &totals,
+            gateways,
+            net_events,
         ))
     }
 
@@ -2216,6 +2335,7 @@ pub struct ServeScenario<'a> {
     pub config: ReplayConfig,
 }
 
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     backend: String,
     config: &ReplayConfig,
@@ -2223,6 +2343,8 @@ fn finalize(
     mut agg: Aggregator,
     ctl: AdmissionController,
     totals: &[ShardTotals],
+    gateways: Vec<GatewayLoad>,
+    net_events: Vec<FleetEvent>,
 ) -> ServeReport {
     let offered = agg.arrivals.len();
     let first_arrival = agg.arrivals.first().copied().unwrap_or(SimTime::ZERO);
@@ -2316,7 +2438,12 @@ fn finalize(
         energy: any_energy.then_some(energy_sum),
         boards,
         per_model,
-        events: ctl.events,
+        events: {
+            let mut events = ctl.events;
+            events.extend(net_events);
+            events
+        },
+        gateways,
         verdicts,
     }
 }

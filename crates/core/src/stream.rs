@@ -11,12 +11,11 @@
 //!   Streaming and batch evaluation produce *identical* predictions and
 //!   confusion matrices on the same capture — the equivalence tests pin
 //!   this.
-//! * [`replay_line_rate`] / [`line_rate_sweep`] / [`multi_line_rate`] —
-//!   the historical line-rate entry points, now deprecated thin
-//!   wrappers over the unified serving harness
+//! * [`LineRateScenario`] — canned wire-pacing scenarios (classic
+//!   1 Mb/s, FD-class) that map onto the unified serving harness
 //!   ([`crate::serve::ServeHarness`] with
-//!   [`crate::serve::SoftwareBackend`] / [`crate::serve::EcuBackend`]);
-//!   their reports are bit-identical to the harness path.
+//!   [`crate::serve::SoftwareBackend`] / [`crate::serve::EcuBackend`])
+//!   via [`LineRateScenario::replay_config`].
 
 use canids_can::time::SimTime;
 use canids_can::timing::Bitrate;
@@ -26,13 +25,9 @@ use canids_dataset::generator::{Dataset, DatasetBuilder, TrafficConfig};
 use canids_dataset::record::LabeledFrame;
 use canids_qnn::export::IntegerMlp;
 use canids_qnn::metrics::ConfusionMatrix;
-use canids_soc::ecu::{EcuConfig, IdsEcu, SchedPolicy};
+use canids_soc::ecu::EcuConfig;
 
-use crate::error::CoreError;
-use crate::serve::{
-    CaptureSource, EcuBackend, ReplayConfig, ServeHarness, ServeReport, ServeScenario,
-    SoftwareBackend,
-};
+use crate::serve::ReplayConfig;
 
 /// One streaming verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -309,9 +304,9 @@ impl LineRateScenario {
         }
     }
 
-    /// Synthesises this scenario's capture — the single recipe both the
-    /// parallel [`line_rate_sweep`] and sequential replays (e.g. the
-    /// perf-snapshot driver) use.
+    /// Synthesises this scenario's capture — the single recipe both
+    /// parallel [`crate::serve::ServeHarness::sweep`] runs and
+    /// sequential replays (e.g. the perf-snapshot driver) use.
     pub fn generate_capture(&self) -> Dataset {
         DatasetBuilder::new(TrafficConfig {
             duration: self.duration,
@@ -320,68 +315,6 @@ impl LineRateScenario {
             ..TrafficConfig::default()
         })
         .build()
-    }
-}
-
-/// Outcome of one line-rate replay.
-#[derive(Debug, Clone)]
-pub struct LineRateReport {
-    /// Scenario name.
-    pub scenario: String,
-    /// Pacing bitrate (bits per second).
-    pub bitrate_bps: u32,
-    /// Frames offered to the evaluator.
-    pub offered: usize,
-    /// Frames serviced (offered − dropped).
-    pub serviced: usize,
-    /// Frames dropped to software-FIFO overflow.
-    pub dropped: u64,
-    /// Offered load in frames/s (saturated pacing).
-    pub offered_fps: f64,
-    /// Measured service capacity in frames/s (serviced ÷ busy wall time).
-    pub sustained_fps: f64,
-    /// Median verdict latency (queueing + measured service time).
-    pub p50_latency: SimTime,
-    /// 99th-percentile verdict latency.
-    pub p99_latency: SimTime,
-    /// Worst verdict latency.
-    pub max_latency: SimTime,
-    /// Online confusion matrix over the serviced frames.
-    pub cm: ConfusionMatrix,
-}
-
-impl LineRateReport {
-    /// `true` when the evaluator kept up with the offered line rate:
-    /// nothing dropped and service capacity at or above the offered load.
-    pub fn keeps_up(&self) -> bool {
-        self.dropped == 0 && self.sustained_fps >= self.offered_fps
-    }
-
-    /// Column headers matching [`LineRateReport::table_row`].
-    pub fn table_header() -> [&'static str; 7] {
-        [
-            "Scenario",
-            "Offered fps",
-            "Sustained fps",
-            "p50",
-            "p99",
-            "Drops",
-            "Keeps up",
-        ]
-    }
-
-    /// This report as one formatted row for the harness tables (the
-    /// single formatting source for the example and driver binaries).
-    pub fn table_row(&self) -> Vec<String> {
-        vec![
-            self.scenario.clone(),
-            format!("{:.0}", self.offered_fps),
-            format!("{:.0}", self.sustained_fps),
-            format!("{:.2} us", self.p50_latency.as_micros_f64()),
-            format!("{:.2} us", self.p99_latency.as_micros_f64()),
-            format!("{}", self.dropped),
-            if self.keeps_up() { "yes" } else { "NO" }.to_owned(),
-        ]
     }
 }
 
@@ -416,211 +349,15 @@ impl LineRateScenario {
     }
 }
 
-/// Maps a unified [`ServeReport`] back onto the historical software
-/// line-rate report shape. The historical `offered_fps` denominator is
-/// the last arrival (captures start at the bus epoch), not the span.
-fn to_line_rate_report(r: ServeReport, scenario: &LineRateScenario) -> LineRateReport {
-    let offered_fps = if r.last_arrival > SimTime::ZERO {
-        r.offered as f64 / r.last_arrival.as_secs_f64()
-    } else {
-        0.0
-    };
-    LineRateReport {
-        scenario: scenario.name.clone(),
-        bitrate_bps: scenario.bitrate.bits_per_sec(),
-        offered: r.offered,
-        serviced: r.serviced,
-        dropped: r.dropped,
-        offered_fps,
-        sustained_fps: r.sustained_fps.unwrap_or(0.0),
-        p50_latency: r.latency.p50,
-        p99_latency: r.latency.p99,
-        max_latency: r.latency.max,
-        cm: r.cm,
-    }
-}
-
-/// Replays `capture` through a [`StreamingEvaluator`] at saturated line
-/// rate, one frame at a time.
-///
-/// Deprecated thin wrapper over [`ServeHarness`] +
-/// [`SoftwareBackend`]: arrivals are wire-paced at `scenario.bitrate`,
-/// each frame's *service time* is the measured wall time of the
-/// software inference, and a frame arriving while `queue_depth`
-/// verdicts are pending is dropped — the same `ServiceQueue` state
-/// machine the ECU service loop runs.
-#[deprecated(note = "use serve::ServeHarness::replay with serve::SoftwareBackend")]
-pub fn replay_line_rate(
-    capture: &Dataset,
-    model: &IntegerMlp,
-    scenario: &LineRateScenario,
-) -> LineRateReport {
-    let mut harness = ServeHarness::new(SoftwareBackend::single(model.clone()));
-    let report = harness
-        .replay(capture, &scenario.replay_config())
-        .expect("the software backend is infallible");
-    to_line_rate_report(report, scenario)
-}
-
-/// Generates and replays every scenario concurrently on scoped threads
-/// (capture synthesis *and* evaluation run in parallel, one thread per
-/// scenario — the same pattern as [`crate::dse::sweep_bitwidths`]).
-///
-/// Deprecated thin wrapper over [`ServeHarness::sweep`] with a
-/// [`SoftwareBackend`] factory. Results come back in scenario order.
-#[deprecated(note = "use serve::ServeHarness::sweep with a serve::SoftwareBackend factory")]
-pub fn line_rate_sweep(model: &IntegerMlp, scenarios: &[LineRateScenario]) -> Vec<LineRateReport> {
-    let serve_scenarios: Vec<ServeScenario<'_>> = scenarios
-        .iter()
-        .map(|s| ServeScenario {
-            name: s.name.clone(),
-            source: CaptureSource::Generate(TrafficConfig {
-                duration: s.duration,
-                attack: s.attack,
-                seed: s.seed,
-                ..TrafficConfig::default()
-            }),
-            config: s.replay_config(),
-        })
-        .collect();
-    let reports = ServeHarness::sweep(
-        || Ok(SoftwareBackend::single(model.clone())),
-        &serve_scenarios,
-    )
-    .expect("the software backend is infallible");
-    reports
-        .into_iter()
-        .zip(scenarios)
-        .map(|(r, s)| to_line_rate_report(r, s))
-        .collect()
-}
-
-/// Outcome of one wire-paced N-detector ECU replay.
-#[derive(Debug, Clone)]
-pub struct MultiLineRateReport {
-    /// The scheduling policy the replay ran under.
-    pub policy: SchedPolicy,
-    /// Attached detector count.
-    pub models: usize,
-    /// Pacing bitrate (bits per second).
-    pub bitrate_bps: u32,
-    /// Frames offered to the ECU.
-    pub offered: usize,
-    /// Frames serviced (offered − dropped).
-    pub serviced: usize,
-    /// Frames dropped to software-FIFO overflow.
-    pub dropped: u64,
-    /// Offered load in frames/s (saturated pacing).
-    pub offered_fps: f64,
-    /// Median verdict latency through the full simulated SoC path.
-    pub p50_latency: SimTime,
-    /// 99th-percentile verdict latency.
-    pub p99_latency: SimTime,
-    /// Worst verdict latency.
-    pub max_latency: SimTime,
-    /// Frames any detector flagged.
-    pub flagged: usize,
-    /// Mean board power over the replay (rail model).
-    pub mean_power_w: f64,
-    /// Energy per inspected message.
-    pub energy_per_message_j: f64,
-}
-
-impl MultiLineRateReport {
-    /// `true` when the ECU absorbed the whole offered line rate.
-    pub fn keeps_up(&self) -> bool {
-        self.dropped == 0
-    }
-
-    /// Column headers matching [`MultiLineRateReport::table_row`].
-    pub fn table_header() -> [&'static str; 7] {
-        [
-            "Policy",
-            "Offered fps",
-            "p50",
-            "p99",
-            "Drops",
-            "Energy/msg",
-            "Keeps up",
-        ]
-    }
-
-    /// This report as one formatted row for the harness tables.
-    pub fn table_row(&self) -> Vec<String> {
-        vec![
-            self.policy.label(),
-            format!("{:.0}", self.offered_fps),
-            format!("{:.1} us", self.p50_latency.as_micros_f64()),
-            format!("{:.1} us", self.p99_latency.as_micros_f64()),
-            format!("{}", self.dropped),
-            format!("{:.3} mJ", self.energy_per_message_j * 1e3),
-            if self.keeps_up() { "yes" } else { "NO" }.to_owned(),
-        ]
-    }
-}
-
-/// Replays one capture through an N-detector ECU at saturated wire
-/// pacing (`bitrate`), frame at a time, under the ECU's configured
-/// [`SchedPolicy`].
-///
-/// Deprecated thin wrapper over [`ServeHarness`] + [`EcuBackend::over`]:
-/// every frame is featurised and packed **once** inside the ECU session
-/// and shared by all N models; timing is the *simulated* SoC path, so
-/// the per-policy p50/p99 latencies, drops and energy are properties of
-/// the modelled ECU rather than of the benchmarking host.
-///
-/// The ECU must be fresh (board clock at the capture's epoch) — take one
-/// from [`crate::deploy::MultiIdsDeployment::fresh_ecu`] per replay.
-///
-/// # Errors
-///
-/// Propagates driver/bus errors.
-#[deprecated(note = "use serve::ServeHarness::replay with serve::EcuBackend")]
-pub fn multi_line_rate(
-    capture: &Dataset,
-    ecu: &mut IdsEcu,
-    bitrate: Bitrate,
-) -> Result<MultiLineRateReport, CoreError> {
-    let policy = ecu.config().policy;
-    let models = ecu.models().len();
-    let mut harness = ServeHarness::new(EcuBackend::over(ecu));
-    let r = harness.replay(
-        capture,
-        &ReplayConfig {
-            bitrate,
-            ..ReplayConfig::default()
-        },
-    )?;
-    let offered_fps = if r.last_arrival > SimTime::ZERO {
-        r.offered as f64 / r.last_arrival.as_secs_f64()
-    } else {
-        0.0
-    };
-    let energy = r.energy.unwrap_or_default();
-    Ok(MultiLineRateReport {
-        policy,
-        models,
-        bitrate_bps: bitrate.bits_per_sec(),
-        offered: r.offered,
-        serviced: r.serviced,
-        dropped: r.dropped,
-        offered_fps,
-        p50_latency: r.latency.p50,
-        p99_latency: r.latency.p99,
-        max_latency: r.latency.max,
-        flagged: r.flagged,
-        mean_power_w: energy.mean_power_w,
-        energy_per_message_j: energy.energy_per_message_j,
-    })
-}
-
 #[cfg(test)]
-#[allow(deprecated)]
 mod tests {
     use super::*;
     use canids_dataset::attacks::BurstSchedule;
     use canids_dataset::features::FrameEncoder;
     use canids_qnn::mlp::{MlpConfig, QuantMlp};
+    use canids_soc::ecu::SchedPolicy;
+
+    use crate::serve::{CaptureSource, EcuBackend, ServeHarness, ServeScenario, SoftwareBackend};
 
     fn untrained_model() -> IntegerMlp {
         QuantMlp::new(MlpConfig::paper_4bit())
@@ -694,21 +431,23 @@ mod tests {
         let model = untrained_model();
         let capture = quick_capture(true, 6);
         let scenario = LineRateScenario::classic_1m("dos-1m", None, SimTime::from_millis(200));
-        let report = replay_line_rate(&capture, &model, &scenario);
+        let report = ServeHarness::new(SoftwareBackend::single(model))
+            .replay(&capture, &scenario.replay_config())
+            .unwrap();
         assert_eq!(report.offered, capture.len());
         assert_eq!(report.serviced + report.dropped as usize, report.offered);
         assert_eq!(report.cm.total() as usize, report.serviced);
         assert!(report.offered_fps > 1_000.0, "saturated 1 Mb/s pacing");
-        assert!(report.p50_latency <= report.p99_latency);
-        assert!(report.p99_latency <= report.max_latency);
-        assert!(report.max_latency > SimTime::ZERO);
+        assert!(report.latency.p50 <= report.latency.p99);
+        assert!(report.latency.p99 <= report.latency.max);
+        assert!(report.latency.max > SimTime::ZERO);
         // Release builds comfortably sustain classic-CAN line rate; debug
         // builds are not a performance statement, so only gate there.
         if !cfg!(debug_assertions) {
             assert!(
-                report.keeps_up(),
+                report.keeps_up() && report.sustained_fps.unwrap_or(0.0) >= report.offered_fps,
                 "sustained {:.0} fps vs offered {:.0} fps, dropped {}",
-                report.sustained_fps,
+                report.sustained_fps.unwrap_or(0.0),
                 report.offered_fps,
                 report.dropped
             );
@@ -718,7 +457,7 @@ mod tests {
     #[test]
     fn sweep_runs_scenarios_in_parallel_and_in_order() {
         let model = untrained_model();
-        let scenarios = vec![
+        let scenarios = [
             LineRateScenario::classic_1m("normal-1m", None, SimTime::from_millis(120)),
             LineRateScenario::fd_class(
                 "dos-fd",
@@ -726,7 +465,24 @@ mod tests {
                 SimTime::from_millis(120),
             ),
         ];
-        let reports = line_rate_sweep(&model, &scenarios);
+        let serve_scenarios: Vec<ServeScenario<'_>> = scenarios
+            .iter()
+            .map(|s| ServeScenario {
+                name: s.name.clone(),
+                source: CaptureSource::Generate(TrafficConfig {
+                    duration: s.duration,
+                    attack: s.attack,
+                    seed: s.seed,
+                    ..TrafficConfig::default()
+                }),
+                config: s.replay_config(),
+            })
+            .collect();
+        let reports = ServeHarness::sweep(
+            || Ok(SoftwareBackend::single(model.clone())),
+            &serve_scenarios,
+        )
+        .unwrap();
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].scenario, "normal-1m");
         assert_eq!(reports[1].scenario, "dos-fd");
@@ -803,21 +559,22 @@ mod tests {
         let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
         let mut flagged_baseline: Option<usize> = None;
         for policy in [SchedPolicy::RoundRobin, SchedPolicy::DmaBatch { batch: 32 }] {
-            let mut ecu = deployment
-                .fresh_ecu(canids_soc::ecu::EcuConfig {
-                    policy,
-                    ..canids_soc::ecu::EcuConfig::default()
-                })
+            let report = ServeHarness::new(EcuBackend::new(&deployment))
+                .replay(
+                    &capture,
+                    &ReplayConfig::default()
+                        .with_policy(policy)
+                        .with_bitrate(Bitrate::HIGH_SPEED_1M),
+                )
                 .unwrap();
-            let report = multi_line_rate(&capture, &mut ecu, Bitrate::HIGH_SPEED_1M).unwrap();
-            assert_eq!(report.policy, policy);
-            assert_eq!(report.models, 2);
+            assert_eq!(report.sched, policy.label());
+            assert_eq!(report.per_model.len(), 2);
             assert_eq!(report.offered, capture.len());
             assert_eq!(report.serviced + report.dropped as usize, report.offered);
             assert!(report.offered_fps > 1_000.0, "saturated pacing");
-            assert!(report.p50_latency <= report.p99_latency);
-            assert!(report.p99_latency <= report.max_latency);
-            assert!(report.mean_power_w > 0.0);
+            assert!(report.latency.p50 <= report.latency.p99);
+            assert!(report.latency.p99 <= report.latency.max);
+            assert!(report.energy.expect("ECU meters energy").mean_power_w > 0.0);
             // Scheduling changes timing, never classification: with zero
             // drops the flagged count is policy-invariant.
             if report.dropped == 0 {

@@ -374,7 +374,7 @@ impl std::fmt::Debug for EcuStream<'_> {
 
 /// The single-server software-FIFO model shared by the ECU service loop
 /// and the streaming line-rate harness
-/// (`canids_core::stream::replay_line_rate`): a bounded queue of pending
+/// (`canids_core::serve::ServeHarness`): a bounded queue of pending
 /// verdict completions plus the server-busy clock. Keeping this state
 /// machine in one place means both paths drop and queue frames under
 /// *exactly* the same policy.

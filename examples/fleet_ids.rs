@@ -104,6 +104,16 @@ fn main() -> Result<(), CoreError> {
                     priorities,
                 }),
         },
+        // Same best-case replay through the event-driven network core:
+        // bit-identical to the analytic gateway while uncongested, but
+        // with per-gateway occupancy accounting and room for faults.
+        ServeScenario {
+            name: "dma-batch-32 @ 1M, event net".into(),
+            source: CaptureSource::Capture(&capture),
+            config: ReplayConfig::default()
+                .with_policy(SchedPolicy::DmaBatch { batch: 32 })
+                .with_transport(FleetTransport::EventDriven(NetConfig::default())),
+        },
     ];
     // One scoped thread per replay, each through a fresh FleetBackend.
     let reports = ServeHarness::sweep(|| Ok(deployment.serve_backend()), &scenarios)?;
@@ -137,5 +147,22 @@ fn main() -> Result<(), CoreError> {
         },
         reports[3].shed_count(),
     );
+
+    // The event-driven replay additionally reports per-gateway load.
+    let event = &reports[4];
+    let mut gw_table = Table::new(
+        "Event-driven transport: per-gateway queues",
+        &["Gateway", "Forwarded", "Dropped", "Paused", "Peak queue"],
+    );
+    for g in &event.gateways {
+        gw_table.push_row(&[
+            format!("gw-{}", g.gateway),
+            format!("{}", g.forwarded),
+            format!("{}", g.dropped()),
+            format!("{}", g.paused),
+            format!("{}", g.peak_queue),
+        ]);
+    }
+    println!("{gw_table}");
     Ok(())
 }

@@ -6,10 +6,9 @@
 //! frame drops — while `DropFrames` measurably drops. `bench_summary`
 //! records the same scenario in `BENCH_4.json`.
 
-#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
-
 use canids_core::fleet::{FleetAction, FleetEvent};
 use canids_core::prelude::*;
+use canids_core::serve::CaptureSource;
 
 /// Untrained paper-topology model (weights seeded): fleet geometry,
 /// timing and admission behaviour do not depend on weight values.
@@ -98,18 +97,12 @@ fn twelve_detectors_on_six_heterogeneous_boards_hold_line_rate_and_degrade_grace
 
     // 2. Best integration: per-shard DMA batching absorbs the saturated
     // 1 Mb/s backbone on every board with zero drops, full coverage.
-    let best = fleet_line_rate(
-        &capture,
-        &deployment,
-        &FleetReplayConfig {
-            ecu: EcuConfig {
-                policy: SchedPolicy::DmaBatch { batch: 32 },
-                ..EcuConfig::default()
-            },
-            ..FleetReplayConfig::default()
-        },
-    )
-    .expect("best-policy replay");
+    let best = ServeHarness::new(deployment.serve_backend())
+        .replay(
+            &capture,
+            &ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 }),
+        )
+        .expect("best-policy replay");
     assert_eq!(best.offered, capture.len());
     assert!(
         best.offered_fps > 7_000.0,
@@ -129,16 +122,17 @@ fn twelve_detectors_on_six_heterogeneous_boards_hold_line_rate_and_degrade_grace
     // inter-arrival at 750 kb/s — two models overload every shard, one
     // holds comfortably. Today's behaviour (DropFrames) measurably
     // drops on every shard.
-    let overloaded = FleetReplayConfig {
+    let overloaded = ReplayConfig {
         bitrate: Bitrate::new(750_000),
         ecu: EcuConfig {
             policy: SchedPolicy::Sequential,
             ..EcuConfig::default()
         },
-        ..FleetReplayConfig::default()
+        ..ReplayConfig::default()
     };
-    let dropped =
-        fleet_line_rate(&capture, &deployment, &overloaded).expect("drop-frames overload replay");
+    let dropped = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &overloaded)
+        .expect("drop-frames overload replay");
     assert!(
         dropped.dropped > 100,
         "sequential 2-model shards cannot hold 1 Mb/s: dropped {}",
@@ -148,13 +142,15 @@ fn twelve_detectors_on_six_heterogeneous_boards_hold_line_rate_and_degrade_grace
 
     // 4. Same overload under ShedLowestValue: zero drops, and only each
     // overloaded shard's lowest-priority model is ever shed.
-    let shed_config = FleetReplayConfig {
+    let shed_config = ReplayConfig {
         admission: AdmissionPolicy::ShedLowestValue {
             priorities: priorities(),
         },
         ..overloaded
     };
-    let shed = fleet_line_rate(&capture, &deployment, &shed_config).expect("shed overload replay");
+    let shed = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &shed_config)
+        .expect("shed overload replay");
     assert_eq!(shed.dropped, 0, "shedding must prevent every FIFO drop");
     assert!(shed.shed_count() >= 1, "the overload must trigger shedding");
 
@@ -196,8 +192,8 @@ fn twelve_detectors_on_six_heterogeneous_boards_hold_line_rate_and_degrade_grace
 
 #[test]
 fn policy_sweep_contrasts_admission_policies_in_parallel() {
-    // The scenario-parallel sweep (one scoped thread per replay, like
-    // line_rate_sweep) reproduces the sequential contrast: DropFrames
+    // The scenario-parallel sweep (one scoped thread per replay)
+    // reproduces the sequential contrast: DropFrames
     // drops under per-message overload, ShedLowestValue does not.
     let bundles = twelve_bundles();
     let plan = FleetPlan::build(&bundles, &six_board_fleet()).unwrap();
@@ -213,25 +209,33 @@ fn policy_sweep_contrasts_admission_policies_in_parallel() {
         policy: SchedPolicy::Sequential,
         ..EcuConfig::default()
     };
-    let configs = vec![
-        FleetReplayConfig {
-            bitrate: Bitrate::new(750_000),
-            ecu: overload,
-            ..FleetReplayConfig::default()
-        },
-        FleetReplayConfig {
-            bitrate: Bitrate::new(750_000),
-            ecu: overload,
-            admission: AdmissionPolicy::ShedLowestValue {
-                priorities: priorities(),
+    let scenarios = vec![
+        ServeScenario {
+            name: "drop-frames".into(),
+            source: CaptureSource::Capture(&capture),
+            config: ReplayConfig {
+                bitrate: Bitrate::new(750_000),
+                ecu: overload,
+                ..ReplayConfig::default()
             },
-            ..FleetReplayConfig::default()
+        },
+        ServeScenario {
+            name: "shed-lowest-value".into(),
+            source: CaptureSource::Capture(&capture),
+            config: ReplayConfig {
+                bitrate: Bitrate::new(750_000),
+                ecu: overload,
+                admission: AdmissionPolicy::ShedLowestValue {
+                    priorities: priorities(),
+                },
+                ..ReplayConfig::default()
+            },
         },
     ];
-    let reports = fleet_policy_sweep(&capture, &deployment, &configs).unwrap();
+    let reports = ServeHarness::sweep(|| Ok(deployment.serve_backend()), &scenarios).unwrap();
     assert_eq!(reports.len(), 2);
-    assert_eq!(reports[0].policy, "drop-frames");
-    assert_eq!(reports[1].policy, "shed-lowest-value");
+    assert_eq!(reports[0].admission, "drop-frames");
+    assert_eq!(reports[1].admission, "shed-lowest-value");
     assert!(reports[0].dropped > 0);
     assert_eq!(reports[1].dropped, 0);
     // Degrading gracefully costs coverage, not frames: the shed replay

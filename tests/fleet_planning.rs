@@ -5,9 +5,7 @@
 //! a genuine shortfall — and a sharded fleet classifies bit-identically
 //! to the same detectors deployed together on one sufficiently large
 //! board.
-#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
-
-use canids_core::fleet::{FleetPacing, FleetPlan, FleetShard};
+use canids_core::fleet::{FleetPlan, FleetShard};
 use canids_core::prelude::*;
 use proptest::prelude::*;
 
@@ -210,15 +208,12 @@ proptest! {
         })
         .build();
 
-        let report = fleet_line_rate(
-            &capture,
-            &fleet,
-            &FleetReplayConfig {
-                pacing: FleetPacing::AsRecorded,
-                ..FleetReplayConfig::default()
-            },
-        )
-        .unwrap();
+        let report = ServeHarness::new(fleet.serve_backend())
+            .replay(
+                &capture,
+                &ReplayConfig::default().with_pacing(Pacing::AsRecorded),
+            )
+            .unwrap();
         prop_assert_eq!(report.dropped, 0, "fleet must not drop at capture pacing");
         prop_assert_eq!(report.verdicts.len(), capture.len());
 

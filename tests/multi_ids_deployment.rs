@@ -4,8 +4,6 @@
 //! ZCU104 under the folding-budget allocator and sustains saturated
 //! 1 Mb/s replay with zero FIFO drops under the DMA-batch policy.
 
-#![allow(deprecated)] // the old entry points stay pinned as wrapper regressions
-
 use canids_core::deploy::{DeploymentPlan, PlanConfig};
 use canids_core::prelude::*;
 
@@ -169,14 +167,13 @@ fn eight_detector_plan_fits_zcu104_and_sustains_line_rate_under_dma_batch() {
         ..TrafficConfig::default()
     })
     .build();
-    let mut ecu = deployment
-        .fresh_ecu(EcuConfig {
-            policy: SchedPolicy::DmaBatch { batch: 32 },
-            ..EcuConfig::default()
-        })
+    let report = ServeHarness::new(EcuBackend::new(&deployment))
+        .replay(
+            &capture,
+            &ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 }),
+        )
         .unwrap();
-    let report = multi_line_rate(&capture, &mut ecu, Bitrate::HIGH_SPEED_1M).unwrap();
-    assert_eq!(report.models, 8);
+    assert_eq!(report.per_model.len(), 8);
     assert_eq!(report.offered, capture.len());
     assert!(
         report.offered_fps > 7_000.0,
@@ -185,17 +182,16 @@ fn eight_detector_plan_fits_zcu104_and_sustains_line_rate_under_dma_batch() {
     );
     assert_eq!(report.dropped, 0, "DMA batch must absorb full line rate");
     assert_eq!(report.serviced, report.offered);
-    assert!(report.p50_latency <= report.p99_latency);
+    assert!(report.latency.p50 <= report.latency.p99);
 
     // 4. The per-message policies cannot hold 8 detectors at line rate —
     // the quantitative reason the batch integration exists.
-    let mut per_msg = deployment
-        .fresh_ecu(EcuConfig {
-            policy: SchedPolicy::Sequential,
-            ..EcuConfig::default()
-        })
+    let seq = ServeHarness::new(EcuBackend::new(&deployment))
+        .replay(
+            &capture,
+            &ReplayConfig::default().with_policy(SchedPolicy::Sequential),
+        )
         .unwrap();
-    let seq = multi_line_rate(&capture, &mut per_msg, Bitrate::HIGH_SPEED_1M).unwrap();
     assert!(
         seq.dropped > 0,
         "eight sequential driver calls per frame cannot keep 1 Mb/s"

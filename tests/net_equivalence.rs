@@ -1,0 +1,287 @@
+//! Event-driven network core vs analytic gateway path (ISSUE 6).
+//!
+//! On uncongested single-backbone topologies the event-driven
+//! [`FleetTransport::EventDriven`] replay must reproduce the analytic
+//! `SegmentForwarder` path **bit for bit** (every f64 compared via
+//! `to_bits`), across all four `SchedPolicy`s and all four
+//! `AdmissionPolicy`s: the event core's `PortService` computes exactly
+//! the analytic forwarding recurrence on carried timestamps, so
+//! identical delivery times must yield identical reports. The analytic
+//! model cannot express congestion or faults, and a babbling-idiot
+//! flood through a finite drop-tail gateway demonstrably diverges.
+
+use canids_core::net::{Fault, NetConfig, QueueDiscipline, SegmentId, SinkId};
+use canids_core::prelude::*;
+use canids_core::serve::FleetTransport;
+
+/// Untrained paper-topology model (weights seeded): transport timing
+/// and admission behaviour do not depend on weight values.
+fn seeded_model(seed: u64) -> canids_qnn::IntegerMlp {
+    QuantMlp::new(MlpConfig {
+        seed,
+        ..MlpConfig::paper_4bit()
+    })
+    .unwrap()
+    .export()
+    .unwrap()
+}
+
+/// Four detectors over two ZCU104 boards, two per shard — small enough
+/// to replay 4 policies × 2 transports quickly, loaded enough that a
+/// sequential per-message overload trips every admission policy.
+fn four_bundles() -> Vec<DetectorBundle> {
+    let kinds = [AttackKind::Dos, AttackKind::Fuzzy];
+    (0..4)
+        .map(|i| DetectorBundle::new(kinds[i % 2], seeded_model(600 + i as u64)))
+        .collect()
+}
+
+fn two_board_fleet() -> FleetDeployment {
+    let bundles = four_bundles();
+    let config = FleetConfig::new(vec![BoardSpec::zcu104("zcu-a"), BoardSpec::zcu104("zcu-b")])
+        .with_model_cap(2);
+    let plan = FleetPlan::build(&bundles, &config).expect("fleet plan fits");
+    plan.deploy(&bundles, &CompileConfig::default())
+        .expect("fleet compiles")
+}
+
+fn dos_capture(millis: u64, seed: u64) -> Dataset {
+    DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(millis),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed,
+        ..TrafficConfig::default()
+    })
+    .build()
+}
+
+/// Descending static priorities for the 4-model fleet.
+fn priorities() -> Vec<u32> {
+    (0..4u32).map(|i| 100 - i).collect()
+}
+
+/// Every `ServeReport` field except `gateways` compared bitwise (f64s
+/// via `to_bits`, so "close" is not "equal"). `gateways` is the one
+/// legitimate difference: the analytic transport has no buffer model to
+/// report, the event-driven one does.
+fn assert_reports_bit_identical(a: &ServeReport, b: &ServeReport) {
+    assert_eq!(a.scenario, b.scenario);
+    assert_eq!(a.backend, b.backend);
+    assert_eq!(a.sched, b.sched);
+    assert_eq!(a.admission, b.admission);
+    assert_eq!(a.bitrate_bps, b.bitrate_bps);
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(a.serviced, b.serviced);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.first_arrival, b.first_arrival);
+    assert_eq!(a.last_arrival, b.last_arrival);
+    assert_eq!(a.offered_fps.to_bits(), b.offered_fps.to_bits());
+    assert_eq!(
+        a.sustained_fps.map(f64::to_bits),
+        b.sustained_fps.map(f64::to_bits)
+    );
+    assert_eq!(a.latency.p50, b.latency.p50);
+    assert_eq!(a.latency.p99, b.latency.p99);
+    assert_eq!(a.latency.max, b.latency.max);
+    assert_eq!(a.flagged, b.flagged);
+    assert_eq!(a.fully_covered, b.fully_covered);
+    assert_eq!(a.cm, b.cm);
+    match (&a.energy, &b.energy) {
+        (Some(ea), Some(eb)) => {
+            assert_eq!(ea.mean_power_w.to_bits(), eb.mean_power_w.to_bits());
+            assert_eq!(
+                ea.energy_per_message_j.to_bits(),
+                eb.energy_per_message_j.to_bits()
+            );
+        }
+        (None, None) => {}
+        _ => panic!("one report meters energy, the other does not"),
+    }
+    assert_eq!(a.boards.len(), b.boards.len());
+    for (ab, bb) in a.boards.iter().zip(&b.boards) {
+        assert_eq!(ab.board, bb.board);
+        assert_eq!(ab.models, bb.models);
+        assert_eq!(ab.offered, bb.offered);
+        assert_eq!(ab.serviced, bb.serviced);
+        assert_eq!(ab.dropped, bb.dropped);
+        assert_eq!(ab.latency.p50, bb.latency.p50);
+        assert_eq!(ab.latency.p99, bb.latency.p99);
+        assert_eq!(ab.latency.max, bb.latency.max);
+        match (&ab.energy, &bb.energy) {
+            (Some(ea), Some(eb)) => {
+                assert_eq!(ea.mean_power_w.to_bits(), eb.mean_power_w.to_bits());
+                assert_eq!(
+                    ea.energy_per_message_j.to_bits(),
+                    eb.energy_per_message_j.to_bits()
+                );
+            }
+            (None, None) => {}
+            _ => panic!("board {} energy mismatch", ab.board),
+        }
+    }
+    assert_eq!(a.per_model.len(), b.per_model.len());
+    for (am, bm) in a.per_model.iter().zip(&b.per_model) {
+        assert_eq!(am.model, bm.model);
+        assert_eq!(am.name, bm.name);
+        assert_eq!(am.home, bm.home);
+        assert_eq!(am.consulted, bm.consulted);
+        assert_eq!(am.flagged, bm.flagged);
+        assert_eq!(am.confirmed_positives, bm.confirmed_positives);
+        assert_eq!(am.cm, bm.cm);
+    }
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.verdicts, b.verdicts);
+}
+
+#[test]
+fn event_transport_matches_analytic_bit_for_bit_across_sched_policies() {
+    let deployment = two_board_fleet();
+    let capture = dos_capture(200, 0x6E7A);
+
+    let policies = [
+        SchedPolicy::Sequential,
+        SchedPolicy::RoundRobin,
+        SchedPolicy::DmaBatch { batch: 32 },
+        SchedPolicy::InterruptPerFrame,
+    ];
+    for policy in policies {
+        let analytic_config = ReplayConfig::default().with_policy(policy);
+        let event_config = analytic_config
+            .clone()
+            .with_transport(FleetTransport::EventDriven(NetConfig::default()));
+
+        let analytic = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &analytic_config)
+            .expect("analytic replay");
+        let event = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &event_config)
+            .expect("event-driven replay");
+
+        assert_reports_bit_identical(&analytic, &event);
+
+        // The one intended difference: only the event-driven transport
+        // carries a per-gateway networking section, and while
+        // uncongested its gateways forward everything they see.
+        assert!(analytic.gateways.is_empty(), "{}", policy.label());
+        assert_eq!(event.gateways.len(), 2, "{}", policy.label());
+        for g in &event.gateways {
+            assert_eq!(g.forwarded, capture.len() as u64, "gw {}", g.gateway);
+            assert_eq!(g.dropped(), 0, "gw {}", g.gateway);
+            assert_eq!(g.paused, 0, "gw {}", g.gateway);
+            assert_eq!(g.queued, 0, "gw {}", g.gateway);
+        }
+    }
+}
+
+#[test]
+fn event_transport_matches_analytic_bit_for_bit_across_admission_policies() {
+    let deployment = two_board_fleet();
+    let capture = dos_capture(250, 0xAD31);
+
+    // A deliberate per-message overload so every admission policy has
+    // real shed/readmit/migrate decisions to reproduce.
+    let overloaded = ReplayConfig {
+        bitrate: Bitrate::new(750_000),
+        ecu: EcuConfig {
+            policy: SchedPolicy::Sequential,
+            ..EcuConfig::default()
+        },
+        ..ReplayConfig::default()
+    };
+    let admissions = [
+        AdmissionPolicy::DropFrames,
+        AdmissionPolicy::ShedLowestValue {
+            priorities: priorities(),
+        },
+        AdmissionPolicy::ShedLowestMeasuredValue {
+            window: 256,
+            priorities: priorities(),
+        },
+        AdmissionPolicy::Rebalance {
+            priorities: priorities(),
+        },
+    ];
+    for admission in admissions {
+        let analytic_config = overloaded.clone().with_admission(admission.clone());
+        let event_config = analytic_config
+            .clone()
+            .with_transport(FleetTransport::EventDriven(NetConfig::default()));
+
+        let analytic = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &analytic_config)
+            .expect("analytic replay");
+        let event = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &event_config)
+            .expect("event-driven replay");
+
+        assert_eq!(analytic.admission, admission.label());
+        assert_reports_bit_identical(&analytic, &event);
+        assert!(analytic.gateways.is_empty());
+        assert_eq!(event.gateways.len(), 2);
+    }
+    // The overload is real: DropFrames drops, the shed policies do not.
+    let dropped = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &overloaded)
+        .unwrap();
+    assert!(dropped.dropped > 0, "the 750 kb/s overload must drop");
+    let shed = ServeHarness::new(deployment.serve_backend())
+        .replay(
+            &capture,
+            &overloaded
+                .clone()
+                .with_admission(AdmissionPolicy::ShedLowestValue {
+                    priorities: priorities(),
+                }),
+        )
+        .unwrap();
+    assert!(shed.shed_count() >= 1, "the overload must trigger shedding");
+}
+
+#[test]
+fn congested_event_topology_diverges_from_the_analytic_model() {
+    // A babbling idiot floods board 0's gateway port faster than its
+    // leaf segment can drain, through a 4-frame shared drop-tail
+    // buffer. The analytic forwarder has no buffer to fill — it keeps
+    // reporting zero loss — while the event-driven core drops board-0
+    // frames with a typed buffer-full reason. This is the scenario the
+    // closed form cannot express.
+    let deployment = two_board_fleet();
+    let capture = dos_capture(200, 0xBAB);
+
+    let best = ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 32 });
+    let analytic = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &best)
+        .unwrap();
+    assert_eq!(analytic.dropped, 0, "uncongested baseline keeps up");
+    assert_eq!(analytic.fully_covered, analytic.offered);
+
+    let flooded = best.with_transport(FleetTransport::EventDriven(NetConfig {
+        discipline: QueueDiscipline::DropTail { capacity: 4 },
+        faults: vec![Fault::BabblingIdiot {
+            segment: SegmentId(0),
+            dest: SinkId(0),
+            start: SimTime::ZERO,
+            stop: SimTime::from_millis(400),
+            gap: SimTime::from_micros(60),
+        }],
+    }));
+    let event = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &flooded)
+        .unwrap();
+
+    // Divergence, not equivalence: the flood starves board 0.
+    assert!(
+        event.dropped > 0,
+        "the flooded drop-tail gateway must lose board-0 frames"
+    );
+    assert!(event.fully_covered < event.offered);
+    assert!(event.boards[0].dropped > analytic.boards[0].dropped);
+    // Board 1's gateway is untouched — every frame still arrives there.
+    assert_eq!(event.boards[1].dropped, analytic.boards[1].dropped);
+    // The loss is typed and accounted at gateway 0.
+    let g0 = &event.gateways[0];
+    assert!(g0.dropped_full > 0, "drop-tail losses must be buffer-full");
+    assert_eq!(g0.dropped_outage, 0);
+    assert_eq!(g0.dropped_bus_off, 0);
+    assert_eq!(event.gateways[1].dropped(), 0);
+}

@@ -1,0 +1,226 @@
+//! Fault-injection regressions for the event-driven network core
+//! (ISSUE 6): a babbling idiot starves unrelated traffic through a
+//! shared drop-tail buffer but not under PFC backpressure, a timed
+//! gateway outage drops exactly the dark-window frames (and lands in
+//! the serve report's admission event log), and a bus-off window loses
+//! exactly the frames released inside it.
+
+use canids_core::net::{
+    DropReason, Fault, GatewayId, NetConfig, NetOutcome, NetSim, QueueDiscipline, SegmentId,
+    SinkId, Topology,
+};
+use canids_core::prelude::*;
+use canids_core::serve::{FleetAction, FleetEvent, FleetTransport};
+
+fn frame(id: u16) -> CanFrame {
+    CanFrame::new(CanId::standard(id).unwrap(), &[id as u8; 8]).unwrap()
+}
+
+/// One gateway, two egress ports: a "near" leaf the babbler floods and
+/// a "far" leaf carrying unrelated traffic.
+fn two_port_sim(discipline: QueueDiscipline) -> (NetSim, SegmentId, SinkId, SinkId) {
+    let mut b = Topology::builder();
+    let backbone = b.segment(Bitrate::HIGH_SPEED_1M);
+    let gw = b.gateway(backbone, SimTime::from_micros(20), discipline);
+    let near = b.segment(Bitrate::HIGH_SPEED_1M);
+    let far = b.segment(Bitrate::HIGH_SPEED_1M);
+    b.port(gw, near);
+    b.port(gw, far);
+    let near_sink = b.sink(near);
+    let far_sink = b.sink(far);
+    let mut sim = NetSim::new(b.build());
+    sim.apply(Fault::BabblingIdiot {
+        segment: backbone,
+        dest: near_sink,
+        start: SimTime::ZERO,
+        stop: SimTime::from_millis(50),
+        gap: SimTime::from_micros(60),
+    });
+    (sim, backbone, near_sink, far_sink)
+}
+
+#[test]
+fn babbling_idiot_starves_the_far_port_under_drop_tail_but_not_under_pfc() {
+    // The babbler emits every 60 µs; the near leaf drains one 8-byte
+    // frame per ~118 µs, so the gateway buffer only ever grows while
+    // the flood runs. What happens to *far*-port traffic is pure
+    // discipline policy.
+    let victims: Vec<SimTime> = (0..30)
+        .map(|i| SimTime::from_millis(10) + SimTime::from_micros(1_000 * i))
+        .collect();
+
+    // Drop-tail: one shared pool — the flood fills it and far-port
+    // frames are collateral damage.
+    let (mut sim, backbone, _near, far) = two_port_sim(QueueDiscipline::DropTail { capacity: 8 });
+    let tokens: Vec<_> = victims
+        .iter()
+        .map(|&t| sim.inject(t, backbone, far, frame(0x300)))
+        .collect();
+    sim.run();
+    let far_dropped = tokens
+        .iter()
+        .filter(|&&t| matches!(sim.outcome(t), Some(NetOutcome::Dropped(_))))
+        .count();
+    assert!(
+        far_dropped > 0,
+        "a full shared drop-tail buffer must starve the far port"
+    );
+    let loads = sim.topology().gateway_loads();
+    assert!(loads[0].dropped_full > 0);
+    assert_eq!(loads[0].paused, 0);
+    assert!(sim
+        .topology()
+        .drop_log()
+        .iter()
+        .all(|r| r.reason == DropReason::BufferFull));
+
+    // PFC: the flooded near port pauses past its quota, the far port
+    // keeps its own reserved buffer — nothing is ever dropped.
+    let (mut sim, backbone, _near, far) = two_port_sim(QueueDiscipline::Pfc { quota: 8 });
+    let tokens: Vec<_> = victims
+        .iter()
+        .map(|&t| sim.inject(t, backbone, far, frame(0x300)))
+        .collect();
+    sim.run();
+    for token in tokens {
+        assert!(
+            matches!(sim.outcome(token), Some(NetOutcome::Delivered(_))),
+            "PFC must not drop far-port traffic"
+        );
+    }
+    let loads = sim.topology().gateway_loads();
+    assert_eq!(loads[0].dropped(), 0, "PFC pauses, never drops");
+    assert!(loads[0].paused > 0, "the flood must exceed the near quota");
+    assert!(sim.topology().drop_log().is_empty());
+}
+
+#[test]
+fn bus_off_window_loses_exactly_the_frames_released_inside_it() {
+    let mut b = Topology::builder();
+    let backbone = b.segment(Bitrate::HIGH_SPEED_1M);
+    let gw = b.gateway(
+        backbone,
+        SimTime::from_micros(20),
+        QueueDiscipline::default(),
+    );
+    let leaf = b.segment(Bitrate::HIGH_SPEED_1M);
+    b.port(gw, leaf);
+    let board = b.sink(leaf);
+    let mut sim = NetSim::new(b.build());
+    let (start, end) = (SimTime::from_millis(5), SimTime::from_millis(8));
+    sim.apply(Fault::BusOff {
+        segment: backbone,
+        start,
+        end,
+    });
+
+    // Sparse arrivals (1 ms apart) so each frame's fate is decided
+    // solely by its own arrival time against the window.
+    let arrivals: Vec<SimTime> = (0..15).map(SimTime::from_millis).collect();
+    let tokens: Vec<_> = arrivals
+        .iter()
+        .map(|&t| sim.inject(t, backbone, board, frame(0x111)))
+        .collect();
+    sim.run();
+
+    for (&t, &token) in arrivals.iter().zip(&tokens) {
+        let outcome = sim.outcome(token).expect("resolved");
+        if t >= start && t < end {
+            assert_eq!(
+                outcome,
+                NetOutcome::Dropped(DropReason::BusOff),
+                "frame at {t} is inside the bus-off window"
+            );
+        } else {
+            assert!(
+                matches!(outcome, NetOutcome::Delivered(_)),
+                "frame at {t} is outside the bus-off window"
+            );
+        }
+    }
+}
+
+/// Untrained paper-topology model (weights seeded).
+fn seeded_model(seed: u64) -> canids_qnn::IntegerMlp {
+    QuantMlp::new(MlpConfig {
+        seed,
+        ..MlpConfig::paper_4bit()
+    })
+    .unwrap()
+    .export()
+    .unwrap()
+}
+
+#[test]
+fn gateway_outage_drops_exactly_the_dark_window_frames_and_is_logged() {
+    // Two detectors on two boards; board 0's gateway goes dark for a
+    // 70 ms window mid-replay. With as-recorded pacing the transport
+    // sees the capture's own timestamps, so the loss must be *exactly*
+    // the frames arriving inside [start, end) — no more, no fewer —
+    // and the dark window must surface in the admission event log.
+    let bundles = vec![
+        DetectorBundle::new(AttackKind::Dos, seeded_model(700)),
+        DetectorBundle::new(AttackKind::Fuzzy, seeded_model(701)),
+    ];
+    let config = FleetConfig::new(vec![BoardSpec::zcu104("zcu-a"), BoardSpec::zcu104("zcu-b")]);
+    let plan = FleetPlan::build(&bundles, &config).expect("fleet plan fits");
+    let deployment = plan
+        .deploy(&bundles, &CompileConfig::default())
+        .expect("fleet compiles");
+
+    let capture = DatasetBuilder::new(TrafficConfig {
+        duration: SimTime::from_millis(300),
+        attack: Some(AttackProfile::dos().with_schedule(BurstSchedule::Continuous)),
+        seed: 0xDA7E,
+        ..TrafficConfig::default()
+    })
+    .build();
+    let (start, end) = (SimTime::from_millis(100), SimTime::from_millis(170));
+    let dark_window_frames = capture
+        .iter()
+        .filter(|r| r.timestamp >= start && r.timestamp < end)
+        .count() as u64;
+    assert!(dark_window_frames > 0, "the window must cover real frames");
+
+    let base = ReplayConfig::default()
+        .with_pacing(Pacing::AsRecorded)
+        .with_policy(SchedPolicy::DmaBatch { batch: 32 });
+    let baseline = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &base)
+        .unwrap();
+    assert_eq!(baseline.dropped, 0, "no-fault baseline keeps up");
+
+    let outage = base.with_transport(FleetTransport::EventDriven(NetConfig {
+        discipline: QueueDiscipline::default(),
+        faults: vec![Fault::GatewayOutage {
+            gateway: GatewayId(0),
+            start,
+            end,
+        }],
+    }));
+    let report = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &outage)
+        .unwrap();
+
+    // Exactly the dark-window frames are lost, all at board 0, all
+    // typed as outage drops.
+    assert_eq!(report.dropped, dark_window_frames);
+    assert_eq!(report.boards[0].dropped, dark_window_frames);
+    assert_eq!(report.boards[1].dropped, 0);
+    assert_eq!(report.gateways[0].dropped_outage, dark_window_frames);
+    assert_eq!(report.gateways[0].dropped_full, 0);
+    assert_eq!(report.gateways[1].dropped(), 0);
+    // Board 1 still covers every frame.
+    assert_eq!(report.serviced, report.offered);
+    assert_eq!(
+        report.fully_covered,
+        report.offered - dark_window_frames as usize
+    );
+    // The dark window is first-class in the admission event log.
+    assert!(report.events.contains(&FleetEvent {
+        time: start,
+        board: 0,
+        model: 0,
+        action: FleetAction::GatewayDark { until: end },
+    }));
+}

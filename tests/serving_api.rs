@@ -3,9 +3,9 @@
 //! 1. The `ServeHarness` + `FleetBackend` path reproduces the PR 4
 //!    acceptance numbers (12 detectors / 6 boards: zero drops under
 //!    DmaBatch-32; shed-vs-drop frame counts under the 750 kb/s
-//!    sequential overload) and the deprecated `fleet_line_rate` /
-//!    `multi_line_rate` wrappers report the *same bits* as the direct
-//!    harness path.
+//!    sequential overload), and the two `EcuBackend` constructors
+//!    (`new` over a deployment, `over` an existing ECU) report the
+//!    *same bits* for the same replay.
 //! 2. The capstone: `AdmissionPolicy::ShedLowestMeasuredValue` sheds the
 //!    never-firing (useless) model on the overload capture, while the
 //!    static `ShedLowestValue` policy sheds a different, actually-firing
@@ -14,8 +14,6 @@
 //! 3. `ServeHarness::sweep` results are independent of thread
 //!    interleaving: the scenario-parallel sweep matches sequential
 //!    replays bit for bit on the simulated backends.
-#![allow(deprecated)] // wrapper-vs-harness equivalence is the point here
-
 use canids_core::prelude::*;
 use canids_core::serve::FleetAction;
 
@@ -65,35 +63,41 @@ fn saturated_dos_capture() -> Dataset {
     .build()
 }
 
-/// Field-for-field equality between the wrapper's report and the
-/// harness's own (the wrapper must be a pure projection).
-fn assert_fleet_reports_identical(old: &FleetLineRateReport, new: &ServeReport) {
-    assert_eq!(old.policy, new.admission);
-    assert_eq!(old.bitrate_bps, new.bitrate_bps);
-    assert_eq!(old.offered, new.offered);
-    assert_eq!(old.offered_fps.to_bits(), new.offered_fps.to_bits());
-    assert_eq!(old.dropped, new.dropped);
-    assert_eq!(old.p50_latency, new.latency.p50);
-    assert_eq!(old.p99_latency, new.latency.p99);
-    assert_eq!(old.max_latency, new.latency.max);
-    assert_eq!(old.flagged, new.flagged);
-    assert_eq!(old.fully_covered, new.fully_covered);
-    let energy = new.energy.expect("fleet reports energy");
-    assert_eq!(old.mean_power_w.to_bits(), energy.mean_power_w.to_bits());
-    assert_eq!(
-        old.energy_per_message_j.to_bits(),
-        energy.energy_per_message_j.to_bits()
-    );
-    assert_eq!(old.events, new.events);
-    assert_eq!(old.verdicts, new.verdicts);
-    assert_eq!(old.boards.len(), new.boards.len());
-    for (ob, nb) in old.boards.iter().zip(&new.boards) {
-        assert_eq!(ob.board, nb.board);
-        assert_eq!(ob.serviced, nb.serviced);
-        assert_eq!(ob.dropped, nb.dropped);
-        assert_eq!(ob.p50_latency, nb.latency.p50);
-        assert_eq!(ob.p99_latency, nb.latency.p99);
-        assert_eq!(ob.max_latency, nb.latency.max);
+/// Field-for-field bitwise equality between two `ServeReport`s (f64s
+/// compared via `to_bits`, so "close" is not "equal").
+fn assert_serve_reports_identical(a: &ServeReport, b: &ServeReport) {
+    assert_eq!(a.admission, b.admission);
+    assert_eq!(a.bitrate_bps, b.bitrate_bps);
+    assert_eq!(a.offered, b.offered);
+    assert_eq!(a.offered_fps.to_bits(), b.offered_fps.to_bits());
+    assert_eq!(a.serviced, b.serviced);
+    assert_eq!(a.dropped, b.dropped);
+    assert_eq!(a.latency.p50, b.latency.p50);
+    assert_eq!(a.latency.p99, b.latency.p99);
+    assert_eq!(a.latency.max, b.latency.max);
+    assert_eq!(a.flagged, b.flagged);
+    assert_eq!(a.fully_covered, b.fully_covered);
+    match (&a.energy, &b.energy) {
+        (Some(ea), Some(eb)) => {
+            assert_eq!(ea.mean_power_w.to_bits(), eb.mean_power_w.to_bits());
+            assert_eq!(
+                ea.energy_per_message_j.to_bits(),
+                eb.energy_per_message_j.to_bits()
+            );
+        }
+        (None, None) => {}
+        _ => panic!("one report meters energy, the other does not"),
+    }
+    assert_eq!(a.events, b.events);
+    assert_eq!(a.verdicts, b.verdicts);
+    assert_eq!(a.boards.len(), b.boards.len());
+    for (ab, bb) in a.boards.iter().zip(&b.boards) {
+        assert_eq!(ab.board, bb.board);
+        assert_eq!(ab.serviced, bb.serviced);
+        assert_eq!(ab.dropped, bb.dropped);
+        assert_eq!(ab.latency.p50, bb.latency.p50);
+        assert_eq!(ab.latency.p99, bb.latency.p99);
+        assert_eq!(ab.latency.max, bb.latency.max);
     }
 }
 
@@ -117,20 +121,12 @@ fn harness_reproduces_pr4_acceptance_bit_identically() {
     assert_eq!(best.boards.len(), 6);
     assert!(best.events.is_empty());
 
-    // The deprecated wrapper reports the same bits.
-    let best_old = fleet_line_rate(
-        &capture,
-        &deployment,
-        &FleetReplayConfig {
-            ecu: EcuConfig {
-                policy: SchedPolicy::DmaBatch { batch: 32 },
-                ..EcuConfig::default()
-            },
-            ..FleetReplayConfig::default()
-        },
-    )
-    .unwrap();
-    assert_fleet_reports_identical(&best_old, &best);
+    // The simulated fleet is deterministic: a second replay over a
+    // fresh backend reports the same bits.
+    let best_again = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &best_config)
+        .unwrap();
+    assert_serve_reports_identical(&best, &best_again);
 
     // 2. The 750 kb/s sequential overload: drop-frames loses >100
     // frames, shed-lowest-value loses none — the PR 4 contrast.
@@ -154,31 +150,16 @@ fn harness_reproduces_pr4_acceptance_bit_identically() {
     assert_eq!(shed.dropped, 0, "shedding must prevent every FIFO drop");
     assert!(shed.shed_count() >= 1);
 
-    // Wrapper equivalence on both overload replays.
-    let overload_old = FleetReplayConfig {
-        bitrate: Bitrate::new(750_000),
-        ecu: EcuConfig {
-            policy: SchedPolicy::Sequential,
-            ..EcuConfig::default()
-        },
-        ..FleetReplayConfig::default()
-    };
-    let dropped_old = fleet_line_rate(&capture, &deployment, &overload_old).unwrap();
-    assert_fleet_reports_identical(&dropped_old, &dropped);
-    let shed_old = fleet_line_rate(
-        &capture,
-        &deployment,
-        &FleetReplayConfig {
-            admission: AdmissionPolicy::ShedLowestValue { priorities },
-            ..overload_old
-        },
-    )
-    .unwrap();
-    assert_fleet_reports_identical(&shed_old, &shed);
+    // Determinism holds on the shed replay too — admission decisions
+    // are driven by simulated time, not host scheduling.
+    let shed_again = ServeHarness::new(deployment.serve_backend())
+        .replay(&capture, &shed_config)
+        .unwrap();
+    assert_serve_reports_identical(&shed, &shed_again);
 }
 
 #[test]
-fn multi_line_rate_wrapper_matches_direct_ecu_backend() {
+fn ecu_backend_over_an_existing_ecu_matches_the_deployment_backend() {
     let bundles: Vec<DetectorBundle> = (0..4)
         .map(|i| {
             DetectorBundle::new(
@@ -208,25 +189,26 @@ fn multi_line_rate_wrapper_matches_direct_ecu_backend() {
                 ..EcuConfig::default()
             })
             .unwrap();
-        let old = multi_line_rate(&capture, &mut ecu, Bitrate::HIGH_SPEED_1M).unwrap();
-
-        let mut harness = ServeHarness::new(deployment.serve_backend());
-        let new = harness
+        let over = ServeHarness::new(EcuBackend::over(&mut ecu))
             .replay(&capture, &ReplayConfig::default().with_policy(policy))
             .unwrap();
-        assert_eq!(old.policy, policy);
-        assert_eq!(old.offered, new.offered);
-        assert_eq!(old.serviced, new.serviced);
-        assert_eq!(old.dropped, new.dropped);
-        assert_eq!(old.p50_latency, new.latency.p50);
-        assert_eq!(old.p99_latency, new.latency.p99);
-        assert_eq!(old.max_latency, new.latency.max);
-        assert_eq!(old.flagged, new.flagged);
-        let energy = new.energy.unwrap();
-        assert_eq!(old.mean_power_w.to_bits(), energy.mean_power_w.to_bits());
+
+        let new = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &ReplayConfig::default().with_policy(policy))
+            .unwrap();
+        assert_eq!(new.sched, policy.label());
+        assert_eq!(over.offered, new.offered);
+        assert_eq!(over.serviced, new.serviced);
+        assert_eq!(over.dropped, new.dropped);
+        assert_eq!(over.latency.p50, new.latency.p50);
+        assert_eq!(over.latency.p99, new.latency.p99);
+        assert_eq!(over.latency.max, new.latency.max);
+        assert_eq!(over.flagged, new.flagged);
+        let (eo, en) = (over.energy.unwrap(), new.energy.unwrap());
+        assert_eq!(eo.mean_power_w.to_bits(), en.mean_power_w.to_bits());
         assert_eq!(
-            old.energy_per_message_j.to_bits(),
-            energy.energy_per_message_j.to_bits()
+            eo.energy_per_message_j.to_bits(),
+            en.energy_per_message_j.to_bits()
         );
     }
 }
