@@ -179,6 +179,7 @@ impl TcanIds {
                     .map(|c| {
                         let mut s = 0.0;
                         for x in 0..10 {
+                            // lint:allow(float-reassociation): pinned x = 0..10 pooling order; no qnn dep here
                             s += conv.at(c, y, x);
                         }
                         s / 10.0

@@ -215,6 +215,7 @@ impl Knn {
             .iter()
             .zip(&self.ys)
             .map(|(p, &y)| {
+                // lint:allow(float-reassociation): left-to-right sum over the fixed feature order; no qnn dep here
                 let d: f32 = p.iter().zip(x).map(|(a, b)| (a - b) * (a - b)).sum();
                 (d, y)
             })

@@ -146,6 +146,7 @@ pub fn global_avg_pool(input: &Volume) -> Vec<f32> {
             let mut s = 0.0;
             for y in 0..input.height {
                 for x in 0..input.width {
+                    // lint:allow(float-reassociation): pinned row-major pooling order; no qnn dep here
                     s += input.at(c, y, x);
                 }
             }
@@ -292,12 +293,14 @@ pub fn self_attention(seq: &[Vec<f32>]) -> Vec<Vec<f32>> {
     for q in seq {
         let mut scores: Vec<f32> = seq
             .iter()
+            // lint:allow(float-reassociation): left-to-right dot product in fixed key order; no qnn dep here
             .map(|k| q.iter().zip(k).map(|(a, b)| a * b).sum::<f32>() / d.sqrt())
             .collect();
         let m = scores.iter().fold(f32::NEG_INFINITY, |a, &b| a.max(b));
         let mut denom = 0.0;
         for s in &mut scores {
             *s = (*s - m).exp();
+            // lint:allow(float-reassociation): softmax denominator in pinned score order; no qnn dep here
             denom += *s;
         }
         let mut row = vec![0.0; seq[0].len()];

@@ -54,6 +54,7 @@ fn pseudo_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
 fn median_us<F: FnMut()>(iters: usize, mut f: F) -> f64 {
     let mut samples = Vec::with_capacity(iters);
     for _ in 0..iters {
+        // lint:allow(wallclock-in-sim): the bench's whole purpose is host wall time of the software kernels
         let t0 = Instant::now();
         f();
         samples.push(t0.elapsed().as_secs_f64() * 1e6);
@@ -89,6 +90,7 @@ fn main() {
     let mut sink = 0.0f32;
     let linear_us = median_us(400, || {
         let y = linear_forward(&x, &w, &b);
+        // lint:allow(float-reassociation): optimiser sink defeating dead-code elimination; never reported
         sink += y.as_slice()[0];
     });
 
@@ -101,6 +103,7 @@ fn main() {
     let inputs: Vec<Vec<u32>> = (0..20).map(|i| vec![u32::from(i % 2 == 0); 75]).collect();
     let sim_us_total = median_us(5, || {
         let report = sim.run(&inputs);
+        // lint:allow(float-reassociation): optimiser sink defeating dead-code elimination; never reported
         sink += report.total_cycles as f32;
     });
     let sim_us_per_frame = sim_us_total / inputs.len() as f64;
@@ -261,6 +264,7 @@ fn main() {
     let bench_frame = CanFrame::new(CanId::standard(0x100).unwrap(), &[0u8; 8]).unwrap();
     let mut net_fps = |boards: usize| -> (f64, f64) {
         let frames_per_board = 2_000u64;
+        // lint:allow(wallclock-in-sim): host wall time is the measured quantity (frames/s of the simulator itself)
         let t0 = Instant::now();
         let mut net = FleetNet::single_backbone(
             boards,
@@ -271,6 +275,7 @@ fn main() {
         for i in 0..frames_per_board {
             let at = SimTime::from_micros(120 * i);
             for b in 0..boards {
+                // lint:allow(float-reassociation): optimiser sink defeating dead-code elimination; never reported
                 sink += matches!(
                     net.deliver(b, at, bench_frame),
                     canids_core::net::NetOutcome::Delivered(_)

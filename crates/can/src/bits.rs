@@ -308,7 +308,7 @@ pub fn decode_frame(bits: &[bool]) -> Result<CanFrame, CanError> {
     let (id, remote) = if !ide {
         // Standard frame: r0 follows IDE.
         let _r0 = d.next_bit()?;
-        let id = CanId::standard(base_id as u16).map_err(CanError::Frame)?;
+        let id = CanId::standard_from_raw(base_id).map_err(CanError::Frame)?;
         (id, rtr_or_srr)
     } else {
         let ext = d.next_field(18)?;
@@ -320,9 +320,10 @@ pub fn decode_frame(bits: &[bool]) -> Result<CanFrame, CanError> {
         (id, rtr)
     };
 
-    let dlc_raw = d.next_field(4)? as u8;
-    // Classic CAN: DLC values 9..15 denote 8 data bytes.
-    let data_len = usize::from(dlc_raw.min(8));
+    // Classic CAN: DLC values 9..15 denote 8 data bytes; `from_wire`
+    // applies that clamp and rejects anything wider than the field.
+    let dlc = Dlc::from_wire(d.next_field(4)?).map_err(CanError::Frame)?;
+    let data_len = dlc.byte_len();
 
     let mut data = [0u8; 8];
     if !remote {
@@ -374,7 +375,7 @@ pub fn decode_frame(bits: &[bool]) -> Result<CanFrame, CanError> {
     }
 
     let frame = if remote {
-        CanFrame::remote(id, Dlc::new(dlc_raw.min(8)).expect("clamped to <= 8"))
+        CanFrame::remote(id, dlc)
     } else {
         CanFrame::new(id, &data[..data_len]).expect("length validated")
     };

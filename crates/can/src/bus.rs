@@ -368,7 +368,7 @@ mod tests {
             .map(|i| {
                 (
                     SimTime::from_micros(period_us * i as u64),
-                    sf(id, &[i as u8]),
+                    sf(id, &[i.to_le_bytes()[0]]),
                 )
             })
             .collect();

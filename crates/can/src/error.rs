@@ -14,6 +14,10 @@ pub enum FrameError {
     PayloadTooLong(usize),
     /// DLC above 8 for a classic CAN data frame.
     DlcRange(u8),
+    /// A wire-level DLC field above the 4-bit maximum of 15 — only
+    /// reachable when a caller hands [`crate::frame::Dlc::from_wire`] a
+    /// value wider than the field it claims to have decoded.
+    WireDlcRange(u32),
 }
 
 impl fmt::Display for FrameError {
@@ -32,6 +36,9 @@ impl fmt::Display for FrameError {
                 )
             }
             FrameError::DlcRange(dlc) => write!(f, "DLC {dlc} exceeds 8"),
+            FrameError::WireDlcRange(dlc) => {
+                write!(f, "wire DLC {dlc} exceeds the 4-bit field maximum of 15")
+            }
         }
     }
 }

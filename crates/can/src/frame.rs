@@ -63,6 +63,41 @@ impl CanId {
         }
     }
 
+    /// Checked construction of a standard identifier from the raw
+    /// `u32` that registers, CSV fields and the bit codec produce —
+    /// the replacement for the silently-truncating `raw as u16` idiom
+    /// (the bug class behind the original 29-bit extended-ID fix).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::StandardIdRange`] when `raw > 0x7FF`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use canids_can::frame::CanId;
+    ///
+    /// assert_eq!(CanId::standard_from_raw(0x316)?.raw(), 0x316);
+    /// assert!(CanId::standard_from_raw(0x800).is_err());
+    /// # Ok::<(), canids_can::FrameError>(())
+    /// ```
+    pub fn standard_from_raw(raw: u32) -> Result<Self, FrameError> {
+        if raw > MAX_STANDARD_ID {
+            Err(FrameError::StandardIdRange(raw))
+        } else {
+            Ok(CanId::Standard(
+                u16::try_from(raw).expect("raw <= 0x7FF fits u16"),
+            ))
+        }
+    }
+
+    /// The least-significant byte of the raw identifier — the checked
+    /// way to derive an id-dependent payload byte (test traffic
+    /// generators use this instead of `id as u8`).
+    pub fn low_byte(self) -> u8 {
+        self.raw().to_le_bytes()[0]
+    }
+
     /// The raw identifier value (11 or 29 bits).
     pub fn raw(self) -> u32 {
         match self {
@@ -86,7 +121,7 @@ impl CanId {
     pub fn base_id(self) -> u16 {
         match self {
             CanId::Standard(id) => id,
-            CanId::Extended(id) => ((id >> 18) & 0x7FF) as u16,
+            CanId::Extended(id) => u16::try_from((id >> 18) & 0x7FF).expect("masked to 11 bits"),
         }
     }
 }
@@ -115,6 +150,46 @@ impl Dlc {
             Err(FrameError::DlcRange(value))
         } else {
             Ok(Dlc(value))
+        }
+    }
+
+    /// Checked construction from a raw wire field (as decoded from the
+    /// 4-bit DLC slot). Classic CAN defines values 9..=15 to mean 8
+    /// data bytes, so those clamp; values that cannot come from a 4-bit
+    /// field at all are an error rather than a truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::WireDlcRange`] when `raw > 15`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use canids_can::frame::Dlc;
+    ///
+    /// assert_eq!(Dlc::from_wire(5)?.value(), 5);
+    /// assert_eq!(Dlc::from_wire(12)?.value(), 8); // classic-CAN clamp
+    /// assert!(Dlc::from_wire(16).is_err());
+    /// # Ok::<(), canids_can::FrameError>(())
+    /// ```
+    pub fn from_wire(raw: u32) -> Result<Self, FrameError> {
+        if raw > 15 {
+            Err(FrameError::WireDlcRange(raw))
+        } else {
+            Ok(Dlc(u8::try_from(raw.min(8)).expect("clamped to <= 8")))
+        }
+    }
+
+    /// Checked construction from a payload length.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FrameError::PayloadTooLong`] when `len > 8`.
+    pub fn from_len(len: usize) -> Result<Self, FrameError> {
+        if len > 8 {
+            Err(FrameError::PayloadTooLong(len))
+        } else {
+            Ok(Dlc(u8::try_from(len).expect("len <= 8 fits u8")))
         }
     }
 
@@ -174,7 +249,7 @@ impl CanFrame {
         data[..payload.len()].copy_from_slice(payload);
         Ok(CanFrame {
             id,
-            dlc: Dlc::new(payload.len() as u8).expect("len <= 8 validated above"),
+            dlc: Dlc::from_len(payload.len()).expect("len <= 8 validated above"),
             data,
             remote: false,
         })
@@ -265,9 +340,38 @@ mod tests {
     #[test]
     fn base_id_of_extended_takes_top_bits() {
         let id = CanId::extended(0x1234_5678).unwrap();
-        assert_eq!(id.base_id(), ((0x1234_5678u32 >> 18) & 0x7FF) as u16);
+        assert_eq!(id.base_id(), 0x48D); // top 11 of the 29 bits
         let sid = CanId::standard(0x123).unwrap();
         assert_eq!(sid.base_id(), 0x123);
+    }
+
+    #[test]
+    fn standard_from_raw_checks_range() {
+        assert_eq!(
+            CanId::standard_from_raw(0x7FF).unwrap(),
+            CanId::standard(0x7FF).unwrap()
+        );
+        assert_eq!(
+            CanId::standard_from_raw(0x800).unwrap_err(),
+            FrameError::StandardIdRange(0x800)
+        );
+        assert_eq!(CanId::standard_from_raw(0x1AB).unwrap().low_byte(), 0xAB);
+    }
+
+    #[test]
+    fn dlc_from_wire_clamps_and_checks() {
+        for raw in 0..=8u32 {
+            assert_eq!(u32::from(Dlc::from_wire(raw).unwrap().value()), raw);
+        }
+        for raw in 9..=15u32 {
+            assert_eq!(Dlc::from_wire(raw).unwrap().value(), 8);
+        }
+        assert_eq!(
+            Dlc::from_wire(16).unwrap_err(),
+            FrameError::WireDlcRange(16)
+        );
+        assert_eq!(Dlc::from_len(3).unwrap().value(), 3);
+        assert_eq!(Dlc::from_len(9).unwrap_err(), FrameError::PayloadTooLong(9));
     }
 
     #[test]

@@ -228,7 +228,8 @@ mod tests {
     use crate::timing::Bitrate;
 
     fn frame(id: u16) -> CanFrame {
-        CanFrame::new(CanId::standard(id).unwrap(), &[id as u8]).unwrap()
+        let cid = CanId::standard(id).unwrap();
+        CanFrame::new(cid, &[cid.low_byte()]).unwrap()
     }
 
     fn two_segments() -> (Bus, Bus) {

@@ -206,7 +206,9 @@ pub fn max_frame_rate(rate: Bitrate, payload_len: usize) -> Result<f64, FrameErr
             state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
             *byte = (state >> 24) as u8;
         }
-        let id = CanId::Standard((0x100 + (i as u16 * 13) % 0x400) & 0x7FF);
+        let id = CanId::Standard(
+            (0x100 + (u16::try_from(i).expect("SAMPLES < 64") * 13) % 0x400) & 0x7FF,
+        );
         let frame = CanFrame::new(id, &payload[..payload_len]).expect("payload_len validated <= 8");
         total_bits += frame_bit_count(&frame) + INTERFRAME_BITS;
     }

@@ -151,8 +151,8 @@ fn component(r: ResourceEstimate, class: &'static str) -> u64 {
 /// Unique per-bundle IP-core names: `dos-ids`, and `dos-ids-2`,
 /// `dos-ids-3`, … for folded duplicates of the same kind.
 fn bundle_names(bundles: &[DetectorBundle]) -> Vec<String> {
-    let mut counts: std::collections::HashMap<&'static str, usize> =
-        std::collections::HashMap::new();
+    let mut counts: std::collections::BTreeMap<&'static str, usize> =
+        std::collections::BTreeMap::new();
     bundles
         .iter()
         .map(|b| {
@@ -243,6 +243,7 @@ impl DeploymentPlan {
                                 usize::MAX - i,
                             )
                         })
+                        // lint:allow(panic-in-lib): an overflowing class implies a contributing bundle
                         .expect("at least one bundle");
                     return Err(CoreError::PlanOverflow {
                         detector: worst,

@@ -550,7 +550,8 @@ mod tests {
                 quiet_gap_us
             };
             t += SimTime::from_micros(gap);
-            let frame = CanFrame::new(CanId::standard(0x316).unwrap(), &[i as u8; 8]).unwrap();
+            let frame =
+                CanFrame::new(CanId::standard(0x316).unwrap(), &[i.to_le_bytes()[0]; 8]).unwrap();
             records.push(LabeledFrame::new(t, frame, Label::Normal));
         }
         Dataset::from_records(records)

@@ -35,6 +35,7 @@ where
                     break;
                 }
                 let r = f(&items[i]);
+                // lint:allow(panic-in-lib): rx is dropped only after the scope joins every worker
                 tx.send((i, r)).expect("gather receiver outlives the scope");
             });
         }
@@ -47,6 +48,7 @@ where
     }
     results
         .into_iter()
+        // lint:allow(panic-in-lib): the channel delivers each index exactly once before rx closes
         .map(|r| r.expect("every item was processed"))
         .collect()
 }

@@ -250,7 +250,7 @@ impl IdsPipeline {
         let report = ecu.process_capture(&frames, &featurize)?;
 
         // Verdict agreement with ground truth over the replay.
-        let truth: std::collections::HashMap<u64, bool> = test_set
+        let truth: std::collections::BTreeMap<u64, bool> = test_set
             .iter()
             .map(|r| (r.timestamp.as_nanos(), r.label.is_attack()))
             .collect();

@@ -485,8 +485,8 @@ mod tests {
         let mut src = AttackProfile::fuzzy()
             .with_schedule(BurstSchedule::Continuous)
             .into_source(2, SimTime::from_secs(1));
-        let mut ids = std::collections::HashSet::new();
-        let mut payloads = std::collections::HashSet::new();
+        let mut ids = std::collections::BTreeSet::new();
+        let mut payloads = std::collections::BTreeSet::new();
         for _ in 0..500 {
             let (_, f) = src.next_frame().unwrap();
             assert!(f.id().raw() <= 0x7FF);

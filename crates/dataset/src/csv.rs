@@ -137,7 +137,7 @@ pub fn from_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvError> {
                 id: raw_id,
             })?
         } else {
-            CanId::standard(raw_id as u16).expect("raw_id <= 0x7FF in this branch")
+            CanId::standard_from_raw(raw_id).expect("raw_id <= 0x7FF in this branch")
         };
         let dlc: usize = fields[2].parse().map_err(|_| CsvError::BadNumber {
             line: i + 1,
@@ -243,7 +243,7 @@ pub fn from_hcrl_csv(text: &str, attack_label: Label) -> Result<Dataset, CsvErro
                 id: raw_id,
             })?
         } else {
-            CanId::standard(raw_id as u16).expect("raw_id <= 0x7FF in this branch")
+            CanId::standard_from_raw(raw_id).expect("raw_id <= 0x7FF in this branch")
         };
         let dlc: usize = fields[2].parse().map_err(|_| CsvError::BadNumber {
             line: i + 1,

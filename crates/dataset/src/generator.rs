@@ -393,7 +393,7 @@ mod tests {
         let ds = quick(400, Some(profile), 5);
         let fuzzy: Vec<_> = ds.iter().filter(|r| r.label == Label::Fuzzy).collect();
         assert!(fuzzy.len() > 200, "fuzzy = {}", fuzzy.len());
-        let distinct: std::collections::HashSet<u32> =
+        let distinct: std::collections::BTreeSet<u32> =
             fuzzy.iter().map(|r| r.frame.id().raw()).collect();
         assert!(distinct.len() > 100);
     }
@@ -555,20 +555,20 @@ mod tests {
         assert!(replayed.len() > 50, "replayed = {}", replayed.len());
         // Replayed frames carry legitimate catalogue identifiers — they
         // are indistinguishable by content, only by timing context.
-        let catalogue: std::collections::HashSet<u16> = crate::vehicle::VehicleModel::sonata()
+        let catalogue: std::collections::BTreeSet<u16> = crate::vehicle::VehicleModel::sonata()
             .message_ids()
             .into_iter()
             .collect();
         for r in &replayed {
             assert!(
-                catalogue.contains(&(r.frame.id().raw() as u16)),
+                catalogue.contains(&u16::try_from(r.frame.id().raw()).unwrap()),
                 "replayed {} is not a catalogue frame",
                 r.frame
             );
         }
         // Every replayed (id, payload) pair was genuinely seen earlier as
         // legitimate traffic.
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for r in ds.iter() {
             if r.label == Label::Normal {
                 seen.insert((r.frame.id().raw(), r.frame.data().to_vec()));

@@ -127,7 +127,7 @@ mod tests {
     fn all_lists_every_variant_once() {
         let all = Label::all();
         assert_eq!(all.len(), 6);
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         for l in all {
             assert!(seen.insert(format!("{l}")));
         }

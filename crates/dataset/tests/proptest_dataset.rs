@@ -28,7 +28,7 @@ fn arb_attack() -> impl Strategy<Value = Option<AttackProfile>> {
 
 fn arb_can_id() -> impl Strategy<Value = CanId> {
     prop_oneof![
-        (0u32..=0x7FF).prop_map(|id| CanId::standard(id as u16).unwrap()),
+        (0u32..=0x7FF).prop_map(|id| CanId::standard_from_raw(id).unwrap()),
         (0u32..=0x1FFF_FFFF).prop_map(|id| CanId::extended(id).unwrap()),
     ]
 }
@@ -219,7 +219,7 @@ proptest! {
             ..TrafficConfig::default()
         })
         .build();
-        let mut seen = std::collections::HashSet::new();
+        let mut seen = std::collections::BTreeSet::new();
         let mut replayed = 0usize;
         for r in ds.iter() {
             match r.label {

@@ -1,0 +1,68 @@
+//! The `canids_lint` CI gate.
+//!
+//! Usage: `canids_lint [--root <dir>] [--json <path>] [--quiet]`
+//!
+//! Walks `crates/`, `examples/` and `tests/` under the root (default:
+//! the current directory), runs the five determinism rules, prints
+//! findings, optionally writes the JSON report, and exits non-zero when
+//! any finding survives suppression.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use canids_lint::audit_workspace;
+
+fn main() -> ExitCode {
+    let mut root = PathBuf::from(".");
+    let mut json: Option<PathBuf> = None;
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(v) => json = Some(PathBuf::from(v)),
+                None => return usage("--json needs a path"),
+            },
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("canids_lint [--root <dir>] [--json <path>] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument `{other}`")),
+        }
+    }
+
+    let report = match audit_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("canids_lint: cannot audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if let Some(path) = json {
+        if let Err(e) = std::fs::write(&path, report.render_json()) {
+            eprintln!("canids_lint: cannot write {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+    }
+    if !quiet {
+        print!("{}", report.render_text());
+    }
+    if report.clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("canids_lint: {msg}");
+    eprintln!("usage: canids_lint [--root <dir>] [--json <path>] [--quiet]");
+    ExitCode::from(2)
+}

@@ -1,0 +1,470 @@
+//! A hand-rolled Rust lexer, sufficient for line/token rule matching.
+//!
+//! This is not a full parser: it tokenises identifiers, literals and
+//! punctuation with line/column spans, skips (but records) comments, and
+//! never allocates an AST. Every determinism rule in [`crate::rules`]
+//! works over this stream plus the file path, which keeps the auditor
+//! dependency-free — `syn` and friends are unreachable in the hermetic
+//! build environment, and a token stream is all the five rules need.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`as`, `let`, `HashMap`, …).
+    Ident,
+    /// Integer literal, suffix included (`12`, `0x7FF`, `1_000u64`).
+    Int,
+    /// Float literal, suffix included (`0.0`, `1e-3`, `2.5f32`).
+    Float,
+    /// String, raw-string or byte-string literal.
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`, `'static`).
+    Lifetime,
+    /// Punctuation; multi-character operators arrive as one token
+    /// (`::`, `+=`, `=>`, …).
+    Punct,
+}
+
+/// One token with its source position (1-based line and column).
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Classification.
+    pub kind: TokKind,
+    /// Source text of the token.
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// A `//` line comment (doc comments included), with its source line.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based source line the comment starts on.
+    pub line: usize,
+    /// Comment text, `//` prefix stripped.
+    pub text: String,
+}
+
+/// Lexer output: the token stream plus every line comment.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Tok>,
+    /// Line comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character punctuation, longest first so maximal munch wins.
+const MULTI_PUNCT: [&str; 18] = [
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "+=", "-=", "*=", "/=",
+    "..", "&&", "||",
+];
+
+/// Tokenises `src`. Unterminated literals are tolerated (the remainder
+/// of the file is consumed as one token): the auditor must never panic
+/// on the code it audits.
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    // Advances past `n` characters, tracking line/column.
+    macro_rules! advance {
+        ($n:expr) => {
+            for _ in 0..$n {
+                if i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                        col = 1;
+                    } else {
+                        col += 1;
+                    }
+                    i += 1;
+                }
+            }
+        };
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+
+        if c.is_whitespace() {
+            advance!(1);
+            continue;
+        }
+
+        // Line comments (incl. `///` and `//!`).
+        if c == '/' && chars.get(i + 1) == Some(&'/') {
+            let start = i;
+            while i < chars.len() && chars[i] != '\n' {
+                advance!(1);
+            }
+            let text: String = chars[start + 2..i].iter().collect();
+            out.comments.push(Comment { line: tline, text });
+            continue;
+        }
+
+        // Block comments, nested per Rust rules.
+        if c == '/' && chars.get(i + 1) == Some(&'*') {
+            advance!(2);
+            let mut depth = 1usize;
+            while i < chars.len() && depth > 0 {
+                if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                    depth += 1;
+                    advance!(2);
+                } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                    depth -= 1;
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+            }
+            continue;
+        }
+
+        // Raw strings and byte strings: r"…", r#"…"#, b"…", br#"…"#.
+        if (c == 'r' || c == 'b') && is_raw_or_byte_string(&chars, i) {
+            let start = i;
+            // Skip the prefix letters.
+            while i < chars.len() && (chars[i] == 'r' || chars[i] == 'b') {
+                advance!(1);
+            }
+            let mut hashes = 0usize;
+            while chars.get(i) == Some(&'#') {
+                hashes += 1;
+                advance!(1);
+            }
+            advance!(1); // opening quote
+            let raw = hashes > 0
+                || chars.get(start).map(|&p| p == 'r') == Some(true)
+                || chars.get(start + 1) == Some(&'r');
+            loop {
+                match chars.get(i) {
+                    None => break,
+                    Some('\\') if !raw => advance!(2),
+                    Some('"') => {
+                        advance!(1);
+                        let mut seen = 0usize;
+                        while seen < hashes && chars.get(i) == Some(&'#') {
+                            seen += 1;
+                            advance!(1);
+                        }
+                        if seen == hashes {
+                            break;
+                        }
+                    }
+                    Some(_) => advance!(1),
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            let start = i;
+            advance!(1);
+            while i < chars.len() {
+                match chars[i] {
+                    '\\' => advance!(2),
+                    '"' => {
+                        advance!(1);
+                        break;
+                    }
+                    _ => advance!(1),
+                }
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Str,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Lifetimes vs character literals.
+        if c == '\'' {
+            let start = i;
+            let next = chars.get(i + 1).copied();
+            let after = chars.get(i + 2).copied();
+            let is_lifetime =
+                matches!(next, Some(n) if n == '_' || n.is_alphabetic()) && after != Some('\'');
+            if is_lifetime {
+                advance!(1);
+                while matches!(chars.get(i), Some(&n) if n == '_' || n.is_alphanumeric()) {
+                    advance!(1);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Lifetime,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            } else {
+                advance!(1);
+                if chars.get(i) == Some(&'\\') {
+                    advance!(2);
+                } else {
+                    advance!(1);
+                }
+                if chars.get(i) == Some(&'\'') {
+                    advance!(1);
+                }
+                out.tokens.push(Tok {
+                    kind: TokKind::Char,
+                    text: chars[start..i].iter().collect(),
+                    line: tline,
+                    col: tcol,
+                });
+            }
+            continue;
+        }
+
+        // Numbers (int or float, suffix consumed into the token).
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            let radix_prefix = c == '0'
+                && matches!(
+                    chars.get(i + 1),
+                    Some(&'x') | Some(&'o') | Some(&'b') | Some(&'X')
+                );
+            advance!(1);
+            if radix_prefix {
+                advance!(1);
+                while matches!(chars.get(i), Some(&n) if n.is_ascii_alphanumeric() || n == '_') {
+                    advance!(1);
+                }
+            } else {
+                while matches!(chars.get(i), Some(&n) if n.is_ascii_digit() || n == '_') {
+                    advance!(1);
+                }
+                // Fractional part: a dot followed by a digit.
+                if chars.get(i) == Some(&'.')
+                    && matches!(chars.get(i + 1), Some(n) if n.is_ascii_digit())
+                {
+                    is_float = true;
+                    advance!(1);
+                    while matches!(chars.get(i), Some(&n) if n.is_ascii_digit() || n == '_') {
+                        advance!(1);
+                    }
+                }
+                // Exponent.
+                if matches!(chars.get(i), Some(&'e') | Some(&'E'))
+                    && matches!(
+                        chars.get(i + 1),
+                        Some(n) if n.is_ascii_digit() || *n == '+' || *n == '-'
+                    )
+                {
+                    is_float = true;
+                    advance!(2);
+                    while matches!(chars.get(i), Some(&n) if n.is_ascii_digit() || n == '_') {
+                        advance!(1);
+                    }
+                }
+                // Type suffix (`u64`, `f32`, …).
+                let suffix_start = i;
+                while matches!(chars.get(i), Some(&n) if n.is_alphanumeric() || n == '_') {
+                    advance!(1);
+                }
+                let suffix: String = chars[suffix_start..i].iter().collect();
+                if suffix.starts_with('f') {
+                    is_float = true;
+                }
+            }
+            out.tokens.push(Tok {
+                kind: if is_float {
+                    TokKind::Float
+                } else {
+                    TokKind::Int
+                },
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Identifiers and keywords.
+        if c == '_' || c.is_alphabetic() {
+            let start = i;
+            while matches!(chars.get(i), Some(&n) if n == '_' || n.is_alphanumeric()) {
+                advance!(1);
+            }
+            out.tokens.push(Tok {
+                kind: TokKind::Ident,
+                text: chars[start..i].iter().collect(),
+                line: tline,
+                col: tcol,
+            });
+            continue;
+        }
+
+        // Punctuation, multi-character operators first.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if i + len <= chars.len() && chars[i..i + len].iter().collect::<String>() == op {
+                out.tokens.push(Tok {
+                    kind: TokKind::Punct,
+                    text: op.to_string(),
+                    line: tline,
+                    col: tcol,
+                });
+                advance!(len);
+                matched = true;
+                break;
+            }
+        }
+        if matched {
+            continue;
+        }
+        out.tokens.push(Tok {
+            kind: TokKind::Punct,
+            text: c.to_string(),
+            line: tline,
+            col: tcol,
+        });
+        advance!(1);
+    }
+
+    out
+}
+
+/// `true` when position `i` starts a raw/byte string prefix
+/// (`r"`, `r#`, `b"`, `br`, `rb` forms), not a plain identifier.
+fn is_raw_or_byte_string(chars: &[char], i: usize) -> bool {
+    let mut j = i;
+    let mut prefix = 0usize;
+    while prefix < 2 && matches!(chars.get(j), Some(&'r') | Some(&'b')) {
+        j += 1;
+        prefix += 1;
+    }
+    if prefix == 0 {
+        return false;
+    }
+    match chars.get(j) {
+        Some(&'"') => true,
+        Some(&'#') => {
+            // Raw-string hashes must end in a quote.
+            while chars.get(j) == Some(&'#') {
+                j += 1;
+            }
+            chars.get(j) == Some(&'"')
+        }
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text)
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped_but_recorded() {
+        let l = lex("let x = 1; // lint:allow(rule): reason\n/* HashMap */ let y = 2;");
+        assert!(!idents("let x = 1; // HashMap").contains(&"HashMap".to_string()));
+        assert_eq!(l.comments.len(), 1);
+        assert!(l.comments[0].text.contains("lint:allow"));
+        assert_eq!(l.comments[0].line, 1);
+    }
+
+    #[test]
+    fn strings_do_not_leak_identifiers() {
+        for src in [
+            r#"let s = "HashMap::new()";"#,
+            r##"let s = r#"Instant::now"#;"##,
+            r#"let b = b"SystemTime";"#,
+        ] {
+            let ids = idents(src);
+            assert!(
+                !ids.iter()
+                    .any(|t| t == "HashMap" || t == "Instant" || t == "SystemTime"),
+                "{src} leaked {ids:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let l = lex("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Char)
+            .collect();
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].text, "'x'");
+    }
+
+    #[test]
+    fn numbers_classify_int_vs_float() {
+        let l = lex("0x7FF 1_000u64 0.0 2.5f32 1e-3 3f64 0..8");
+        let kinds: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| matches!(t.kind, TokKind::Int | TokKind::Float))
+            .map(|t| (t.text.clone(), t.kind))
+            .collect();
+        assert_eq!(kinds[0], ("0x7FF".into(), TokKind::Int));
+        assert_eq!(kinds[1], ("1_000u64".into(), TokKind::Int));
+        assert_eq!(kinds[2], ("0.0".into(), TokKind::Float));
+        assert_eq!(kinds[3], ("2.5f32".into(), TokKind::Float));
+        assert_eq!(kinds[4], ("1e-3".into(), TokKind::Float));
+        assert_eq!(kinds[5], ("3f64".into(), TokKind::Float));
+        // `0..8` must stay integer, integer — not a malformed float.
+        assert_eq!(kinds[6], ("0".into(), TokKind::Int));
+        assert_eq!(kinds[7], ("8".into(), TokKind::Int));
+    }
+
+    #[test]
+    fn multi_char_punct_is_one_token() {
+        let l = lex("a += b; c::d(); e => f; g..=h");
+        let puncts: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Punct)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&"..="));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines() {
+        let l = lex("let a = 1;\nlet b = 2;");
+        let b = l.tokens.iter().find(|t| t.text == "b").unwrap();
+        assert_eq!(b.line, 2);
+        assert_eq!(b.col, 5);
+    }
+}

@@ -1,0 +1,221 @@
+//! Findings, suppressions and the JSON report.
+//!
+//! The report is hand-serialised (no serde: the auditor is
+//! dependency-free) into a stable, diffable shape so CI can trend
+//! finding and allow counts per rule across PRs.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::rules::Rule;
+
+/// One rule violation at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path (`/`-separated on every platform).
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub col: usize,
+    /// What was matched and why it endangers bit-exactness.
+    pub message: String,
+}
+
+/// One `// lint:allow(<rule>): <reason>` suppression found in a file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Allow {
+    /// The rule being suppressed.
+    pub rule: Rule,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The mandatory justification after the colon.
+    pub reason: String,
+    /// Whether the allow actually matched (and suppressed) a finding.
+    pub used: bool,
+}
+
+/// Full audit outcome over a tree.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Files scanned, workspace-relative, sorted.
+    pub files: Vec<String>,
+    /// Unsuppressed findings (these fail CI), in path order.
+    pub findings: Vec<Finding>,
+    /// Every suppression encountered, in path order.
+    pub allows: Vec<Allow>,
+}
+
+impl Report {
+    /// `true` when the audit passed (no findings survive suppression).
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Findings per rule id, sorted by rule.
+    pub fn finding_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for f in &self.findings {
+            *m.entry(f.rule.id()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Allows per rule id, sorted by rule.
+    pub fn allow_counts(&self) -> BTreeMap<&'static str, usize> {
+        let mut m = BTreeMap::new();
+        for a in &self.allows {
+            *m.entry(a.rule.id()).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Human-readable summary, one line per finding plus totals.
+    pub fn render_text(&self) -> String {
+        let mut s = String::new();
+        for f in &self.findings {
+            let _ = writeln!(
+                s,
+                "{}:{}:{}: [{}] {}",
+                f.file,
+                f.line,
+                f.col,
+                f.rule.id(),
+                f.message
+            );
+        }
+        let _ = writeln!(
+            s,
+            "canids_lint: {} file(s), {} finding(s), {} allow(s)",
+            self.files.len(),
+            self.findings.len(),
+            self.allows.len()
+        );
+        for (rule, n) in self.allow_counts() {
+            let _ = writeln!(s, "  allow[{rule}] = {n}");
+        }
+        s
+    }
+
+    /// The JSON report: findings, every allow with its rule id and
+    /// reason, and per-rule counts for trending.
+    pub fn render_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let _ = writeln!(s, "  \"files_scanned\": {},", self.files.len());
+        let _ = writeln!(s, "  \"clean\": {},", self.clean());
+
+        s.push_str("  \"finding_counts\": {");
+        push_count_map(&mut s, &self.finding_counts());
+        s.push_str("},\n");
+
+        s.push_str("  \"allow_counts\": {");
+        push_count_map(&mut s, &self.allow_counts());
+        s.push_str("},\n");
+
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                json_str(f.rule.id()),
+                json_str(&f.file),
+                f.line,
+                f.col,
+                json_str(&f.message)
+            );
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("],\n");
+
+        s.push_str("  \"allows\": [");
+        for (i, a) in self.allows.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            let _ = write!(
+                s,
+                "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"reason\": {}, \"used\": {}}}",
+                json_str(a.rule.id()),
+                json_str(&a.file),
+                a.line,
+                json_str(&a.reason),
+                a.used
+            );
+        }
+        if !self.allows.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn push_count_map(s: &mut String, m: &BTreeMap<&'static str, usize>) {
+    for (i, (rule, n)) in m.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        let _ = write!(s, "{}: {}", json_str(rule), n);
+    }
+}
+
+/// Minimal JSON string escaping.
+fn json_str(v: &str) -> String {
+    let mut s = String::with_capacity(v.len() + 2);
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(s, "\\u{:04x}", c as u32);
+            }
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let mut r = Report::default();
+        r.files.push("a.rs".into());
+        r.findings.push(Finding {
+            rule: Rule::UnorderedIteration,
+            file: "a.rs".into(),
+            line: 3,
+            col: 1,
+            message: "say \"hi\"\n".into(),
+        });
+        r.allows.push(Allow {
+            rule: Rule::PanicInLib,
+            file: "a.rs".into(),
+            line: 9,
+            reason: "invariant".into(),
+            used: true,
+        });
+        let j = r.render_json();
+        assert!(j.contains("\"unordered-iteration\": 1"));
+        assert!(j.contains("\"panic-in-lib\": 1"));
+        assert!(j.contains("\\\"hi\\\"\\n"));
+        assert!(j.contains("\"used\": true"));
+        assert!(!r.clean());
+    }
+}

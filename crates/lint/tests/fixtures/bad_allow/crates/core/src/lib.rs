@@ -1,0 +1,9 @@
+pub fn head(xs: &[u8]) -> u8 {
+    // lint:allow(panic-in-lib)
+    *xs.first().unwrap()
+}
+
+pub fn tail(xs: &[u8]) -> u8 {
+    // lint:allow(no-such-rule): reason present but the rule id is unknown
+    *xs.last().unwrap()
+}

@@ -1,0 +1,11 @@
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn adds() {
+        assert_eq!(super::add(2, 3), 5);
+    }
+}

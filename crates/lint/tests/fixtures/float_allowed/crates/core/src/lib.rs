@@ -1,0 +1,5 @@
+pub fn mean(xs: &[f32]) -> f32 {
+    // lint:allow(float-reassociation): left-to-right iterator sum, order pinned by the slice
+    let total: f32 = xs.iter().sum();
+    total / xs.len() as f32
+}

@@ -1,0 +1,4 @@
+pub fn mean(xs: &[f32]) -> f32 {
+    let total: f32 = xs.iter().sum();
+    total / xs.len() as f32
+}

@@ -1,0 +1,4 @@
+pub fn head(xs: &[u8]) -> u8 {
+    // lint:allow(panic-in-lib): caller contract guarantees a non-empty slice
+    *xs.first().unwrap()
+}

@@ -1,0 +1,3 @@
+pub fn head(xs: &[u8]) -> u8 {
+    *xs.first().unwrap()
+}

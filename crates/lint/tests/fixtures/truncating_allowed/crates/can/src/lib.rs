@@ -1,0 +1,5 @@
+pub fn wire_id(raw_id: u32) -> u16 {
+    let masked_id = raw_id & 0x7FF;
+    // lint:allow(truncating-cast): masked to 11 bits on the line above
+    masked_id as u16
+}

@@ -1,0 +1,3 @@
+pub fn wire_id(raw_id: u32) -> u16 {
+    raw_id as u16
+}

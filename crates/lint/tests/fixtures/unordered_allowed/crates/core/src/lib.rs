@@ -1,0 +1,8 @@
+pub fn distinct(xs: &[u32]) -> usize {
+    // lint:allow(unordered-iteration): membership-only set, never iterated
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}

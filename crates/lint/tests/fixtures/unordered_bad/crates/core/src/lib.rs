@@ -1,0 +1,7 @@
+pub fn histogram(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut m = std::collections::HashMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0usize) += 1;
+    }
+    m.into_iter().collect()
+}

@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn measure() -> u128 {
+    // lint:allow(wallclock-in-sim): fixture exercises an audited wall-clock read
+    let t0 = Instant::now();
+    t0.elapsed().as_micros()
+}

@@ -6,7 +6,7 @@
 //! gradient.
 
 use crate::error::QnnError;
-use crate::tensor::Matrix;
+use crate::tensor::{pinned_sum_f32, Matrix};
 
 /// Computes the mean softmax cross-entropy and the logit gradient.
 ///
@@ -75,12 +75,11 @@ pub fn softmax_cross_entropy(
         let w = class_weights.map_or(1.0, |cw| cw[t]);
         let row = logits.row(r);
         let max = row.iter().fold(f32::NEG_INFINITY, |m, &v| m.max(v));
-        let mut denom = 0.0f32;
-        for &v in row {
-            denom += (v - max).exp();
-        }
+        let denom = pinned_sum_f32(row.iter().map(|&v| (v - max).exp()));
         let log_denom = denom.ln();
+        // lint:allow(float-reassociation): f64 accumulator advanced in pinned row order r = 0..n
         loss += f64::from(w) * f64::from(log_denom - (row[t] - max));
+        // lint:allow(float-reassociation): f64 accumulator advanced in pinned row order r = 0..n
         weight_sum += f64::from(w);
         for j in 0..c {
             let p = (row[j] - max).exp() / denom;

@@ -293,6 +293,37 @@ pub fn linear_backward_params(dy: &Matrix, x: &Matrix, dw: &mut [f32], db: &mut 
     }
 }
 
+/// Strict left-to-right `f32` summation.
+///
+/// Float addition does not reassociate, so the accumulation order *is*
+/// part of any bit-exactness contract. This module owns that order for
+/// the workspace: callers route float reductions through these helpers
+/// instead of open-coding `.sum()` / `+=` loops, and the
+/// `float-reassociation` lint flags accumulation anywhere else.
+///
+/// # Example
+///
+/// ```
+/// use canids_qnn::tensor::pinned_sum_f32;
+/// assert_eq!(pinned_sum_f32([0.1f32, 0.2, 0.3]), 0.1 + 0.2 + 0.3);
+/// ```
+pub fn pinned_sum_f32(xs: impl IntoIterator<Item = f32>) -> f32 {
+    let mut acc = 0.0f32;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Strict left-to-right `f64` summation — see [`pinned_sum_f32`].
+pub fn pinned_sum_f64(xs: impl IntoIterator<Item = f64>) -> f64 {
+    let mut acc = 0.0f64;
+    for x in xs {
+        acc += x;
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -479,5 +510,27 @@ mod tests {
         let m = pseudo_matrix(20, 40, 9);
         let s = m.to_string();
         assert!(s.contains("Matrix 20x40"));
+    }
+
+    #[test]
+    fn pinned_sum_is_left_to_right() {
+        // An order-sensitive input: summing forwards and backwards
+        // differ in the last bit, which is exactly why the order is
+        // pinned.
+        let xs = [1.0e8f32, 1.0, -1.0e8, 1.0, 0.25, 1.0e-3];
+        let mut manual = 0.0f32;
+        for &x in &xs {
+            manual += x;
+        }
+        assert_eq!(pinned_sum_f32(xs).to_bits(), manual.to_bits());
+        let rev = pinned_sum_f32(xs.iter().rev().copied());
+        assert_ne!(pinned_sum_f32(xs).to_bits(), rev.to_bits());
+
+        let ys = [0.1f64, 0.2, 0.3, 1.0e16, -1.0e16];
+        let mut manual = 0.0f64;
+        for &y in &ys {
+            manual += y;
+        }
+        assert_eq!(pinned_sum_f64(ys).to_bits(), manual.to_bits());
     }
 }

@@ -221,6 +221,7 @@ impl Trainer {
                 mlp.zero_grad();
                 mlp.backward(&dlogits);
                 opt.step(&mut mlp.param_tensors_mut());
+                // lint:allow(float-reassociation): epoch-mean accumulator advanced in pinned batch order
                 loss_sum += f64::from(loss);
                 batches += 1;
             }

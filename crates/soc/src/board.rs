@@ -9,6 +9,7 @@ use canids_can::node::{CanController, ControllerConfig};
 use canids_can::time::SimTime;
 use canids_dataflow::ip::AcceleratorIp;
 use canids_dataflow::power::PowerEstimate;
+use canids_qnn::tensor::pinned_sum_f64;
 
 use crate::accel::{pack_features, AccelPeripheral};
 use crate::axi::AxiInterconnect;
@@ -248,7 +249,7 @@ impl Zcu104Board {
     /// The board power model with every attached IP's PL contribution
     /// (device static power counted once).
     pub fn power_model(&self) -> BoardPowerModel {
-        let dynamic: f64 = self.ips.iter().map(|ip| ip.dynamic_w).sum();
+        let dynamic = pinned_sum_f64(self.ips.iter().map(|ip| ip.dynamic_w));
         let static_w = self.ips.first().map_or(0.28, |ip| ip.static_w);
         BoardPowerModel::zcu104(PowerEstimate {
             dynamic_w: dynamic,

@@ -148,12 +148,12 @@ pub fn read_frame(dev: &mut CanPeripheral, now: SimTime) -> Option<CanFrame> {
     let dlc_reg = dev.read(RXFIFO_DLC, now).ok()?;
     let dw1 = dev.read(RXFIFO_DW1, now).ok()?;
     let dw2 = dev.read(RXFIFO_DW2, now).ok()?;
-    let id = ((id_reg >> 21) & 0x7FF) as u16;
+    let id = CanId::standard_from_raw((id_reg >> 21) & 0x7FF).ok()?;
     let dlc = ((dlc_reg >> 28) & 0xF) as usize;
     let b1 = dw1.to_be_bytes();
     let b2 = dw2.to_be_bytes();
     let payload = [b1[0], b1[1], b1[2], b1[3], b2[0], b2[1], b2[2], b2[3]];
-    CanFrame::new(CanId::standard(id).ok()?, &payload[..dlc.min(8)]).ok()
+    CanFrame::new(id, &payload[..dlc.min(8)]).ok()
 }
 
 #[cfg(test)]
@@ -201,7 +201,7 @@ mod tests {
     fn fifo_order_is_preserved() {
         let mut dev = CanPeripheral::new(CanController::default());
         for id in [0x100u16, 0x200, 0x300] {
-            dev.deliver(SimTime::ZERO, frame(id, &[id as u8]));
+            dev.deliver(SimTime::ZERO, frame(id, &[id.to_le_bytes()[0]]));
         }
         for id in [0x100u16, 0x200, 0x300] {
             let f = read_frame(&mut dev, SimTime::ZERO).unwrap();

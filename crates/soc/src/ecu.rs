@@ -830,7 +830,8 @@ mod tests {
             .map(|i| {
                 (
                     SimTime::from_micros(period_us * i as u64),
-                    CanFrame::new(CanId::standard(0x316).unwrap(), &[i as u8; 8]).unwrap(),
+                    CanFrame::new(CanId::standard(0x316).unwrap(), &[i.to_le_bytes()[0]; 8])
+                        .unwrap(),
                 )
             })
             .collect()

@@ -9,6 +9,7 @@
 
 use canids_can::time::SimTime;
 use canids_dataflow::power::PowerEstimate;
+use canids_qnn::tensor::pinned_sum_f64;
 use serde::{Deserialize, Serialize};
 
 /// One named supply rail with its current power draw model.
@@ -75,13 +76,13 @@ impl BoardPowerModel {
     /// Total board power at the given CPU activity (busy cores / cores)
     /// and PL toggle activity already folded into `self.pl`.
     pub fn total_w(&self, cpu_activity: f64) -> f64 {
-        let ps: f64 = self.rails.iter().map(|r| r.power_w(cpu_activity)).sum();
+        let ps = pinned_sum_f64(self.rails.iter().map(|r| r.power_w(cpu_activity)));
         ps + self.pl.total_w()
     }
 
     /// Idle board power (Linux, PL configured but quiescent).
     pub fn idle_w(&self) -> f64 {
-        let ps: f64 = self.rails.iter().map(|r| r.idle_w).sum();
+        let ps = pinned_sum_f64(self.rails.iter().map(|r| r.idle_w));
         ps + self.pl.static_w
     }
 }
@@ -122,17 +123,15 @@ impl PowerMonitor {
         if self.samples.is_empty() {
             return 0.0;
         }
-        self.samples.iter().map(|&(_, w)| w).sum::<f64>() / self.samples.len() as f64
+        pinned_sum_f64(self.samples.iter().map(|&(_, w)| w)) / self.samples.len() as f64
     }
 
     /// Trapezoidal energy integral over the trace, in joules.
     pub fn energy_j(&self) -> f64 {
-        let mut e = 0.0;
-        for pair in self.samples.windows(2) {
+        pinned_sum_f64(self.samples.windows(2).map(|pair| {
             let dt = (pair[1].0 - pair[0].0).as_secs_f64();
-            e += 0.5 * (pair[0].1 + pair[1].1) * dt;
-        }
-        e
+            0.5 * (pair[0].1 + pair[1].1) * dt
+        }))
     }
 }
 

@@ -53,7 +53,11 @@ fn line_rate_matches_frame_encoding() {
         .map(|i| {
             (
                 SimTime::ZERO,
-                CanFrame::new(CanId::standard(0x2C0).unwrap(), &[(i % 251) as u8; 8]).unwrap(),
+                CanFrame::new(
+                    CanId::standard(0x2C0).unwrap(),
+                    &[u8::try_from(i % 251).unwrap(); 8],
+                )
+                .unwrap(),
             )
         })
         .collect();

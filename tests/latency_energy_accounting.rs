@@ -28,11 +28,11 @@ fn energy_equals_power_times_latency() {
     let mut board = Zcu104Board::new(BoardConfig::default());
     let idx = board.attach_accelerator(quick_ip()).unwrap();
     let mut ecu = IdsEcu::new(board, vec![idx], EcuConfig::default());
-    let frames: Vec<(SimTime, CanFrame)> = (0..100)
+    let frames: Vec<(SimTime, CanFrame)> = (0..100u8)
         .map(|i| {
             (
-                SimTime::from_micros(130 * i as u64),
-                CanFrame::new(CanId::standard(0x2C0).unwrap(), &[i as u8; 8]).unwrap(),
+                SimTime::from_micros(130 * u64::from(i)),
+                CanFrame::new(CanId::standard(0x2C0).unwrap(), &[i; 8]).unwrap(),
             )
         })
         .collect();
@@ -91,11 +91,11 @@ fn queue_latency_grows_monotonically_under_burst() {
     let idx = board.attach_accelerator(quick_ip()).unwrap();
     let mut ecu = IdsEcu::new(board, vec![idx], EcuConfig::default());
     // A burst of simultaneous arrivals: each later frame waits longer.
-    let frames: Vec<(SimTime, CanFrame)> = (0..10)
+    let frames: Vec<(SimTime, CanFrame)> = (0..10u8)
         .map(|i| {
             (
                 SimTime::ZERO,
-                CanFrame::new(CanId::standard(0x100).unwrap(), &[i as u8]).unwrap(),
+                CanFrame::new(CanId::standard(0x100).unwrap(), &[i]).unwrap(),
             )
         })
         .collect();

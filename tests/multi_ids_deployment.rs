@@ -91,11 +91,11 @@ fn dual_model_ecu_detects_both_attacks() {
 #[test]
 fn dual_model_latency_overhead_is_small() {
     let (kind_a, model_a) = quick_detector(PipelineConfig::dos().quick());
-    let frames: Vec<(SimTime, CanFrame)> = (0..30)
+    let frames: Vec<(SimTime, CanFrame)> = (0..30u8)
         .map(|i| {
             (
-                SimTime::from_micros(250 * i as u64),
-                CanFrame::new(CanId::standard(0x200).unwrap(), &[i as u8; 8]).unwrap(),
+                SimTime::from_micros(250 * u64::from(i)),
+                CanFrame::new(CanId::standard(0x200).unwrap(), &[i; 8]).unwrap(),
             )
         })
         .collect();

@@ -13,7 +13,8 @@ use canids_core::prelude::*;
 use canids_core::serve::{FleetAction, FleetEvent, FleetTransport};
 
 fn frame(id: u16) -> CanFrame {
-    CanFrame::new(CanId::standard(id).unwrap(), &[id as u8; 8]).unwrap()
+    let cid = CanId::standard(id).unwrap();
+    CanFrame::new(cid, &[cid.low_byte(); 8]).unwrap()
 }
 
 /// One gateway, two egress ports: a "near" leaf the babbler floods and

@@ -51,7 +51,7 @@ proptest! {
         for (id, &t) in times.iter().enumerate() {
             sched.schedule(Box::new(Probe {
                 at: SimTime::from_micros(t),
-                id: id as u32,
+                id: u32::try_from(id).unwrap(),
             }));
         }
         let mut trace = Vec::new();
