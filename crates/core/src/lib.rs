@@ -66,7 +66,7 @@ pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector}
 pub use report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
 pub use serve::{
     EcuBackend, FleetBackend, FleetTransport, Pacing, ReplayConfig, ServeBackend, ServeHarness,
-    ServeReport, ServeScenario, SoftwareBackend, Verdict, VerdictSink,
+    ServeReport, ServeScenario, ShardWorkers, SoftwareBackend, Verdict, VerdictSink,
 };
 pub use stream::{
     LineRateScenario, MultiStreamVerdict, MultiStreamingEvaluator, StreamVerdict,
@@ -88,8 +88,8 @@ pub mod prelude {
     pub use crate::report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
     pub use crate::serve::{
         CaptureSource, EcuBackend, FleetBackend, FleetTransport, Pacing, ReplayConfig,
-        ServeBackend, ServeHarness, ServeReport, ServeScenario, SoftwareBackend, Verdict,
-        VerdictSink,
+        ServeBackend, ServeHarness, ServeReport, ServeScenario, ShardWorkers, SoftwareBackend,
+        Verdict, VerdictSink,
     };
     pub use crate::stream::{
         LineRateScenario, MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,

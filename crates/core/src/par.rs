@@ -15,13 +15,26 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    let workers = std::thread::available_parallelism().map_or(1, |c| c.get());
+    scoped_map_with(items, workers, f)
+}
+
+/// [`scoped_map`] with an explicit pool size: exactly
+/// `workers.clamp(1, items.len())` threads share the work queue. The
+/// pool size is execution-only — results are gathered in input order
+/// whatever the interleaving, so any worker count returns the identical
+/// vector.
+pub(crate) fn scoped_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     let n = items.len();
     if n == 0 {
         return Vec::new();
     }
-    let workers = std::thread::available_parallelism()
-        .map_or(1, |c| c.get())
-        .min(n);
+    let workers = workers.clamp(1, n);
     let next = AtomicUsize::new(0);
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
@@ -68,6 +81,21 @@ mod tests {
     fn empty_input_is_empty_output() {
         let out: Vec<u32> = scoped_map(&[] as &[u32], |&x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn explicit_worker_counts_agree_with_default() {
+        // The pool size is an execution knob, never a semantic one:
+        // every worker count (including a degenerate 0, clamped to 1,
+        // and a pool far wider than the item list) gathers the same
+        // in-order result vector.
+        let items: Vec<usize> = (0..64).collect();
+        let expect: Vec<usize> = items.iter().map(|&i| i * i).collect();
+        for workers in [0usize, 1, 2, 3, 64, 1000] {
+            let out = scoped_map_with(&items, workers, |&i| i * i);
+            assert_eq!(out, expect, "workers = {workers}");
+        }
+        assert_eq!(scoped_map(&items, |&i| i * i), expect);
     }
 
     #[test]

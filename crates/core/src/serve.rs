@@ -56,7 +56,7 @@ use crate::error::CoreError;
 use crate::fleet::{FleetDeployment, Slot};
 use crate::net::{FleetNet, GatewayLoad, NetConfig, NetOutcome};
 use crate::report::{EnergyStats, LatencyStats};
-use crate::stream::StreamingEvaluator;
+use crate::stream::{StreamVerdict, StreamingEvaluator};
 
 /// How replay arrivals are paced onto the serving substrate.
 ///
@@ -328,6 +328,55 @@ pub struct ReplayConfig {
     pub migration_delay: SimTime,
     /// Backbone-to-board frame transport (fleet backend only).
     pub transport: FleetTransport,
+    /// Software-backend inference window: frames per batched dispatch.
+    /// `1` serves frame-at-a-time (the historical path, bit-identical to
+    /// it); `N > 1` defers admitted frames into a window and classifies
+    /// the whole window in one measured dispatch, DMA-batch style, so
+    /// per-call overhead amortises. Ignored by simulated backends (their
+    /// batching knob is [`SchedPolicy::DmaBatch`]).
+    pub batch: usize,
+    /// Capture shards of [`ServeHarness::replay_sharded`]: the capture
+    /// splits into this many contiguous slices, each replayed as an
+    /// independent single-shard session and merged in shard order. A
+    /// *semantic* knob — results depend on it, never on `workers`.
+    pub workers: ShardWorkers,
+    /// How many capture shards [`ServeHarness::replay_sharded`] splits
+    /// the replay into.
+    pub shards: usize,
+}
+
+/// Worker-thread count for sharded replays: an *execution-only* knob —
+/// any value produces bit-identical [`ServeReport`]s, it only sets how
+/// many shards run concurrently.
+///
+/// # Example
+///
+/// ```
+/// use canids_core::serve::ShardWorkers;
+///
+/// assert_eq!(ShardWorkers::Fixed(2).count(8), 2);
+/// assert!(ShardWorkers::Auto.count(8) >= 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardWorkers {
+    /// One worker per available core (capped at the shard count).
+    #[default]
+    Auto,
+    /// Exactly this many workers (capped at the shard count; min 1).
+    Fixed(usize),
+}
+
+impl ShardWorkers {
+    /// The effective pool size for `jobs` shards.
+    pub fn count(self, jobs: usize) -> usize {
+        let cap = jobs.max(1);
+        match self {
+            ShardWorkers::Auto => std::thread::available_parallelism()
+                .map_or(1, |n| n.get())
+                .min(cap),
+            ShardWorkers::Fixed(n) => n.clamp(1, cap),
+        }
+    }
 }
 
 impl Default for ReplayConfig {
@@ -342,6 +391,9 @@ impl Default for ReplayConfig {
             gateway_delay: SimTime::from_micros(20),
             migration_delay: SimTime::from_millis(2),
             transport: FleetTransport::Analytic,
+            batch: 1,
+            workers: ShardWorkers::Auto,
+            shards: 1,
         }
     }
 }
@@ -374,6 +426,24 @@ impl ReplayConfig {
     /// Sets the pacing mode (builder style).
     pub fn with_pacing(mut self, pacing: Pacing) -> Self {
         self.pacing = pacing;
+        self
+    }
+
+    /// Sets the software-backend inference window (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// Sets the sharded-replay shard count (builder style).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
+    }
+
+    /// Sets the sharded-replay worker pool (builder style).
+    pub fn with_workers(mut self, workers: ShardWorkers) -> Self {
+        self.workers = workers;
         self
     }
 
@@ -822,6 +892,10 @@ impl ServeBackend for SoftwareBackend {
                 .collect(),
             active: vec![true; self.models.len()],
             queue: ServiceQueue::new(depth),
+            batch: config.batch.max(1),
+            window_ords: Vec::new(),
+            window_recs: Vec::new(),
+            verdict_buf: Vec::new(),
             dropped: 0,
             serviced: 0,
             busy_wall: Duration::ZERO,
@@ -850,6 +924,14 @@ pub struct SoftwareSession {
     evals: Vec<StreamingEvaluator>,
     active: Vec<bool>,
     queue: ServiceQueue,
+    /// Frames per batched inference dispatch (1 = frame-at-a-time).
+    batch: usize,
+    /// Ordinals/records of admitted frames awaiting a batched dispatch
+    /// (always empty when `batch == 1`).
+    window_ords: Vec<usize>,
+    window_recs: Vec<LabeledFrame>,
+    /// Reusable per-dispatch verdict buffer.
+    verdict_buf: Vec<StreamVerdict>,
     dropped: u64,
     serviced: usize,
     busy_wall: Duration,
@@ -880,11 +962,29 @@ impl ServeSession for SoftwareSession {
         rec: &LabeledFrame,
     ) -> Result<ShardPush, CoreError> {
         let arrival = rec.timestamp;
-        if !self.queue.admit(arrival) {
+        if !self
+            .queue
+            .admit_with_pending(arrival, self.window_recs.len())
+        {
             self.dropped += 1;
             return Ok(ShardPush {
                 delivered: arrival,
                 admitted: false,
+            });
+        }
+        if self.batch > 1 {
+            // Defer into the window; the whole window is classified in
+            // one measured dispatch when it fills (or at finish), with
+            // service starting at the flush-trigger arrival — the same
+            // deferred-verdict semantics as `SchedPolicy::DmaBatch`.
+            self.window_ords.push(ordinal);
+            self.window_recs.push(*rec);
+            if self.window_recs.len() >= self.batch {
+                self.flush_window(arrival);
+            }
+            return Ok(ShardPush {
+                delivered: arrival,
+                admitted: true,
             });
         }
         // lint:allow(wallclock-in-sim): the software backend reports measured host latency by contract
@@ -931,7 +1031,7 @@ impl ServeSession for SoftwareSession {
     }
 
     fn backlog(&self, _shard: usize) -> usize {
-        self.queue.backlog()
+        self.queue.backlog() + self.window_recs.len()
     }
 
     fn active_models(&self, _shard: usize) -> usize {
@@ -939,10 +1039,20 @@ impl ServeSession for SoftwareSession {
     }
 
     fn set_slot_active(&mut self, slot: Slot, active: bool) {
+        // A buffered window was admitted under the current activation;
+        // classify it before the mask changes.
+        if let Some(last) = self.window_recs.last() {
+            let ready = last.timestamp;
+            self.flush_window(ready);
+        }
         self.active[slot.local] = active;
     }
 
     fn finish(mut self, out: &mut Vec<ShardVerdict>) -> Result<Vec<ShardTotals>, CoreError> {
+        if let Some(last) = self.window_recs.last() {
+            let ready = last.timestamp;
+            self.flush_window(ready);
+        }
         out.append(&mut self.pending);
         Ok(vec![ShardTotals {
             dropped: self.dropped,
@@ -950,6 +1060,60 @@ impl ServeSession for SoftwareSession {
             energy: None,
             busy_wall: Some(self.busy_wall),
         }])
+    }
+}
+
+impl SoftwareSession {
+    /// Classifies every buffered window frame in one measured dispatch
+    /// and books their (deferred) verdicts, service beginning at
+    /// `ready` — the flush trigger's arrival, mirroring the DMA-batch
+    /// transfer instant. Per-frame service time is the dispatch wall
+    /// clock split evenly across the window.
+    fn flush_window(&mut self, ready: SimTime) {
+        let n = self.window_recs.len();
+        if n == 0 {
+            return;
+        }
+        let mut flags = vec![(false, 0u64); n];
+        // lint:allow(wallclock-in-sim): the software backend reports measured host latency by contract
+        let t0 = Instant::now();
+        for (k, (eval, _)) in self
+            .evals
+            .iter_mut()
+            .zip(&self.active)
+            .enumerate()
+            .filter(|&(_, (_, &a))| a)
+        {
+            self.verdict_buf.clear();
+            eval.push_batch(&self.window_recs, &mut self.verdict_buf);
+            for (slot, v) in flags.iter_mut().zip(&self.verdict_buf) {
+                if v.flagged {
+                    slot.0 = true;
+                    if k < 64 {
+                        slot.1 |= 1 << k;
+                    }
+                }
+            }
+        }
+        let wall = t0.elapsed();
+        self.busy_wall += wall;
+        // Even split, at least 1 ns each so completions advance.
+        let per = SimTime::from_nanos(((wall.as_nanos() as u64) / n as u64).max(1));
+        let active_mask = canids_soc::ecu::active_mask_of(&self.active);
+        self.window_recs.clear();
+        for (ordinal, (flagged, model_flags)) in self.window_ords.drain(..).zip(flags) {
+            let start = self.queue.start_time(ready);
+            let completed_at = self.queue.serve(start, per);
+            self.serviced += 1;
+            self.pending.push(ShardVerdict {
+                shard: 0,
+                ordinal,
+                completed_at,
+                flagged,
+                model_flags,
+                active_mask,
+            });
+        }
     }
 }
 
@@ -985,6 +1149,7 @@ impl ServeSession for SoftwareSession {
 /// ```
 pub struct EcuBackend<'d> {
     deployment: Option<&'d MultiIdsDeployment>,
+    owned_deployment: Option<MultiIdsDeployment>,
     borrowed: Option<&'d mut IdsEcu>,
     owned: Option<IdsEcu>,
     names: Vec<String>,
@@ -1011,6 +1176,28 @@ impl<'d> EcuBackend<'d> {
             .collect();
         EcuBackend {
             deployment: Some(deployment),
+            owned_deployment: None,
+            borrowed: None,
+            owned: None,
+            names,
+        }
+    }
+
+    /// A backend that owns its deployment — same session semantics as
+    /// [`new`](EcuBackend::new), without borrowing from the caller.
+    /// This is the form a [`ServeHarness::replay_sharded`] factory
+    /// returns: the deployment is compiled on the worker thread and
+    /// lives inside the backend, so nothing non-`Sync` crosses threads.
+    pub fn owning(deployment: MultiIdsDeployment) -> Self {
+        let names = deployment
+            .plan
+            .models
+            .iter()
+            .map(|m| m.name.clone())
+            .collect();
+        EcuBackend {
+            deployment: None,
+            owned_deployment: Some(deployment),
             borrowed: None,
             owned: None,
             names,
@@ -1027,6 +1214,7 @@ impl<'d> EcuBackend<'d> {
             .collect();
         EcuBackend {
             deployment: None,
+            owned_deployment: None,
             borrowed: Some(ecu),
             owned: None,
             names,
@@ -1049,10 +1237,12 @@ impl ServeBackend for EcuBackend<'_> {
     }
 
     fn open(&mut self, config: &ReplayConfig) -> Result<EcuSession<'_>, CoreError> {
-        let ecu: &mut IdsEcu = match (self.deployment, &mut self.borrowed) {
-            (Some(d), _) => self.owned.insert(d.fresh_ecu(config.ecu_for(0))?),
-            (None, Some(ecu)) => ecu,
-            (None, None) => unreachable!("EcuBackend always carries a source"),
+        let ecu: &mut IdsEcu = if let Some(d) = self.deployment.or(self.owned_deployment.as_ref()) {
+            self.owned.insert(d.fresh_ecu(config.ecu_for(0))?)
+        } else if let Some(ecu) = self.borrowed.as_deref_mut() {
+            ecu
+        } else {
+            unreachable!("EcuBackend always carries a source")
         };
         let depth = ecu.config().queue_depth.max(1);
         let mut topology = ServeTopology::single_shard(&self.names, depth);
@@ -1618,6 +1808,17 @@ impl ServeReport {
     /// `true` when no shard dropped a frame.
     pub fn keeps_up(&self) -> bool {
         self.dropped == 0
+    }
+
+    /// The measured busy wall time behind [`sustained_fps`] (software
+    /// backends only): `serviced ÷ sustained_fps`. `None` where there is
+    /// no host-capacity figure (simulated backends, empty replays).
+    ///
+    /// [`sustained_fps`]: ServeReport::sustained_fps
+    pub fn busy_wall(&self) -> Option<Duration> {
+        self.sustained_fps
+            .filter(|&f| f > 0.0)
+            .map(|f| Duration::from_secs_f64(self.serviced as f64 / f))
     }
 
     /// Shed events (excluding re-admissions and migrations).
@@ -2287,6 +2488,163 @@ impl<B: ServeBackend> ServeHarness<B> {
         .into_iter()
         .collect()
     }
+
+    /// Replays `capture` sharded across [`ReplayConfig::shards`]
+    /// contiguous capture slices, each served by a fresh backend from
+    /// `factory` as an independent single-shard replay, on a bounded
+    /// pool of [`ReplayConfig::workers`] threads.
+    ///
+    /// Shard count is the *semantic* knob — each slice re-paces from
+    /// time zero, modelling that many parallel serving lanes — and the
+    /// worker count is *execution-only*: per-shard results are merged in
+    /// shard order (confusion matrices, counts, latency samples,
+    /// verdict stream), so the merged [`ServeReport`] is bit-identical
+    /// for any pool size. The merged `sustained_fps` is total serviced
+    /// frames over the **slowest** shard's busy wall (aggregate capacity
+    /// with one core per lane); `offered_fps` spans the overlapping
+    /// shard clocks, i.e. it sums the per-lane offered rates.
+    ///
+    /// With `shards == 1` this is exactly [`replay`](Self::replay).
+    ///
+    /// # Errors
+    ///
+    /// The first factory or replay error, if any.
+    pub fn replay_sharded<F>(
+        factory: F,
+        capture: &Dataset,
+        config: &ReplayConfig,
+    ) -> Result<ServeReport, CoreError>
+    where
+        F: Fn() -> Result<B, CoreError> + Sync,
+    {
+        let shards = config.shards.max(1);
+        if shards == 1 {
+            return ServeHarness::new(factory()?).replay(capture, config);
+        }
+        let records = capture.records();
+        let n = records.len();
+        let slices: Vec<Dataset> = (0..shards)
+            .map(|s| Dataset::from_records(records[s * n / shards..(s + 1) * n / shards].to_vec()))
+            .collect();
+        let shard_config = ReplayConfig {
+            shards: 1,
+            ..config.clone()
+        };
+        let workers = config.workers.count(shards);
+        let outcomes = crate::par::scoped_map_with(&slices, workers, |slice| {
+            let mut verdicts: Vec<Verdict> = Vec::new();
+            let report =
+                ServeHarness::new(factory()?).replay_with(slice, &shard_config, &mut verdicts)?;
+            Ok::<_, CoreError>((report, verdicts))
+        });
+        let shard_outcomes = outcomes.into_iter().collect::<Result<Vec<_>, _>>()?;
+        Ok(merge_sharded(shard_outcomes))
+    }
+}
+
+/// Folds per-shard replay outcomes into one [`ServeReport`], strictly in
+/// shard order so the result is independent of how the shards were
+/// scheduled onto worker threads.
+fn merge_sharded(shard_outcomes: Vec<(ServeReport, Vec<Verdict>)>) -> ServeReport {
+    // lint:allow(panic-in-lib): replay_sharded always passes >= 2 shards
+    let first = &shard_outcomes.first().expect("at least one shard").0;
+    let mut merged = ServeReport {
+        scenario: first.scenario.clone(),
+        backend: first.backend.clone(),
+        sched: first.sched.clone(),
+        admission: first.admission.clone(),
+        bitrate_bps: first.bitrate_bps,
+        offered: 0,
+        serviced: 0,
+        dropped: 0,
+        first_arrival: SimTime::ZERO,
+        last_arrival: SimTime::ZERO,
+        offered_fps: 0.0,
+        sustained_fps: None,
+        latency: LatencyStats::default(),
+        flagged: 0,
+        fully_covered: 0,
+        cm: ConfusionMatrix::new(),
+        energy: None,
+        boards: Vec::new(),
+        per_model: first
+            .per_model
+            .iter()
+            .map(|m| ModelServeReport {
+                model: m.model,
+                name: m.name.clone(),
+                home: m.home,
+                consulted: 0,
+                flagged: 0,
+                confirmed_positives: 0,
+                cm: ConfusionMatrix::new(),
+            })
+            .collect(),
+        events: Vec::new(),
+        gateways: Vec::new(),
+        verdicts: Vec::new(),
+    };
+    let mut lat: Vec<SimTime> = Vec::new();
+    let mut first_arrival: Option<SimTime> = None;
+    let mut max_busy = Duration::ZERO;
+    let mut all_walled = true;
+    let mut energy_sum = EnergyStats::default();
+    let mut any_energy = false;
+    for (s, (report, verdicts)) in shard_outcomes.iter().enumerate() {
+        merged.offered += report.offered;
+        merged.serviced += report.serviced;
+        merged.dropped += report.dropped;
+        merged.flagged += report.flagged;
+        merged.fully_covered += report.fully_covered;
+        merged.cm.merge(&report.cm);
+        if report.offered > 0 {
+            let fa = first_arrival.get_or_insert(report.first_arrival);
+            *fa = (*fa).min(report.first_arrival);
+            merged.last_arrival = merged.last_arrival.max(report.last_arrival);
+        }
+        match report.busy_wall() {
+            Some(busy) => max_busy = max_busy.max(busy),
+            None => all_walled = false,
+        }
+        if let Some(e) = report.energy {
+            energy_sum.mean_power_w += e.mean_power_w;
+            energy_sum.energy_per_message_j += e.energy_per_message_j;
+            any_energy = true;
+        }
+        for (m, acc) in merged.per_model.iter_mut().zip(&report.per_model) {
+            m.consulted += acc.consulted;
+            m.flagged += acc.flagged;
+            m.confirmed_positives += acc.confirmed_positives;
+            m.cm.merge(&acc.cm);
+        }
+        for board in &report.boards {
+            merged.boards.push(BoardServeReport {
+                board: format!("shard{s}/{}", board.board),
+                ..board.clone()
+            });
+        }
+        merged.events.extend(report.events.iter().cloned());
+        merged.gateways.extend(report.gateways.iter().cloned());
+        merged.verdicts.extend(report.verdicts.iter().copied());
+        lat.extend(
+            verdicts
+                .iter()
+                .map(|v| v.completed_at.saturating_sub(v.arrival)),
+        );
+    }
+    merged.first_arrival = first_arrival.unwrap_or(SimTime::ZERO);
+    let span = merged.last_arrival.saturating_sub(merged.first_arrival);
+    merged.offered_fps = if span > SimTime::ZERO {
+        merged.offered as f64 / span.as_secs_f64()
+    } else {
+        0.0
+    };
+    merged.sustained_fps = (all_walled && max_busy > Duration::ZERO)
+        .then(|| merged.serviced as f64 / max_busy.as_secs_f64());
+    merged.energy = any_energy.then_some(energy_sum);
+    lat.sort_unstable();
+    merged.latency = LatencyStats::from_sorted(&lat);
+    merged
 }
 
 /// Where a sweep scenario's capture comes from.
@@ -2569,6 +2927,50 @@ mod tests {
     }
 
     #[test]
+    fn batched_software_dispatch_never_changes_classification() {
+        // Batching is a dispatch optimisation: with a FIFO deep enough
+        // that nothing can drop, every window size classifies every
+        // frame identically to the frame-at-a-time path (same per-model
+        // prediction sequence, so same CM and flag counts), and the
+        // verdict stream still covers each ordinal exactly once.
+        let models: Vec<IntegerMlp> = (0..2).map(|i| untrained_model(60 + i)).collect();
+        let capture = quick_capture(true, 11);
+        let deep = EcuConfig {
+            queue_depth: capture.len() + 1,
+            ..EcuConfig::default()
+        };
+        let mut baseline: Option<(ConfusionMatrix, usize)> = None;
+        for batch in [1usize, 8, 32, 1000] {
+            let mut verdicts: Vec<Verdict> = Vec::new();
+            let config = ReplayConfig {
+                ecu: deep,
+                ..ReplayConfig::default().with_batch(batch)
+            };
+            let mut harness = ServeHarness::new(SoftwareBackend::new(models.clone()));
+            let report = harness
+                .replay_with(&capture, &config, &mut verdicts)
+                .unwrap();
+            assert_eq!(report.offered, capture.len(), "batch {batch}");
+            assert_eq!(report.dropped, 0, "deep FIFO admits everything");
+            assert_eq!(report.serviced, capture.len(), "batch {batch}");
+            assert_eq!(verdicts.len(), capture.len(), "batch {batch}");
+            let mut ords: Vec<usize> = verdicts.iter().map(|v| v.ordinal).collect();
+            ords.sort_unstable();
+            assert!(
+                ords.iter().enumerate().all(|(i, &o)| i == o),
+                "batch {batch}"
+            );
+            match &baseline {
+                None => baseline = Some((report.cm, report.flagged)),
+                Some((cm, flagged)) => {
+                    assert_eq!(&report.cm, cm, "batch {batch}");
+                    assert_eq!(report.flagged, *flagged, "batch {batch}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn multi_model_software_backend_reports_per_model_sections() {
         let models: Vec<IntegerMlp> = (0..3).map(|i| untrained_model(40 + i)).collect();
         let capture = quick_capture(true, 8);
@@ -2588,6 +2990,175 @@ mod tests {
                 assert_eq!(m.cm, *single.confusion(), "model {}", m.model);
                 assert_eq!(m.consulted, capture.len());
             }
+        }
+    }
+
+    /// Every deterministic field of a report, with float fields rendered
+    /// via their exact bit patterns. `include_timing` adds the
+    /// latency/sustained figures — exact on simulated backends, host
+    /// noise on the software backend.
+    fn fingerprint(r: &ServeReport, include_timing: bool) -> String {
+        use std::fmt::Write as _;
+        let mut s = format!(
+            "{} {} {} {} {} {:?} fps:{:x} {:?} {:?} {} {}",
+            r.offered,
+            r.serviced,
+            r.dropped,
+            r.flagged,
+            r.fully_covered,
+            r.cm,
+            r.offered_fps.to_bits(),
+            r.first_arrival,
+            r.last_arrival,
+            r.events.len(),
+            r.boards.len(),
+        );
+        if include_timing {
+            let _ = write!(
+                s,
+                " lat:{:?} sustained:{:?}",
+                r.latency,
+                r.sustained_fps.map(f64::to_bits)
+            );
+        }
+        for (t, f) in &r.verdicts {
+            let _ = write!(s, "|{t:?}{f}");
+        }
+        for m in &r.per_model {
+            let _ = write!(
+                s,
+                "|m{} {} {} {} {:?}",
+                m.model, m.consulted, m.flagged, m.confirmed_positives, m.cm
+            );
+        }
+        s
+    }
+
+    #[test]
+    fn sharded_report_is_independent_of_worker_count() {
+        // The worker pool is an execution knob: on the fully
+        // deterministic simulated backend, every worker count must
+        // produce a bit-identical merged report — including latency
+        // percentiles and the exact f64 bits of the rate figures.
+        let bundles = vec![
+            DetectorBundle::new(AttackKind::Dos, untrained_model(1)),
+            DetectorBundle::new(AttackKind::Fuzzy, untrained_model(2)),
+        ];
+        let capture = quick_capture(true, 13);
+        let mut prints = Vec::new();
+        for workers in [
+            ShardWorkers::Fixed(1),
+            ShardWorkers::Fixed(2),
+            ShardWorkers::Auto,
+        ] {
+            let config = ReplayConfig::default()
+                .with_shards(4)
+                .with_workers(workers)
+                .with_bitrate(Bitrate::HIGH_SPEED_1M);
+            let report = ServeHarness::replay_sharded(
+                || {
+                    Ok(EcuBackend::owning(deploy_multi_ids(
+                        &bundles,
+                        CompileConfig::default(),
+                    )?))
+                },
+                &capture,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(report.offered, capture.len());
+            assert_eq!(report.serviced + report.dropped as usize, report.offered);
+            prints.push(fingerprint(&report, true));
+        }
+        assert_eq!(prints[0], prints[1], "1 vs 2 workers");
+        assert_eq!(prints[0], prints[2], "1 vs auto workers");
+    }
+
+    #[test]
+    fn sharded_software_classification_is_independent_of_worker_count() {
+        // Software shard timing is measured wall clock, so only the
+        // deterministic subset (counts, CMs, rates, the verdict stream)
+        // is pinned across pool sizes.
+        let model = untrained_model(7);
+        let capture = quick_capture(true, 14);
+        let mut prints = Vec::new();
+        for workers in [ShardWorkers::Fixed(1), ShardWorkers::Fixed(2)] {
+            let config = ReplayConfig {
+                ecu: EcuConfig {
+                    queue_depth: capture.len() + 1,
+                    ..EcuConfig::default()
+                },
+                ..ReplayConfig::default().with_shards(3).with_workers(workers)
+            };
+            let report = ServeHarness::replay_sharded(
+                || Ok(SoftwareBackend::single(model.clone())),
+                &capture,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(report.dropped, 0, "deep FIFO admits everything");
+            assert!(report.sustained_fps.is_some(), "software reports capacity");
+            prints.push(fingerprint(&report, false));
+        }
+        assert_eq!(prints[0], prints[1]);
+    }
+
+    #[test]
+    fn sharded_single_shard_is_plain_replay() {
+        // `shards == 1` must be *the same code path* as `replay`, so the
+        // two reports agree bit for bit on the simulated backend.
+        let bundles = vec![DetectorBundle::new(AttackKind::Dos, untrained_model(3))];
+        let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
+        let capture = quick_capture(true, 15);
+        let config = ReplayConfig::default().with_bitrate(Bitrate::HIGH_SPEED_1M);
+        let plain = ServeHarness::new(EcuBackend::new(&deployment))
+            .replay(&capture, &config)
+            .unwrap();
+        let sharded = ServeHarness::replay_sharded(
+            || {
+                Ok(EcuBackend::owning(deploy_multi_ids(
+                    &bundles,
+                    CompileConfig::default(),
+                )?))
+            },
+            &capture,
+            &config.clone().with_workers(ShardWorkers::Fixed(1)),
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&plain, true), fingerprint(&sharded, true));
+    }
+
+    #[test]
+    fn sharded_merge_covers_every_frame_once() {
+        // Shard boundaries partition the capture: offered/serviced
+        // totals and the per-shard board sections must account for every
+        // record exactly once, whatever the shard count.
+        let model = untrained_model(9);
+        let capture = quick_capture(true, 16);
+        for shards in [2usize, 3, 5, 8] {
+            let config = ReplayConfig {
+                ecu: EcuConfig {
+                    queue_depth: capture.len() + 1,
+                    ..EcuConfig::default()
+                },
+                ..ReplayConfig::default().with_shards(shards)
+            };
+            let report = ServeHarness::replay_sharded(
+                || Ok(SoftwareBackend::single(model.clone())),
+                &capture,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(report.offered, capture.len(), "shards {shards}");
+            assert_eq!(report.dropped, 0, "shards {shards}");
+            assert_eq!(report.serviced, capture.len(), "shards {shards}");
+            assert_eq!(report.cm.total() as usize, capture.len(), "shards {shards}");
+            assert_eq!(report.boards.len(), shards);
+            assert_eq!(
+                report.boards.iter().map(|b| b.serviced).sum::<usize>(),
+                capture.len()
+            );
+            assert!(report.boards[0].board.starts_with("shard0/"));
         }
     }
 

@@ -23,7 +23,7 @@ use canids_dataset::attacks::AttackProfile;
 use canids_dataset::features::{FrameEncoder, IdBitsPayloadBits};
 use canids_dataset::generator::{Dataset, DatasetBuilder, TrafficConfig};
 use canids_dataset::record::LabeledFrame;
-use canids_qnn::export::IntegerMlp;
+use canids_qnn::export::{IntScratch, IntegerMlp};
 use canids_qnn::metrics::ConfusionMatrix;
 use canids_soc::ecu::EcuConfig;
 
@@ -70,6 +70,7 @@ pub struct StreamingEvaluator<E: FrameEncoder = IdBitsPayloadBits> {
     encoder: E,
     fbuf: Vec<f32>,
     xbuf: Vec<u32>,
+    scratch: IntScratch,
     cm: ConfusionMatrix,
     frames: u64,
 }
@@ -90,6 +91,7 @@ impl<E: FrameEncoder> StreamingEvaluator<E> {
             encoder,
             fbuf: vec![0.0; dim],
             xbuf: vec![0; dim],
+            scratch: IntScratch::new(),
             cm: ConfusionMatrix::new(),
             frames: 0,
         }
@@ -97,8 +99,10 @@ impl<E: FrameEncoder> StreamingEvaluator<E> {
 
     /// Classifies one record, updating the online confusion matrix.
     ///
-    /// Featurisation reuses the evaluator's buffers; the quantisation of
-    /// float features to integer levels matches
+    /// The fused per-frame path: featurise, quantise and infer through
+    /// the evaluator's reusable buffers (including the model's
+    /// [`IntScratch`]) with **zero intermediate allocation**. The
+    /// quantisation of float features to integer levels matches
     /// [`IntegerMlp::infer_bits`] exactly, so streaming and batch
     /// predictions are identical.
     pub fn push(&mut self, rec: &LabeledFrame) -> StreamVerdict {
@@ -106,7 +110,7 @@ impl<E: FrameEncoder> StreamingEvaluator<E> {
         for (x, &f) in self.xbuf.iter_mut().zip(&self.fbuf) {
             *x = (f.round().max(0.0) as u32).min(self.model.input_levels);
         }
-        let class = self.model.infer(&self.xbuf).class;
+        let class = self.model.infer_class(&self.xbuf, &mut self.scratch);
         let flagged = class != 0;
         let truth_attack = rec.label.is_attack();
         self.cm.record(flagged, truth_attack);
@@ -115,6 +119,19 @@ impl<E: FrameEncoder> StreamingEvaluator<E> {
             class,
             flagged,
             truth_attack,
+        }
+    }
+
+    /// Classifies a window of records in one call, appending one verdict
+    /// per record to `out` — the batched multi-frame entry point the
+    /// software serving backend drives, so per-window dispatch (call
+    /// overhead, branch warm-up) amortises across the window instead of
+    /// repeating per frame. Identical predictions and accounting to
+    /// calling [`push`](Self::push) per record.
+    pub fn push_batch(&mut self, recs: &[LabeledFrame], out: &mut Vec<StreamVerdict>) {
+        out.reserve(recs.len());
+        for rec in recs {
+            out.push(self.push(rec));
         }
     }
 
@@ -167,6 +184,7 @@ pub struct MultiStreamingEvaluator<E: FrameEncoder = IdBitsPayloadBits> {
     encoder: E,
     fbuf: Vec<f32>,
     xbuf: Vec<u32>,
+    scratch: IntScratch,
     cms: Vec<ConfusionMatrix>,
     fused_cm: ConfusionMatrix,
     frames: u64,
@@ -190,6 +208,7 @@ impl<E: FrameEncoder> MultiStreamingEvaluator<E> {
             encoder,
             fbuf: vec![0.0; dim],
             xbuf: vec![0; dim],
+            scratch: IntScratch::new(),
             cms: vec![ConfusionMatrix::new(); n],
             fused_cm: ConfusionMatrix::new(),
             frames: 0,
@@ -215,7 +234,7 @@ impl<E: FrameEncoder> MultiStreamingEvaluator<E> {
                 }
                 quantised_for = Some(model.input_levels);
             }
-            let class = model.infer(&self.xbuf).class;
+            let class = model.infer_class(&self.xbuf, &mut self.scratch);
             cm.record(class != 0, truth_attack);
             flagged |= class != 0;
             classes.push(class);

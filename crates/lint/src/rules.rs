@@ -224,16 +224,36 @@ fn is_id_like(t: &str) -> bool {
         || t.contains("_dlc_")
 }
 
-/// Rule 4: float accumulation outside `qnn::tensor`.
+/// The pinned-order accumulation primitives in `qnn::tensor` — the
+/// functions that *define* the workspace's summation order. Float
+/// accumulation inside these bodies is the contract, not a violation;
+/// accumulation in any other `tensor.rs` function is a reassociation
+/// point and must carry its own audited allow. Today exactly one such
+/// site exists: `linear_forward_fast_into`, the inference-path kernel.
+const PINNED_TENSOR_FNS: [&str; 6] = [
+    "dot8",
+    "dot",
+    "pinned_sum_f32",
+    "pinned_sum_f64",
+    "linear_backward_input",
+    "linear_backward_params",
+];
+
+/// Rule 4: float accumulation outside `qnn::tensor`'s pinned-order
+/// helpers.
 fn float_reassociation(file: &SourceFile, out: &mut Vec<Finding>) {
     if !matches!(file.context, Context::Lib | Context::Bin) {
         return;
     }
-    // The pinned-order kernel helpers live here; this file *defines*
-    // the accumulation order everything else must route through.
+    // `qnn::tensor` defines the accumulation order, so it gets
+    // function-level treatment instead of the token-level scan: each
+    // non-blessed function that accumulates floats is one finding,
+    // anchored at its `fn` line, so a reassociated kernel is exactly one
+    // auditable allow and nothing else in the file can silently reorder.
     if file.rel_path.ends_with("crates/qnn/src/tensor.rs")
         || file.rel_path == "crates/qnn/src/tensor.rs"
     {
+        tensor_float_reassociation(file, out);
         return;
     }
     let toks = &file.lexed.tokens;
@@ -297,6 +317,75 @@ fn float_reassociation(file: &SourceFile, out: &mut Vec<Finding>) {
                     &format!("`{} +=` float accumulation", lhs.text),
                 ));
             }
+        }
+    }
+}
+
+/// Rule 4's function-level pass over `qnn::tensor` itself: flags every
+/// non-test function whose body accumulates (`+=`, `.sum`, `.fold`)
+/// unless the function is one of the [`PINNED_TENSOR_FNS`]. The finding
+/// anchors at the `fn` line, so one reassociated kernel needs exactly
+/// one `lint:allow(float-reassociation)` regardless of how many
+/// accumulator lanes its body carries.
+fn tensor_float_reassociation(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || t.text != "fn" || file.is_test_line(t.line) {
+            continue;
+        }
+        let Some(name) = toks.get(i + 1) else {
+            continue;
+        };
+        if name.kind != TokKind::Ident {
+            continue;
+        }
+        // The body is the first brace-matched block after the signature.
+        let mut j = i + 2;
+        while j < toks.len() && text(toks, j) != Some("{") {
+            j += 1;
+        }
+        let body_start = j;
+        let mut depth = 0usize;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        let body = &toks[body_start..j.min(toks.len())];
+        // Float accumulation only: `+=` into an indexed slot (the lane
+        // arrays are all f32 here) or a tracked float local. Integer
+        // loop counters (`o += 8`) are not accumulation.
+        let float_locals = collect_float_locals(body);
+        let accumulates = body.iter().enumerate().any(|(k, b)| {
+            if b.kind == TokKind::Punct && b.text == "+=" && k > 0 {
+                let lhs = &body[k - 1];
+                return lhs.text == "]"
+                    || (lhs.kind == TokKind::Ident && float_locals.contains(&lhs.text));
+            }
+            b.kind == TokKind::Ident
+                && (b.text == "sum" || b.text == "fold")
+                && k > 0
+                && body[k - 1].text == "."
+        });
+        if accumulates && !PINNED_TENSOR_FNS.contains(&name.text.as_str()) {
+            out.push(finding(
+                file,
+                Rule::FloatReassociation,
+                t,
+                &format!(
+                    "fn `{}` accumulates floats outside the pinned-order helpers",
+                    name.text
+                ),
+            ));
         }
     }
 }

@@ -1,0 +1,24 @@
+pub fn pinned_sum_f32(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+pub fn dot_lanes(x: &[f32], w: &[f32]) -> f32 {
+    let mut lanes = [0.0f32; 4];
+    let mut k = 0;
+    while k + 4 <= x.len() {
+        for l in 0..4 {
+            lanes[l] += x[k + l] * w[k + l];
+        }
+        k += 4;
+    }
+    let mut tail = 0.0f32;
+    while k < x.len() {
+        tail += x[k] * w[k];
+        k += 1;
+    }
+    ((lanes[0] + lanes[2]) + (lanes[1] + lanes[3])) + tail
+}

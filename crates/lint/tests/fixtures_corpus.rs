@@ -72,6 +72,40 @@ fn panic_in_lib_pair() {
 }
 
 #[test]
+fn tensor_reassociation_pair() {
+    check_pair(
+        Rule::FloatReassociation,
+        "tensor_reassoc_bad",
+        "tensor_reassoc_allowed",
+    );
+}
+
+/// Inside `qnn::tensor` the rule works per function: the pinned-order
+/// helpers accumulate freely, while a reassociated kernel is exactly
+/// one finding anchored at its `fn` line (one allow per kernel, not
+/// one per accumulator lane).
+#[test]
+fn tensor_blessing_is_function_scoped() {
+    let report = audit_workspace(&fixture("tensor_reassoc_bad")).unwrap();
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "one finding per unblessed kernel: {:?}",
+        report.findings
+    );
+    let f = &report.findings[0];
+    assert_eq!(f.rule, Rule::FloatReassociation);
+    assert!(
+        f.message.contains("dot_lanes"),
+        "finding names the kernel: {}",
+        f.message
+    );
+    // `pinned_sum_f32` accumulates on line 4 of the fixture; the only
+    // finding must anchor at the unblessed kernel's `fn` line instead.
+    assert_eq!(f.line, 9, "anchored at `pub fn dot_lanes`: {f:?}");
+}
+
+#[test]
 fn malformed_suppressions_are_findings() {
     let report = audit_workspace(&fixture("bad_allow")).unwrap();
     let bad: Vec<_> = report

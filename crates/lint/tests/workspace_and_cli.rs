@@ -64,6 +64,7 @@ fn cli_exit_codes_gate_ci() {
         "unordered_bad",
         "truncating_bad",
         "float_bad",
+        "tensor_reassoc_bad",
         "panic_bad",
         "bad_allow",
     ] {
@@ -82,6 +83,7 @@ fn cli_exit_codes_gate_ci() {
         "unordered_allowed",
         "truncating_allowed",
         "float_allowed",
+        "tensor_reassoc_allowed",
         "panic_allowed",
         "clean",
     ] {

@@ -155,6 +155,29 @@ pub struct IntegerMlp {
     pub act_bits: u8,
 }
 
+/// Reusable buffers for [`IntegerMlp::infer_class`] — the
+/// zero-allocation serving path. One scratch per evaluator/worker; the
+/// buffers grow to the model's widest layer on first use and are reused
+/// on every subsequent frame.
+#[derive(Debug, Clone, Default)]
+pub struct IntScratch {
+    act: Vec<u32>,
+    next: Vec<u32>,
+    scores: Vec<i64>,
+}
+
+impl IntScratch {
+    /// Empty scratch; buffers size themselves on first inference.
+    pub fn new() -> Self {
+        IntScratch::default()
+    }
+
+    /// Raw class scores from the most recent [`IntegerMlp::infer_class`].
+    pub fn scores(&self) -> &[i64] {
+        &self.scores
+    }
+}
+
 impl IntegerMlp {
     /// Integer-only inference.
     ///
@@ -162,19 +185,40 @@ impl IntegerMlp {
     ///
     /// Panics when `x.len()` differs from the first layer's input width.
     pub fn infer(&self, x: &[u32]) -> IntPrediction {
+        let mut scratch = IntScratch::new();
+        let class = self.infer_class(x, &mut scratch);
+        IntPrediction {
+            class,
+            scores: std::mem::take(&mut scratch.scores),
+        }
+    }
+
+    /// Integer-only inference through caller-owned buffers: identical
+    /// arithmetic to [`infer`](Self::infer) (which delegates here), but
+    /// allocation-free once `scratch` has warmed up — the per-frame hot
+    /// path of the streaming evaluators and the software serving
+    /// backend. Scores stay readable via [`IntScratch::scores`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `x.len()` differs from the first layer's input width.
+    pub fn infer_class(&self, x: &[u32], scratch: &mut IntScratch) -> usize {
         let first_dim = self
             .blocks
             .first()
             .map(|b| b.in_dim)
             .unwrap_or(self.output.in_dim);
         assert_eq!(x.len(), first_dim, "input dimension mismatch");
-        let mut act: Vec<u32> = x.to_vec();
+        scratch.act.clear();
+        scratch.act.extend_from_slice(x);
         for block in &self.blocks {
-            let mut next = vec![0u32; block.out_dim];
-            for (j, slot) in next.iter_mut().enumerate() {
+            scratch.next.clear();
+            scratch.next.resize(block.out_dim, 0);
+            let act = &scratch.act;
+            for (j, slot) in scratch.next.iter_mut().enumerate() {
                 let row = block.weight_row(j);
                 let mut acc = 0i64;
-                for (w, &a) in row.iter().zip(&act) {
+                for (w, &a) in row.iter().zip(act) {
                     acc += i64::from(*w) * i64::from(a);
                 }
                 let mut level = 0u32;
@@ -187,24 +231,26 @@ impl IntegerMlp {
                 }
                 *slot = level;
             }
-            act = next;
+            std::mem::swap(&mut scratch.act, &mut scratch.next);
         }
-        let mut scores = Vec::with_capacity(self.output.out_dim);
+        scratch.scores.clear();
         for j in 0..self.output.out_dim {
             let row = self.output.weight_row(j);
             let mut acc = 0i64;
-            for (w, &a) in row.iter().zip(&act) {
+            for (w, &a) in row.iter().zip(&scratch.act) {
                 acc += i64::from(*w) * i64::from(a);
             }
-            scores.push((acc << BIAS_SHIFT) + self.output.bias_q[j]);
+            scratch
+                .scores
+                .push((acc << BIAS_SHIFT) + self.output.bias_q[j]);
         }
-        let class = scores
+        scratch
+            .scores
             .iter()
             .enumerate()
             .max_by(|(ia, a), (ib, b)| a.cmp(b).then(ib.cmp(ia)))
             .map(|(i, _)| i)
-            .unwrap_or(0);
-        IntPrediction { class, scores }
+            .unwrap_or(0)
     }
 
     /// Convenience wrapper rounding float features (e.g. the 0.0/1.0 bit
@@ -503,6 +549,20 @@ mod tests {
         (0..n)
             .map(|_| (0..dim).map(|_| u32::from(rng.gen_bool(0.5))).collect())
             .collect()
+    }
+
+    #[test]
+    fn scratch_inference_is_bit_identical_to_infer() {
+        let mlp = trained_mlp(4, vec![10, 6], 21);
+        let int_mlp = mlp.export().unwrap();
+        // One scratch reused across every frame — the serving pattern.
+        let mut scratch = IntScratch::new();
+        for x in random_bit_inputs(12, 200, 77) {
+            let fresh = int_mlp.infer(&x);
+            let class = int_mlp.infer_class(&x, &mut scratch);
+            assert_eq!(class, fresh.class);
+            assert_eq!(scratch.scores(), fresh.scores.as_slice());
+        }
     }
 
     #[test]

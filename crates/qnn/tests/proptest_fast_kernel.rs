@@ -1,0 +1,165 @@
+//! Re-validation of the reassociated fast inference kernel.
+//!
+//! `linear_forward_fast` reorders each neuron's summation into eight
+//! partial-sum lanes, so its logits may differ from the pinned-order
+//! kernel in the last float bits. These properties pin what is allowed
+//! to change (logit ulps, bounded) and what is not (classification:
+//! per-row argmax after quantised inference).
+
+use canids_qnn::layers::QuantLinear;
+use canids_qnn::mlp::{MlpConfig, QuantMlp};
+use canids_qnn::quant::BitWidth;
+use canids_qnn::tensor::{linear_forward, linear_forward_fast, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn pseudo_matrix(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut state = seed | 1;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        data.push(((state >> 16) as f32 / 32768.0) - 1.0);
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Encoder-like integer features in `0..=63`, the domain the streaming
+/// featuriser feeds the float predict path.
+fn pseudo_features(rows: usize, cols: usize, seed: u32) -> Matrix {
+    let mut state = seed | 1;
+    let mut data = Vec::with_capacity(rows * cols);
+    for _ in 0..rows * cols {
+        state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+        data.push(((state >> 20) & 63) as f32);
+    }
+    Matrix::from_vec(rows, cols, data)
+}
+
+/// Same argmax convention as `QuantMlp::predict_batch`.
+fn argmax(row: &[f32]) -> usize {
+    row.iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+/// Asserts the two kernels classify `pinned` vs `fast` identically,
+/// except where the pinned top-2 logits tie to within the kernels'
+/// reassociation rounding (`tol`): quantised weights over integer
+/// features produce *mathematically tied* logits routinely, and a tie's
+/// float ordering is rounding-defined under either summation order.
+/// (The deployed post-quantisation path — `IntegerMlp`'s thresholded
+/// integer inference — never touches a float kernel and stays
+/// bit-identical unconditionally.)
+fn assert_argmax_agrees(pinned: &[f32], fast: &[f32], tol: f32, ctx: &str) {
+    let (p, f) = (argmax(pinned), argmax(fast));
+    if p != f {
+        let gap = (pinned[p] - pinned[f]).abs();
+        assert!(
+            gap <= tol * (1.0 + pinned[p].abs()),
+            "{ctx}: argmax {p} vs {f} with non-tied gap {gap} (pinned {pinned:?} fast {fast:?})"
+        );
+    }
+}
+
+proptest! {
+    // The fast kernel is a reassociation, not an approximation: the
+    // difference from the pinned kernel stays within a few ulps of the
+    // running sum across random shapes, including `k % 8` tails and
+    // sub-block output counts.
+    #[test]
+    fn fast_kernel_error_bounded(
+        rows in 1usize..6,
+        out in 1usize..70,
+        cols in 1usize..90,
+        seed in 0u32..500,
+    ) {
+        let x = pseudo_matrix(rows, cols, seed);
+        let w = pseudo_matrix(out, cols, seed.wrapping_add(17));
+        let b: Vec<f32> = (0..out).map(|i| i as f32 * 0.01 - 0.1).collect();
+        let pinned = linear_forward(&x, &w, &b);
+        let fast = linear_forward_fast(&x, &w, &b);
+        for (p, f) in pinned.as_slice().iter().zip(fast.as_slice()) {
+            prop_assert!(
+                (p - f).abs() <= 2e-4 * (1.0 + p.abs()),
+                "{rows}x{out}x{cols}: pinned {p} vs fast {f}"
+            );
+        }
+    }
+
+    // Layer-level quantised inference: the shipped eval forward (fast
+    // kernel over fake-quantised weights) picks the same class as the
+    // pinned kernel over the identical quantised weights, reconstructed
+    // independently from `int_weights()`.
+    #[test]
+    fn quantised_layer_argmax_matches_pinned(
+        in_dim in 1usize..80,
+        out_dim in 2usize..20,
+        batch in 1usize..6,
+        bits in 2u8..=8,
+        seed in 0u64..200,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut layer = QuantLinear::new(in_dim, out_dim, BitWidth::new(bits).unwrap(), &mut rng);
+        let x = pseudo_features(batch, in_dim, seed as u32 ^ 0x5a5a);
+        let fast = layer.forward(&x, false);
+        let (codes, scale) = layer.int_weights();
+        let wq = Matrix::from_vec(
+            out_dim,
+            in_dim,
+            codes.iter().map(|&c| c as f32 * scale).collect(),
+        );
+        let pinned = linear_forward(&x, &wq, &layer.bias().data);
+        for r in 0..batch {
+            assert_argmax_agrees(
+                pinned.row(r),
+                fast.row(r),
+                2e-4,
+                &format!("row {r} of {batch}x{out_dim}x{in_dim} (w{bits})"),
+            );
+        }
+    }
+
+    // Model-level: random topologies (depth, widths, bit widths, BN
+    // on/off) classify identically through the fast eval forward and
+    // the pinned-order reference forward, up to mathematical ties.
+    #[test]
+    fn model_argmax_matches_pinned_reference(
+        input_dim in 1usize..40,
+        h1 in 1usize..24,
+        h2 in 0usize..12,
+        classes in 2usize..5,
+        bn_flip in 0u8..2,
+        bits in 2u8..=8,
+        seed in 0u64..100,
+    ) {
+        let batch_norm = bn_flip == 1;
+        let mut hidden = vec![h1];
+        if h2 > 0 {
+            hidden.push(h2);
+        }
+        let mut mlp = QuantMlp::new(MlpConfig {
+            input_dim,
+            hidden,
+            classes,
+            weight_bits: BitWidth::new(bits).unwrap(),
+            batch_norm,
+            seed,
+            ..MlpConfig::default()
+        })
+        .unwrap();
+        let x = pseudo_features(4, input_dim, seed as u32 ^ 0xc3c3);
+        let fast = mlp.forward(&x, false);
+        let pinned = mlp.forward_reference(&x);
+        for r in 0..4 {
+            assert_argmax_agrees(
+                pinned.row(r),
+                fast.row(r),
+                1e-3,
+                &format!("row {r} (in {input_dim}, classes {classes}, bn {batch_norm})"),
+            );
+        }
+    }
+}

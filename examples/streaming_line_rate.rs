@@ -6,6 +6,9 @@
 //! ```sh
 //! cargo run --release -p canids-core --example streaming_line_rate
 //! ```
+//!
+//! Pass `--workers N` to pin the scale-out sweep's worker pool (default
+//! auto = one worker per host core, capped at the shard count).
 
 use canids_core::prelude::*;
 
@@ -72,5 +75,51 @@ fn main() -> Result<(), CoreError> {
         classic.sustained_fps.unwrap_or(0.0),
         classic.offered_fps,
     );
+
+    // Scale-out sweep: the same saturated DoS capture split into
+    // contiguous shards — parallel serving lanes, each re-paced from the
+    // bus epoch — replayed through fresh per-lane backends on a bounded
+    // worker pool with batched dispatch. The pool size is execution-only
+    // (any worker count merges to the bit-identical report); `--workers`
+    // pins it, default auto.
+    let workers = parse_workers(std::env::args());
+    let dos_capture = DatasetBuilder::new(traffic(attack, 0x11E)).build();
+    println!("\nscale-out sweep ({workers:?} workers, batch 32):");
+    println!("  shards  workers  sustained_fps  dropped");
+    for shards in [1usize, 2, 4, 8] {
+        let config = ReplayConfig::default()
+            .with_batch(32)
+            .with_shards(shards)
+            .with_workers(workers);
+        let r = ServeHarness::replay_sharded(
+            || Ok(SoftwareBackend::single(model.clone())),
+            &dos_capture,
+            &config,
+        )?;
+        println!(
+            "  {:>6}  {:>7}  {:>13.0}  {:>7}",
+            shards,
+            workers.count(shards),
+            r.sustained_fps.unwrap_or(0.0),
+            r.dropped,
+        );
+    }
     Ok(())
+}
+
+/// Parses an optional `--workers N` argument (`--workers=N` also works);
+/// anything absent or malformed falls back to [`ShardWorkers::Auto`].
+fn parse_workers(mut args: std::env::Args) -> ShardWorkers {
+    while let Some(arg) = args.next() {
+        if arg == "--workers" {
+            if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                return ShardWorkers::Fixed(n);
+            }
+        } else if let Some(v) = arg.strip_prefix("--workers=") {
+            if let Ok(n) = v.parse() {
+                return ShardWorkers::Fixed(n);
+            }
+        }
+    }
+    ShardWorkers::Auto
 }
