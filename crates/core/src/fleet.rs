@@ -748,6 +748,74 @@ mod tests {
     }
 
     #[test]
+    fn fleet_telemetry_traces_gateway_hops_and_admission_events() {
+        use crate::telemetry::{Counter, Stage, TelemetryConfig};
+
+        // Gateway hops: every offered frame crosses the backbone ->
+        // board gateway once per replay, stamped on the virtual clock.
+        let bs = bundles(3);
+        let plan = FleetPlan::build(&bs, &hetero_fleet()).unwrap();
+        let deployment = plan.deploy(&bs, &CompileConfig::default()).unwrap();
+        let capture = DatasetBuilder::new(TrafficConfig {
+            duration: SimTime::from_millis(120),
+            seed: 0xF1EE7,
+            ..TrafficConfig::default()
+        })
+        .build();
+        let config = ReplayConfig::default()
+            .with_policy(SchedPolicy::DmaBatch { batch: 32 })
+            .with_telemetry(TelemetryConfig::default());
+        let report = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &config)
+            .unwrap();
+        let t = report.telemetry.as_ref().unwrap();
+        let hops = t.stage_stats(Stage::GatewayHop);
+        assert_eq!(
+            hops.count as usize,
+            capture.len() * report.boards.len(),
+            "one hop span per frame per board shard"
+        );
+        assert!(hops.mean_ns > 0.0, "forwarding is never free");
+
+        // Admission decisions: the shed/readmit cycle lands in the
+        // counters and as zero-width spans at the decision instants.
+        let bs2 = bundles(2);
+        let plan2 =
+            FleetPlan::build(&bs2, &FleetConfig::new(vec![BoardSpec::zcu104("solo")])).unwrap();
+        let deployment2 = plan2.deploy(&bs2, &CompileConfig::default()).unwrap();
+        let shed_capture = two_phase_capture(300, 150, 200, 1_000);
+        let shed_config = ReplayConfig {
+            pacing: Pacing::AsRecorded,
+            admission: AdmissionPolicy::ShedLowestValue {
+                priorities: vec![5, 1],
+            },
+            ecu: EcuConfig {
+                policy: SchedPolicy::Sequential,
+                ..EcuConfig::default()
+            },
+            ..ReplayConfig::default()
+        }
+        .with_telemetry(TelemetryConfig::default());
+        let shed_report = ServeHarness::new(deployment2.serve_backend())
+            .replay(&shed_capture, &shed_config)
+            .unwrap();
+        let st = shed_report.telemetry.as_ref().unwrap();
+        assert_eq!(st.metrics.counter(Counter::AdmissionShed), 1);
+        assert_eq!(st.metrics.counter(Counter::AdmissionReadmit), 1);
+        let admission_spans: Vec<_> = st
+            .spans
+            .iter()
+            .filter(|s| s.stage == Stage::Admission)
+            .collect();
+        assert_eq!(admission_spans.len(), 2);
+        let event_times: Vec<SimTime> = shed_report.events.iter().map(|e| e.time).collect();
+        for s in &admission_spans {
+            assert_eq!(s.start, s.end, "admission spans are instants");
+            assert!(event_times.contains(&s.start), "span matches an event");
+        }
+    }
+
+    #[test]
     fn shed_then_readmit_when_load_subsides() {
         // One ZCU104, two models, per-message sequential serving: the
         // 150 us burst overloads the 2-model service (~240 us/frame) but

@@ -27,7 +27,12 @@
 //!   per-frame verdict stream ([`serve::VerdictSink`]) and value-driven
 //!   admission ([`serve::AdmissionPolicy::ShedLowestMeasuredValue`]),
 //! * [`report`] — shared latency/energy statistics and paper-style
-//!   ASCII tables for the benchmark harness.
+//!   ASCII tables for the benchmark harness,
+//! * [`telemetry`] — the deterministic, sim-time-clocked observability
+//!   layer: per-stage tracing spans ([`telemetry::Span`]), an integer
+//!   metrics registry ([`telemetry::MetricsRegistry`]) and Chrome-trace /
+//!   JSON exporters, opt-in per replay via
+//!   [`serve::ReplayConfig::with_telemetry`].
 //!
 //! # Quickstart
 //!
@@ -51,6 +56,7 @@ pub mod pipeline;
 pub mod report;
 pub mod serve;
 pub mod stream;
+pub mod telemetry;
 
 pub use deploy::{
     deploy_multi_ids, DeploymentPlan, DetectorBundle, ModelPlan, MultiIdsDeployment, PlanConfig,
@@ -69,8 +75,11 @@ pub use serve::{
     ServeReport, ServeScenario, ShardWorkers, SoftwareBackend, Verdict, VerdictSink,
 };
 pub use stream::{
-    LineRateScenario, MultiStreamVerdict, MultiStreamingEvaluator, StreamVerdict,
+    LineRateScenario, MultiStreamVerdict, MultiStreamingEvaluator, StagedNanos, StreamVerdict,
     StreamingEvaluator,
+};
+pub use telemetry::{
+    MetricsRegistry, Probe, Span, Stage, StageStats, TelemetryConfig, TelemetryReport, WallClock,
 };
 
 /// Convenience re-exports spanning the whole stack.
@@ -93,6 +102,9 @@ pub mod prelude {
     };
     pub use crate::stream::{
         LineRateScenario, MultiStreamingEvaluator, StreamVerdict, StreamingEvaluator,
+    };
+    pub use crate::telemetry::{
+        MetricsRegistry, Probe, Span, Stage, TelemetryConfig, TelemetryReport, WallClock,
     };
     pub use canids_baselines::prelude::*;
     pub use canids_can::prelude::*;

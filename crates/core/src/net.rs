@@ -566,6 +566,9 @@ pub struct GatewayLoad {
     pub paused: u64,
     /// Peak frames buffered at once across all ports.
     pub peak_queue: usize,
+    /// Sim-time at which `peak_queue` was first reached
+    /// ([`SimTime::ZERO`] when nothing was ever buffered).
+    pub peak_at: SimTime,
     /// Frames still buffered when the replay ended.
     pub queued: usize,
 }
@@ -913,7 +916,11 @@ impl Topology {
         }
         node.queued_total += 1;
         node.ports[port].queue += 1;
-        node.load.peak_queue = node.load.peak_queue.max(node.queued_total);
+        if node.queued_total > node.load.peak_queue {
+            // Strictly-greater keeps the *first* time the peak was hit.
+            node.load.peak_queue = node.queued_total;
+            node.load.peak_at = at;
+        }
         let release = at + node.delay;
         vec![Box::new(PortService {
             gw,
@@ -1576,6 +1583,45 @@ mod tests {
         assert!(load.paused > 0, "flood must trip the pause watermark");
         assert_eq!(load.dropped(), 0);
         assert!(load.peak_queue > 16);
+        assert!(load.peak_at > SimTime::ZERO);
+    }
+
+    #[test]
+    fn gateway_peak_at_stamps_the_first_peak() {
+        // Fast backbone feeding a slow leaf through one gateway: the
+        // burst piles up in the gateway buffer, so the peak is hit at a
+        // deterministic carried timestamp.
+        let burst = |times: &[u64]| {
+            let mut b = Topology::builder();
+            let backbone = b.segment(Bitrate::HIGH_SPEED_1M);
+            let gw = b.gateway(
+                backbone,
+                SimTime::from_micros(20),
+                QueueDiscipline::default(),
+            );
+            let leaf = b.segment(Bitrate::LOW_SPEED_125K);
+            b.port(gw, leaf);
+            let board = b.sink(leaf);
+            let mut sim = NetSim::new(b.build());
+            for (i, &us) in times.iter().enumerate() {
+                sim.inject(
+                    SimTime::from_micros(us),
+                    backbone,
+                    board,
+                    frame(0x100 + i as u16),
+                );
+            }
+            sim.run();
+            sim.topology.gateway_loads()[0]
+        };
+        let early = burst(&[0, 1, 2, 3]);
+        assert!(early.peak_queue >= 2, "back-to-back burst must overlap");
+        assert!(early.peak_at > SimTime::ZERO);
+        // A second, identical burst long after the queue drained re-hits
+        // the same depth; the stamp keeps the *first* occurrence.
+        let repeated = burst(&[0, 1, 2, 3, 50_000, 50_001, 50_002, 50_003]);
+        assert_eq!(repeated.peak_queue, early.peak_queue);
+        assert_eq!(repeated.peak_at, early.peak_at);
     }
 
     #[test]

@@ -37,7 +37,7 @@
 //! exposes model activation gets graceful degradation for free.
 
 use std::collections::{BTreeMap, VecDeque};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use canids_can::frame::CanFrame;
 use canids_can::gateway::SegmentForwarder;
@@ -56,7 +56,27 @@ use crate::error::CoreError;
 use crate::fleet::{FleetDeployment, Slot};
 use crate::net::{FleetNet, GatewayLoad, NetConfig, NetOutcome};
 use crate::report::{EnergyStats, LatencyStats};
-use crate::stream::{StreamVerdict, StreamingEvaluator};
+use crate::stream::{StagedNanos, StreamVerdict, StreamingEvaluator};
+use crate::telemetry::{Counter, Probe, Stage, TelemetryConfig, TelemetryReport, WallClock};
+
+/// The serving-facing observability surface: re-exports of the
+/// [`crate::telemetry`] types a replay consumer needs (configure capture
+/// via [`ReplayConfig::with_telemetry`], read results off
+/// [`ServeReport::telemetry`]).
+///
+/// ```
+/// use canids_core::serve::obs::{Stage, TelemetryConfig};
+///
+/// let cfg = TelemetryConfig::default();
+/// assert!(cfg.spans);
+/// assert_eq!(Stage::Infer.name(), "infer");
+/// ```
+pub mod obs {
+    pub use crate::telemetry::{
+        Counter, MetricsRegistry, Probe, Span, Stage, StageStats, TelemetryConfig, TelemetryReport,
+        WallClock,
+    };
+}
 
 /// How replay arrivals are paced onto the serving substrate.
 ///
@@ -343,6 +363,12 @@ pub struct ReplayConfig {
     /// How many capture shards [`ServeHarness::replay_sharded`] splits
     /// the replay into.
     pub shards: usize,
+    /// Opt-in telemetry capture ([`crate::telemetry`]): per-stage
+    /// tracing spans and an integer metrics registry, attached to
+    /// [`ServeReport::telemetry`]. `None` (the default) is provably
+    /// free — every other report field is bit-identical with or without
+    /// it.
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// Worker-thread count for sharded replays: an *execution-only* knob —
@@ -394,6 +420,7 @@ impl Default for ReplayConfig {
             batch: 1,
             workers: ShardWorkers::Auto,
             shards: 1,
+            telemetry: None,
         }
     }
 }
@@ -444,6 +471,14 @@ impl ReplayConfig {
     /// Sets the sharded-replay worker pool (builder style).
     pub fn with_workers(mut self, workers: ShardWorkers) -> Self {
         self.workers = workers;
+        self
+    }
+
+    /// Enables telemetry capture for the replay (builder style): the
+    /// report gains a [`crate::telemetry::TelemetryReport`] with
+    /// per-stage spans and the metrics snapshot.
+    pub fn with_telemetry(mut self, telemetry: TelemetryConfig) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 
@@ -771,6 +806,13 @@ pub trait ServeSession {
         (Vec::new(), Vec::new())
     }
 
+    /// Attaches a telemetry [`Probe`] for the rest of the session: the
+    /// substrate records per-stage spans (featurise/pack/infer, DMA
+    /// windows, gateway hops) through it. Default: ignore the probe
+    /// (an uninstrumented substrate still replays correctly — it just
+    /// contributes no stage spans).
+    fn attach_probe(&mut self, _probe: Probe) {}
+
     /// Flushes trailing state (e.g. a partial DMA window), appends the
     /// remaining verdicts and returns per-shard totals.
     ///
@@ -901,6 +943,7 @@ impl ServeBackend for SoftwareBackend {
             busy_wall: Duration::ZERO,
             pending: Vec::new(),
             topology: ServeTopology::single_shard(&self.names, depth),
+            probe: None,
         })
     }
 }
@@ -937,6 +980,9 @@ pub struct SoftwareSession {
     busy_wall: Duration,
     pending: Vec<ShardVerdict>,
     topology: ServeTopology,
+    /// Telemetry probe; when attached, dispatches run the staged push
+    /// path so featurise/pack/infer get individual wall measurements.
+    probe: Option<Probe>,
 }
 
 impl ServeSession for SoftwareSession {
@@ -987,8 +1033,10 @@ impl ServeSession for SoftwareSession {
                 admitted: true,
             });
         }
-        // lint:allow(wallclock-in-sim): the software backend reports measured host latency by contract
-        let t0 = Instant::now();
+        // The software backend reports measured host latency by
+        // contract; `WallClock` is the workspace's one audited gate.
+        let t0 = WallClock::start();
+        let mut stages = StagedNanos::default();
         let mut flagged = false;
         let mut model_flags = 0u64;
         for (k, (eval, _)) in self
@@ -998,7 +1046,12 @@ impl ServeSession for SoftwareSession {
             .enumerate()
             .filter(|&(_, (_, &a))| a)
         {
-            if eval.push(rec).flagged {
+            let v = if self.probe.is_some() {
+                eval.push_staged(rec, &mut stages)
+            } else {
+                eval.push(rec)
+            };
+            if v.flagged {
                 flagged = true;
                 if k < 64 {
                     model_flags |= 1 << k;
@@ -1011,6 +1064,9 @@ impl ServeSession for SoftwareSession {
         let service = SimTime::from_nanos((wall.as_nanos() as u64).max(1));
         let start = self.queue.start_time(arrival);
         let completed_at = self.queue.serve(start, service);
+        if let Some(probe) = &self.probe {
+            stages.record_from(probe, 0, start);
+        }
         self.serviced += 1;
         self.pending.push(ShardVerdict {
             shard: 0,
@@ -1048,6 +1104,10 @@ impl ServeSession for SoftwareSession {
         self.active[slot.local] = active;
     }
 
+    fn attach_probe(&mut self, probe: Probe) {
+        self.probe = Some(probe);
+    }
+
     fn finish(mut self, out: &mut Vec<ShardVerdict>) -> Result<Vec<ShardTotals>, CoreError> {
         if let Some(last) = self.window_recs.last() {
             let ready = last.timestamp;
@@ -1075,8 +1135,10 @@ impl SoftwareSession {
             return;
         }
         let mut flags = vec![(false, 0u64); n];
-        // lint:allow(wallclock-in-sim): the software backend reports measured host latency by contract
-        let t0 = Instant::now();
+        // The software backend reports measured host latency by
+        // contract; `WallClock` is the workspace's one audited gate.
+        let t0 = WallClock::start();
+        let mut stages = StagedNanos::default();
         for (k, (eval, _)) in self
             .evals
             .iter_mut()
@@ -1085,7 +1147,11 @@ impl SoftwareSession {
             .filter(|&(_, (_, &a))| a)
         {
             self.verdict_buf.clear();
-            eval.push_batch(&self.window_recs, &mut self.verdict_buf);
+            if self.probe.is_some() {
+                eval.push_batch_staged(&self.window_recs, &mut self.verdict_buf, &mut stages);
+            } else {
+                eval.push_batch(&self.window_recs, &mut self.verdict_buf);
+            }
             for (slot, v) in flags.iter_mut().zip(&self.verdict_buf) {
                 if v.flagged {
                     slot.0 = true;
@@ -1097,6 +1163,10 @@ impl SoftwareSession {
         }
         let wall = t0.elapsed();
         self.busy_wall += wall;
+        if let Some(probe) = &self.probe {
+            // One span triple per window, laid from the dispatch start.
+            stages.record_from(probe, 0, self.queue.start_time(ready));
+        }
         // Even split, at least 1 ns each so completions advance.
         let per = SimTime::from_nanos(((wall.as_nanos() as u64) / n as u64).max(1));
         let active_mask = canids_soc::ecu::active_mask_of(&self.active);
@@ -1252,6 +1322,7 @@ impl ServeBackend for EcuBackend<'_> {
             admitted: Vec::new(),
             cursor: 0,
             topology,
+            probe: None,
         })
     }
 }
@@ -1276,6 +1347,7 @@ pub struct EcuSession<'a> {
     admitted: Vec<usize>,
     cursor: usize,
     topology: ServeTopology,
+    probe: Option<Probe>,
 }
 
 impl std::fmt::Debug for EcuSession<'_> {
@@ -1283,6 +1355,32 @@ impl std::fmt::Debug for EcuSession<'_> {
         f.debug_struct("EcuSession")
             .field("admitted", &self.admitted.len())
             .finish_non_exhaustive()
+    }
+}
+
+/// Counts freshly emitted admission-policy events on the telemetry
+/// probe and stamps each as a zero-width [`Stage::Admission`] span at
+/// its decision time.
+fn note_admission_events(probe: &Probe, shard: u32, fresh: &[FleetEvent]) {
+    for event in fresh {
+        let counter = match event.action {
+            FleetAction::Shed => Counter::AdmissionShed,
+            FleetAction::Readmit => Counter::AdmissionReadmit,
+            FleetAction::Migrate { .. } => Counter::AdmissionMigrate,
+            FleetAction::GatewayDark { .. } => continue,
+        };
+        probe.inc(counter);
+        probe.record(shard, Stage::Admission, event.time, event.time);
+    }
+}
+
+/// Forwards profiled SoC stage intervals to a telemetry probe, mapping
+/// the soc crate's static stage names onto the interned [`Stage`] table.
+fn record_stage_samples(probe: &Probe, shard: u32, samples: &[canids_soc::ecu::StageSample]) {
+    for s in samples {
+        if let Some(stage) = Stage::from_name(s.stage) {
+            probe.record(shard, stage, s.start, s.end);
+        }
     }
 }
 
@@ -1332,6 +1430,11 @@ impl ServeSession for EcuSession<'_> {
     }
 
     fn drain_verdicts(&mut self, shard: usize, out: &mut Vec<ShardVerdict>) {
+        if let Some(probe) = self.probe.clone() {
+            let mut samples = Vec::new();
+            self.stream.take_stage_samples(&mut samples);
+            record_stage_samples(&probe, shard as u32, &samples);
+        }
         drain_ecu_detections(
             shard,
             self.stream.detections(),
@@ -1353,8 +1456,17 @@ impl ServeSession for EcuSession<'_> {
         self.stream.set_model_active(slot.local, active);
     }
 
+    fn attach_probe(&mut self, probe: Probe) {
+        self.stream.enable_profiling();
+        self.probe = Some(probe);
+    }
+
     fn finish(mut self, out: &mut Vec<ShardVerdict>) -> Result<Vec<ShardTotals>, CoreError> {
         let report = self.stream.try_finish()?;
+        if let Some(probe) = &self.probe {
+            // Samples from the trailing DMA flush land in the report.
+            record_stage_samples(probe, 0, &report.stage_samples);
+        }
         drain_ecu_detections(0, &report.detections, &self.admitted, &mut self.cursor, out);
         Ok(vec![ShardTotals {
             dropped: report.dropped,
@@ -1506,6 +1618,7 @@ impl ServeBackend for FleetBackend<'_> {
             admitted: vec![Vec::new(); m],
             cursors: vec![0; m],
             topology,
+            probe: None,
         })
     }
 }
@@ -1540,6 +1653,7 @@ pub struct FleetSession<'a> {
     admitted: Vec<Vec<usize>>,
     cursors: Vec<usize>,
     topology: ServeTopology,
+    probe: Option<Probe>,
 }
 
 impl std::fmt::Debug for FleetSession<'_> {
@@ -1582,6 +1696,9 @@ impl ServeSession for FleetSession<'_> {
                 }
             }
         };
+        if let Some(probe) = &self.probe {
+            probe.record(shard as u32, Stage::GatewayHop, rec.timestamp, delivered);
+        }
         let before = self.sessions[shard].dropped();
         self.sessions[shard].push(delivered, rec.frame, &featurize)?;
         let admitted = self.sessions[shard].dropped() == before;
@@ -1595,6 +1712,11 @@ impl ServeSession for FleetSession<'_> {
     }
 
     fn drain_verdicts(&mut self, shard: usize, out: &mut Vec<ShardVerdict>) {
+        if let Some(probe) = self.probe.clone() {
+            let mut samples = Vec::new();
+            self.sessions[shard].take_stage_samples(&mut samples);
+            record_stage_samples(&probe, shard as u32, &samples);
+        }
         drain_ecu_detections(
             shard,
             self.sessions[shard].detections(),
@@ -1636,17 +1758,29 @@ impl ServeSession for FleetSession<'_> {
         }
     }
 
+    fn attach_probe(&mut self, probe: Probe) {
+        for session in &mut self.sessions {
+            session.enable_profiling();
+        }
+        self.probe = Some(probe);
+    }
+
     fn finish(self, out: &mut Vec<ShardVerdict>) -> Result<Vec<ShardTotals>, CoreError> {
         let FleetSession {
             sessions,
             net_dropped,
             admitted,
             mut cursors,
+            probe,
             ..
         } = self;
         let mut totals = Vec::with_capacity(sessions.len());
         for (b, session) in sessions.into_iter().enumerate() {
             let report = session.try_finish()?;
+            if let Some(probe) = &probe {
+                // Samples from the trailing DMA flush land in the report.
+                record_stage_samples(probe, b as u32, &report.stage_samples);
+            }
             drain_ecu_detections(b, &report.detections, &admitted[b], &mut cursors[b], out);
             debug_assert_eq!(report.detections.len(), admitted[b].len());
             totals.push(ShardTotals {
@@ -1802,6 +1936,11 @@ pub struct ServeReport {
     /// Fused per-frame verdicts: backbone arrival and whether any shard
     /// flagged it, for frames at least one shard serviced.
     pub verdicts: Vec<(SimTime, bool)>,
+    /// Telemetry captured during the replay: per-stage spans plus the
+    /// metrics snapshot. `None` unless the replay was configured with
+    /// [`ReplayConfig::with_telemetry`]; sharded replays merge per-shard
+    /// reports in strict shard order.
+    pub telemetry: Option<TelemetryReport>,
 }
 
 impl ServeReport {
@@ -2384,6 +2523,10 @@ impl<B: ServeBackend> ServeHarness<B> {
         }
         let backend_label = self.backend.label();
         let mut session = self.backend.open(config)?;
+        let probe = config.telemetry.as_ref().map(Probe::new);
+        if let Some(p) = &probe {
+            session.attach_probe(p.clone());
+        }
         let topology = session.topology().clone();
         let shards = topology.shards();
         let mut ctl = AdmissionController::new(config, &topology);
@@ -2413,7 +2556,11 @@ impl<B: ServeBackend> ServeHarness<B> {
                 for v in &fresh {
                     agg.absorb(v, &mut ctl);
                 }
+                let before = ctl.events.len();
                 ctl.govern(b, push.delivered, &mut session);
+                if let Some(p) = &probe {
+                    note_admission_events(p, b as u32, &ctl.events[before..]);
+                }
             }
             agg.emit_ready(sink);
         }
@@ -2425,7 +2572,16 @@ impl<B: ServeBackend> ServeHarness<B> {
         }
         agg.emit_ready(sink);
 
-        Ok(finalize(
+        let telemetry = probe.map(|p| {
+            p.add(Counter::FramesOffered, agg.arrivals.len() as u64);
+            p.add(
+                Counter::FramesDropped,
+                totals.iter().map(|t| t.dropped).sum(),
+            );
+            p.add(Counter::FramesServiced, agg.fused.len() as u64);
+            p.take_report()
+        });
+        let mut report = finalize(
             backend_label,
             config,
             &topology,
@@ -2434,7 +2590,9 @@ impl<B: ServeBackend> ServeHarness<B> {
             &totals,
             gateways,
             net_events,
-        ))
+        );
+        report.telemetry = telemetry;
+        Ok(report)
     }
 
     /// Replays every scenario concurrently on scoped threads (capture
@@ -2583,8 +2741,10 @@ fn merge_sharded(shard_outcomes: Vec<(ServeReport, Vec<Verdict>)>) -> ServeRepor
         events: Vec::new(),
         gateways: Vec::new(),
         verdicts: Vec::new(),
+        telemetry: None,
     };
     let mut lat: Vec<SimTime> = Vec::new();
+    let mut shard_telemetry: Vec<TelemetryReport> = Vec::new();
     let mut first_arrival: Option<SimTime> = None;
     let mut max_busy = Duration::ZERO;
     let mut all_walled = true;
@@ -2626,11 +2786,21 @@ fn merge_sharded(shard_outcomes: Vec<(ServeReport, Vec<Verdict>)>) -> ServeRepor
         merged.events.extend(report.events.iter().cloned());
         merged.gateways.extend(report.gateways.iter().cloned());
         merged.verdicts.extend(report.verdicts.iter().copied());
+        if let Some(t) = &report.telemetry {
+            shard_telemetry.push(t.clone());
+        }
         lat.extend(
             verdicts
                 .iter()
                 .map(|v| v.completed_at.saturating_sub(v.arrival)),
         );
+    }
+    // Admission events arrive grouped by shard; a stable time sort keeps
+    // the merged stream chronological while ties preserve shard order,
+    // independent of the worker count.
+    merged.events.sort_by_key(|e| e.time);
+    if shard_telemetry.len() == shard_outcomes.len() {
+        merged.telemetry = Some(TelemetryReport::merge(shard_telemetry));
     }
     merged.first_arrival = first_arrival.unwrap_or(SimTime::ZERO);
     let span = merged.last_arrival.saturating_sub(merged.first_arrival);
@@ -2802,6 +2972,7 @@ fn finalize(
         },
         gateways,
         verdicts,
+        telemetry: None,
     }
 }
 
@@ -3126,6 +3297,202 @@ mod tests {
         )
         .unwrap();
         assert_eq!(fingerprint(&plain, true), fingerprint(&sharded, true));
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_the_report() {
+        // Observability must be free: the same replay with and without a
+        // probe attached produces a bit-identical report. On the fully
+        // simulated ECU path that covers timing too; on the software
+        // path the wall-derived figures are excluded by contract.
+        let bundles = vec![
+            DetectorBundle::new(AttackKind::Dos, untrained_model(1)),
+            DetectorBundle::new(AttackKind::Fuzzy, untrained_model(2)),
+        ];
+        let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
+        let capture = quick_capture(true, 21);
+        let config = ReplayConfig::default().with_policy(SchedPolicy::DmaBatch { batch: 16 });
+        let traced = config.clone().with_telemetry(TelemetryConfig::default());
+        let off = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &config)
+            .unwrap();
+        let on = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &traced)
+            .unwrap();
+        assert!(off.telemetry.is_none() && on.telemetry.is_some());
+        assert_eq!(fingerprint(&off, true), fingerprint(&on, true), "ecu");
+
+        let model = untrained_model(3);
+        let sw_config = ReplayConfig::default();
+        let sw_traced = sw_config.clone().with_telemetry(TelemetryConfig::default());
+        let sw_off = ServeHarness::new(SoftwareBackend::single(model.clone()))
+            .replay(&capture, &sw_config)
+            .unwrap();
+        let sw_on = ServeHarness::new(SoftwareBackend::single(model))
+            .replay(&capture, &sw_traced)
+            .unwrap();
+        assert_eq!(
+            fingerprint(&sw_off, false),
+            fingerprint(&sw_on, false),
+            "software"
+        );
+    }
+
+    #[test]
+    fn telemetry_spans_cover_the_serving_stages() {
+        // ECU path: per-frame infer spans plus one dma_window span per
+        // drained batch, all on the virtual clock, with frame counters
+        // tied to the report totals.
+        let bundles = vec![DetectorBundle::new(AttackKind::Dos, untrained_model(4))];
+        let deployment = deploy_multi_ids(&bundles, CompileConfig::default()).unwrap();
+        let capture = quick_capture(true, 22);
+        let traced = ReplayConfig::default().with_telemetry(TelemetryConfig::default());
+        let report = ServeHarness::new(deployment.serve_backend())
+            .replay(&capture, &traced)
+            .unwrap();
+        let t = report.telemetry.as_ref().unwrap();
+        let infer = t.stage_stats(Stage::Infer);
+        assert_eq!(
+            infer.count as usize, report.serviced,
+            "one infer span per serviced frame on the per-message policy"
+        );
+        assert_eq!(
+            t.metrics.counter(Counter::FramesOffered) as usize,
+            report.offered
+        );
+        assert_eq!(
+            t.metrics.counter(Counter::FramesServiced) as usize,
+            report.serviced
+        );
+        assert_eq!(t.metrics.counter(Counter::FramesDropped), report.dropped);
+        assert!(t.spans.iter().all(|s| s.end >= s.start));
+
+        // Batched DMA policy: the window transfer is the profiled unit.
+        let batched = ServeHarness::new(deployment.serve_backend())
+            .replay(
+                &capture,
+                &traced
+                    .clone()
+                    .with_policy(SchedPolicy::DmaBatch { batch: 32 }),
+            )
+            .unwrap();
+        let tb = batched.telemetry.as_ref().unwrap();
+        let dma = tb.stage_stats(Stage::DmaWindow);
+        assert!(dma.count > 0, "batched replay drains DMA windows");
+        assert!(dma.count as usize <= batched.serviced);
+
+        // Software path: the fused featurise -> pack -> infer split is
+        // present for every serviced frame.
+        let model = untrained_model(5);
+        let sw = ServeHarness::new(SoftwareBackend::single(model))
+            .replay(
+                &capture,
+                &ReplayConfig::default().with_telemetry(TelemetryConfig::default()),
+            )
+            .unwrap();
+        let ts = sw.telemetry.as_ref().unwrap();
+        for stage in [Stage::Featurise, Stage::Pack, Stage::Infer] {
+            assert_eq!(
+                ts.stage_stats(stage).count as usize,
+                sw.serviced,
+                "{stage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn sharded_telemetry_is_independent_of_worker_count() {
+        // The metrics registry and span stream merge in strict shard
+        // order, so the sharded telemetry fingerprint is bit-identical
+        // for any worker-pool size on the simulated backend.
+        let bundles = vec![
+            DetectorBundle::new(AttackKind::Dos, untrained_model(1)),
+            DetectorBundle::new(AttackKind::Fuzzy, untrained_model(2)),
+        ];
+        let capture = quick_capture(true, 23);
+        let mut prints = Vec::new();
+        for workers in [
+            ShardWorkers::Fixed(1),
+            ShardWorkers::Fixed(2),
+            ShardWorkers::Auto,
+        ] {
+            let config = ReplayConfig::default()
+                .with_shards(4)
+                .with_workers(workers)
+                .with_policy(SchedPolicy::DmaBatch { batch: 16 })
+                .with_telemetry(TelemetryConfig::default());
+            let report = ServeHarness::replay_sharded(
+                || {
+                    Ok(EcuBackend::owning(deploy_multi_ids(
+                        &bundles,
+                        CompileConfig::default(),
+                    )?))
+                },
+                &capture,
+                &config,
+            )
+            .unwrap();
+            let t = report.telemetry.as_ref().unwrap();
+            assert!(t.spans.iter().any(|s| s.shard > 0), "spans re-tag shards");
+            prints.push(t.fingerprint());
+        }
+        assert_eq!(prints[0], prints[1], "1 vs 2 workers");
+        assert_eq!(prints[0], prints[2], "1 vs auto workers");
+    }
+
+    fn report_with_events(times_us: &[u64]) -> ServeReport {
+        ServeReport {
+            scenario: "t".into(),
+            backend: "t".into(),
+            sched: "t".into(),
+            admission: "t".into(),
+            bitrate_bps: 1_000_000,
+            offered: 0,
+            serviced: 0,
+            dropped: 0,
+            first_arrival: SimTime::ZERO,
+            last_arrival: SimTime::ZERO,
+            offered_fps: 0.0,
+            sustained_fps: None,
+            latency: LatencyStats::default(),
+            flagged: 0,
+            fully_covered: 0,
+            cm: ConfusionMatrix::new(),
+            energy: None,
+            boards: Vec::new(),
+            per_model: Vec::new(),
+            events: times_us
+                .iter()
+                .map(|&us| FleetEvent {
+                    time: SimTime::from_micros(us),
+                    board: 0,
+                    model: 0,
+                    action: FleetAction::Shed,
+                })
+                .collect(),
+            gateways: Vec::new(),
+            verdicts: Vec::new(),
+            telemetry: None,
+        }
+    }
+
+    #[test]
+    fn merged_admission_events_are_time_sorted_with_stable_ties() {
+        // Per-shard event streams are each chronological but interleave
+        // when merged; the merge must emit one chronological stream with
+        // ties resolved in shard order, independent of worker timing.
+        let shard0 = report_with_events(&[5, 10]);
+        let mut shard1 = report_with_events(&[3, 10]);
+        shard1.events[0].board = 1;
+        shard1.events[1].board = 1;
+        let merged = merge_sharded(vec![(shard0, Vec::new()), (shard1, Vec::new())]);
+        let order: Vec<(SimTime, usize)> =
+            merged.events.iter().map(|e| (e.time, e.board)).collect();
+        let expected: Vec<(SimTime, usize)> = [(3u64, 1usize), (5, 0), (10, 0), (10, 1)]
+            .iter()
+            .map(|&(us, b)| (SimTime::from_micros(us), b))
+            .collect();
+        assert_eq!(order, expected, "chronological, shard order on ties");
     }
 
     #[test]

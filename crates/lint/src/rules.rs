@@ -17,8 +17,13 @@ use crate::report::Finding;
 pub enum Rule {
     /// `Instant::now`/`SystemTime` in simulated or report-producing
     /// code. Wall-clock reads make replays irreproducible; simulated
-    /// time must come from `SimTime`. Genuine wall-clock paths (the
-    /// software-backend service timer, the bench harness) carry allows.
+    /// time must come from `SimTime`. The single genuine wall-clock
+    /// read lives behind `canids_core::telemetry::WallClock` — every
+    /// measured path (the software-backend service timer, the bench
+    /// harness) routes through that shim, so the workspace carries
+    /// exactly one audited allow for this rule. The telemetry module
+    /// gets no blanket exemption: a raw `Instant::now` there is still
+    /// a finding.
     WallclockInSim,
     /// `HashMap`/`HashSet` anywhere in the workspace. Their iteration
     /// order is randomised per process, so any fold, report line or

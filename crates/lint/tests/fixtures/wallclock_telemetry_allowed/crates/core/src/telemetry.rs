@@ -1,0 +1,11 @@
+// The audited shape: the telemetry shim's single wall-clock read
+// carries the workspace's one wallclock-in-sim allow.
+pub struct WallClock;
+
+impl WallClock {
+    pub fn start_nanos() -> u128 {
+        // lint:allow(wallclock-in-sim): the single audited wall-time gate for measured paths
+        let t0 = std::time::Instant::now();
+        t0.elapsed().as_nanos()
+    }
+}

@@ -47,6 +47,19 @@ fn wallclock_in_sim_pair() {
     check_pair(Rule::WallclockInSim, "wallclock_bad", "wallclock_allowed");
 }
 
+/// The telemetry module is where the real workspace's single audited
+/// wall-clock gate lives — and it gets no blanket exemption: a raw
+/// `Instant::now` inside `crates/core/src/telemetry.rs` is still a
+/// finding, and only the explicit shim allow suppresses it.
+#[test]
+fn wallclock_in_telemetry_shim_pair() {
+    check_pair(
+        Rule::WallclockInSim,
+        "wallclock_telemetry",
+        "wallclock_telemetry_allowed",
+    );
+}
+
 #[test]
 fn unordered_iteration_pair() {
     check_pair(

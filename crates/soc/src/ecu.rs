@@ -160,6 +160,24 @@ pub fn active_mask_of(active: &[bool]) -> u64 {
         .fold(0u64, |m, (k, &a)| if a { m | (1 << k) } else { m })
 }
 
+/// One profiled stage interval on the ECU service loop, recorded only
+/// when [`EcuStream::enable_profiling`] was called. Stage names are
+/// static strings (`"infer"` for a per-frame service interval,
+/// `"dma_window"` for a batched DMA transfer) so upper layers can intern
+/// them without this crate depending on their span taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSample {
+    /// Static stage name (`"infer"` or `"dma_window"`).
+    pub stage: &'static str,
+    /// Service start on the board clock.
+    pub start: SimTime,
+    /// Completion instant on the board clock.
+    pub end: SimTime,
+    /// Frames covered by the interval (1 per-frame, the window size for
+    /// a DMA transfer).
+    pub frames: u32,
+}
+
 /// Aggregate report of a processed capture.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EcuReport {
@@ -181,6 +199,10 @@ pub struct EcuReport {
     pub mean_power_w: f64,
     /// Energy per inspected message (mean power × mean latency).
     pub energy_per_message_j: f64,
+    /// Profiled stage intervals not yet drained through
+    /// [`EcuStream::take_stage_samples`] when the session closed; empty
+    /// unless [`EcuStream::enable_profiling`] was called.
+    pub stage_samples: Vec<StageSample>,
 }
 
 /// The IDS-augmented ECU.
@@ -284,6 +306,8 @@ impl IdsEcu {
             first_arrival: None,
             batch_buf: FeatureBatch::default(),
             batch_meta: Vec::new(),
+            profiling: false,
+            samples: Vec::new(),
         }
     }
 
@@ -360,6 +384,10 @@ pub struct EcuStream<'a> {
     /// Arrival metadata of the batched frames, index-aligned with
     /// `batch_buf`.
     batch_meta: Vec<(SimTime, CanFrame)>,
+    /// Whether per-stage profiling samples are recorded.
+    profiling: bool,
+    /// Profiled stage intervals awaiting [`EcuStream::take_stage_samples`].
+    samples: Vec<StageSample>,
 }
 
 impl std::fmt::Debug for EcuStream<'_> {
@@ -569,6 +597,14 @@ impl EcuStream<'_> {
 
         let completed_at = self.queue.serve(start, service);
         self.busy += service + self.rx_cost;
+        if self.profiling {
+            self.samples.push(StageSample {
+                stage: "infer",
+                start,
+                end: completed_at,
+                frames: 1,
+            });
+        }
 
         let detection = Detection {
             arrival,
@@ -648,6 +684,14 @@ impl EcuStream<'_> {
         }
         self.busy += service;
         self.ecu.board.set_now(completed_at);
+        if self.profiling {
+            self.samples.push(StageSample {
+                stage: "dma_window",
+                start,
+                end: completed_at,
+                frames: self.batch_meta.len() as u32,
+            });
+        }
 
         let active_mask = active_mask_of(&self.active);
         for ((&(arrival, frame), &flagged), &frame_flags) in
@@ -725,6 +769,21 @@ impl EcuStream<'_> {
         self.dropped
     }
 
+    /// Turns on per-stage profiling: subsequent service intervals are
+    /// recorded as [`StageSample`]s (a `"infer"` sample per frame on the
+    /// per-message policies, a `"dma_window"` sample per flushed batch).
+    /// Sampling is off by default and the service-loop timing model is
+    /// identical either way — profiling only observes.
+    pub fn enable_profiling(&mut self) {
+        self.profiling = true;
+    }
+
+    /// Drains the profiled stage intervals recorded since the last call
+    /// into `out` (appending), preserving record order.
+    pub fn take_stage_samples(&mut self, out: &mut Vec<StageSample>) {
+        out.append(&mut self.samples);
+    }
+
     /// Closes the session and aggregates the report. Under
     /// [`SchedPolicy::DmaBatch`] a partial trailing window is flushed
     /// first.
@@ -752,6 +811,7 @@ impl EcuStream<'_> {
             dropped,
             busy,
             first_arrival,
+            samples,
             ..
         } = self;
         let span = match (first_arrival, detections.last()) {
@@ -797,6 +857,7 @@ impl EcuStream<'_> {
             busy_fraction,
             mean_power_w,
             energy_per_message_j,
+            stage_samples: samples,
         }
     }
 }

@@ -59,6 +59,7 @@ pub use dma::{
 pub use driver::{run_inference, run_inference_irq, InferenceBreakdown, InferenceRecord};
 pub use ecu::{
     Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, SchedPolicy, ServiceQueue,
+    StageSample,
 };
 pub use error::SocError;
 pub use interrupt::{accel_irq_line, InterruptController};
@@ -73,7 +74,7 @@ pub mod prelude {
     pub use crate::driver::{InferenceBreakdown, InferenceRecord};
     pub use crate::ecu::{
         Detection, EcuConfig, EcuReport, EcuStream, FrameFeaturizer, IdsEcu, SchedPolicy,
-        ServiceQueue,
+        ServiceQueue, StageSample,
     };
     pub use crate::error::SocError;
     pub use crate::power_rails::{BoardPowerModel, PowerMonitor};

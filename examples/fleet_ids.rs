@@ -152,7 +152,14 @@ fn main() -> Result<(), CoreError> {
     let event = &reports[4];
     let mut gw_table = Table::new(
         "Event-driven transport: per-gateway queues",
-        &["Gateway", "Forwarded", "Dropped", "Paused", "Peak queue"],
+        &[
+            "Gateway",
+            "Forwarded",
+            "Dropped",
+            "Paused",
+            "Peak queue",
+            "Peak at (ms)",
+        ],
     );
     for g in &event.gateways {
         gw_table.push_row(&[
@@ -161,6 +168,7 @@ fn main() -> Result<(), CoreError> {
             format!("{}", g.dropped()),
             format!("{}", g.paused),
             format!("{}", g.peak_queue),
+            format!("{:.3}", g.peak_at.as_millis_f64()),
         ]);
     }
     println!("{gw_table}");

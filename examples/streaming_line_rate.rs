@@ -9,6 +9,12 @@
 //!
 //! Pass `--workers N` to pin the scale-out sweep's worker pool (default
 //! auto = one worker per host core, capped at the shard count).
+//!
+//! Pass `--trace-out trace.json` to additionally replay the saturated
+//! 1 Mb/s DoS capture with telemetry enabled and dump the per-stage
+//! span stream as Chrome-trace JSON (open in `chrome://tracing` or
+//! Perfetto). Without the flag no probe is attached and the replay is
+//! the plain, telemetry-free path.
 
 use canids_core::prelude::*;
 
@@ -104,7 +110,39 @@ fn main() -> Result<(), CoreError> {
             r.dropped,
         );
     }
+
+    // Optional observability dump: one more saturated 1 Mb/s replay with
+    // a telemetry probe attached, exported as Chrome-trace JSON.
+    if let Some(path) = parse_trace_out(std::env::args()) {
+        let traced = ReplayConfig::default()
+            .with_batch(32)
+            .with_telemetry(TelemetryConfig::default());
+        let r = ServeHarness::new(SoftwareBackend::single(model.clone()))
+            .replay(&dos_capture, &traced)?;
+        let telemetry = r.telemetry.expect("telemetry was enabled");
+        std::fs::write(&path, telemetry.to_chrome_trace()).expect("write Chrome trace");
+        println!(
+            "\nwrote Chrome trace ({} spans over {} serviced frames) to {path}",
+            telemetry.spans.len(),
+            r.serviced,
+        );
+    }
     Ok(())
+}
+
+/// Parses an optional `--trace-out PATH` argument (`--trace-out=PATH`
+/// also works); absent means no trace is written.
+fn parse_trace_out(mut args: std::env::Args) -> Option<String> {
+    while let Some(arg) = args.next() {
+        if arg == "--trace-out" {
+            if let Some(path) = args.next() {
+                return Some(path);
+            }
+        } else if let Some(path) = arg.strip_prefix("--trace-out=") {
+            return Some(path.to_owned());
+        }
+    }
+    None
 }
 
 /// Parses an optional `--workers N` argument (`--workers=N` also works);
