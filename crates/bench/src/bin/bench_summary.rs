@@ -21,11 +21,17 @@
 //! from the batched ECU path, gateway_hop from the event-driven fleet
 //! transport) captured by the in-tree telemetry probe.
 //!
+//! Since PR 10 the `serve` section carries a `population` subsection:
+//! the multi-tenant capacity curve — how many concurrent 500 kb/s
+//! tenant streams one process sustains at zero drops through the
+//! population layer — plus a shed-engaged overload row where more
+//! streams than pool slots forces cross-tenant admission control.
+//!
 //! ```sh
 //! cargo run --release -p canids-bench --bin bench_summary [out.json]
 //! ```
 //!
-//! Defaults to `BENCH_9.json` in the current directory.
+//! Defaults to `BENCH_10.json` in the current directory.
 
 use std::fmt::Write as _;
 
@@ -36,6 +42,7 @@ use canids_can::timing::Bitrate;
 use canids_core::deploy::{DeploymentPlan, DetectorBundle, PlanConfig};
 use canids_core::fleet::{AdmissionPolicy, BoardSpec, FleetConfig, FleetPlan};
 use canids_core::net::{Fault, FleetNet, NetConfig, NetSim, QueueDiscipline, Topology};
+use canids_core::population::{Population, PopulationConfig, TenantAdmission, TenantStream};
 use canids_core::serve::{
     EcuBackend, FleetAction, FleetTransport, ReplayConfig, ServeHarness, ServeReport,
     SoftwareBackend,
@@ -93,7 +100,7 @@ fn pr_number(path: &str) -> u32 {
 fn main() {
     let out_path = std::env::args()
         .nth(1)
-        .unwrap_or_else(|| "BENCH_9.json".to_owned());
+        .unwrap_or_else(|| "BENCH_10.json".to_owned());
     let pr = pr_number(&out_path);
 
     // 1. The ROADMAP's named hot kernel: linear_forward at the paper's
@@ -468,6 +475,58 @@ fn main() {
         })
         .collect();
 
+    // 9. Population serving (PR 10): the multi-tenant capacity curve.
+    // Each tenant is one vehicle's capture stream at the 500 kb/s tenant
+    // default; the curve records how many concurrent streams the
+    // software backend pool sustains with zero FIFO drops through the
+    // population layer, and one overload row squeezes 64 live streams
+    // into a 16-slot pool so cross-tenant admission control engages.
+    let tenant_population = |tenants: usize| -> Population {
+        Population::with_tenants(
+            (0..tenants)
+                .map(|k| {
+                    let capture = DatasetBuilder::new(TrafficConfig {
+                        duration: SimTime::from_millis(200),
+                        attack: if k % 2 == 0 { dos } else { None },
+                        seed: 0x7E7A + k as u64,
+                        ..TrafficConfig::default()
+                    })
+                    .build();
+                    TenantStream::new(format!("vehicle-{k}"), capture)
+                })
+                .collect(),
+        )
+    };
+    let population_rows: Vec<_> = [16usize, 32, 64]
+        .iter()
+        .map(|&tenants| {
+            let report = tenant_population(tenants)
+                .serve(
+                    || Ok(SoftwareBackend::single(model.clone())),
+                    &PopulationConfig::default()
+                        .with_replay(ReplayConfig::default().with_batch(32)),
+                )
+                .expect("population replay");
+            (
+                tenants,
+                report.offered_fps,
+                report.sustained_fps.unwrap_or(0.0),
+                report.dropped,
+            )
+        })
+        .collect();
+    let population_overload = tenant_population(64)
+        .serve(
+            || Ok(SoftwareBackend::single(model.clone())),
+            &PopulationConfig::default()
+                .with_replay(ReplayConfig::default().with_batch(32))
+                .with_admission(TenantAdmission::ShedLowestValueTenant {
+                    capacity: 16,
+                    window: 128,
+                }),
+        )
+        .expect("population overload replay");
+
     // The value-driven admission capstone: a 2-model board under the
     // 750 kb/s sequential overload must shed one model. Model 0 fires on
     // the capture but is mislabelled lowest static value; model 1 never
@@ -765,6 +824,49 @@ fn main() {
         "      \"fleet_metrics_fingerprint\": \"{}\"",
         fleet_telemetry.metrics.fingerprint()
     );
+    let _ = writeln!(json, "    }},");
+    let _ = writeln!(json, "    \"population\": {{");
+    let _ = writeln!(json, "      \"tenant_bitrate_bps\": 500000,");
+    let _ = writeln!(json, "      \"capacity_curve\": [");
+    for (i, (tenants, offered, sustained, dropped)) in population_rows.iter().enumerate() {
+        let _ = writeln!(json, "        {{");
+        let _ = writeln!(json, "          \"tenants\": {tenants},");
+        let _ = writeln!(json, "          \"offered_fps\": {offered:.1},");
+        let _ = writeln!(json, "          \"sustained_fps\": {sustained:.1},");
+        let _ = writeln!(json, "          \"dropped\": {dropped},");
+        let _ = writeln!(json, "          \"zero_drop\": {}", *dropped == 0);
+        let _ = write!(json, "        }}");
+        let _ = writeln!(
+            json,
+            "{}",
+            if i + 1 < population_rows.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    let _ = writeln!(json, "      ],");
+    let _ = writeln!(json, "      \"overload\": {{");
+    let _ = writeln!(json, "        \"tenants\": 64,");
+    let _ = writeln!(json, "        \"capacity\": 16,");
+    let _ = writeln!(
+        json,
+        "        \"shed_events\": {},",
+        population_overload.shed_count()
+    );
+    let _ = writeln!(
+        json,
+        "        \"readmits\": {},",
+        population_overload.readmit_count()
+    );
+    let _ = writeln!(
+        json,
+        "        \"shed_frames\": {},",
+        population_overload.shed_frames
+    );
+    let _ = writeln!(json, "        \"dropped\": {}", population_overload.dropped);
+    let _ = writeln!(json, "      }}");
     let _ = writeln!(json, "    }},");
     let _ = writeln!(json, "    \"value_admission\": {{");
     let _ = writeln!(json, "      \"bitrate_bps\": 750000,");

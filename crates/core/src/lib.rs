@@ -26,6 +26,12 @@
 //!   over the software, single-ECU and fleet backends, with a typed
 //!   per-frame verdict stream ([`serve::VerdictSink`]) and value-driven
 //!   admission ([`serve::AdmissionPolicy::ShedLowestMeasuredValue`]),
+//! * [`population`] — **the fourth serving tier** (software → ECU →
+//!   fleet → population): many concurrent tenant capture streams
+//!   ([`population::TenantStream`]) multiplexed onto a bounded backend
+//!   pool with cross-tenant admission control
+//!   ([`population::TenantAdmission`]) and a bit-deterministic
+//!   [`population::PopulationReport`] merge,
 //! * [`report`] — shared latency/energy statistics and paper-style
 //!   ASCII tables for the benchmark harness,
 //! * [`telemetry`] — the deterministic, sim-time-clocked observability
@@ -53,6 +59,7 @@ pub mod fleet;
 pub mod net;
 mod par;
 pub mod pipeline;
+pub mod population;
 pub mod report;
 pub mod serve;
 pub mod stream;
@@ -69,7 +76,11 @@ pub use net::{
     Topology,
 };
 pub use pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
-pub use report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
+pub use population::{
+    Population, PopulationConfig, PopulationReport, TenantAction, TenantAdmission, TenantEvent,
+    TenantReport, TenantStream,
+};
+pub use report::{pct, pct_of, pct_opt, EnergyStats, LatencyStats, Table};
 pub use serve::{
     EcuBackend, FleetBackend, FleetTransport, Pacing, ReplayConfig, ServeBackend, ServeHarness,
     ServeReport, ServeScenario, ShardWorkers, SoftwareBackend, Verdict, VerdictSink,
@@ -94,7 +105,11 @@ pub mod prelude {
         DropReason, Fault, FleetNet, GatewayLoad, NetConfig, NetOutcome, QueueDiscipline,
     };
     pub use crate::pipeline::{IdsPipeline, PipelineConfig, PipelineReport, TrainedDetector};
-    pub use crate::report::{pct, pct_opt, EnergyStats, LatencyStats, Table};
+    pub use crate::population::{
+        Population, PopulationConfig, PopulationReport, TenantAction, TenantAdmission, TenantEvent,
+        TenantReport, TenantStream,
+    };
+    pub use crate::report::{pct, pct_of, pct_opt, EnergyStats, LatencyStats, Table};
     pub use crate::serve::{
         CaptureSource, EcuBackend, FleetBackend, FleetTransport, Pacing, ReplayConfig,
         ServeBackend, ServeHarness, ServeReport, ServeScenario, ShardWorkers, SoftwareBackend,

@@ -1,9 +1,21 @@
 //! Scoped-thread scatter/gather shared by the scenario-parallel paths
 //! (bit-width DSE, multi-pipeline runs, multi-IP compilation, line-rate
-//! sweeps).
+//! sweeps, sharded replay, population serving).
+//!
+//! The scheduler is a deterministic work-stealing chunk queue: items are
+//! pre-split into contiguous chunks dealt round-robin onto per-worker
+//! deques; each worker drains its own deque from the front and, when
+//! empty, steals whole chunks from the *back* of its neighbours in a
+//! fixed scan order. Stealing balances skewed item costs (one slow
+//! tenant/shard no longer pins a whole contiguous slice to one thread)
+//! while the schedule stays execution-only: results are gathered by item
+//! index, so any worker count and any steal interleaving return the
+//! identical vector.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::collections::VecDeque;
+use std::ops::Range;
 use std::sync::mpsc;
+use std::sync::Mutex;
 
 /// Runs `f` over every item on a bounded scoped-thread pool (at most
 /// `available_parallelism` workers, so a long item list cannot
@@ -20,10 +32,10 @@ where
 }
 
 /// [`scoped_map`] with an explicit pool size: exactly
-/// `workers.clamp(1, items.len())` threads share the work queue. The
+/// `workers.clamp(1, items.len())` threads share the chunk deques. The
 /// pool size is execution-only — results are gathered in input order
-/// whatever the interleaving, so any worker count returns the identical
-/// vector.
+/// whatever the steal interleaving, so any worker count returns the
+/// identical vector.
 pub(crate) fn scoped_map_with<T, R, F>(items: &[T], workers: usize, f: F) -> Vec<R>
 where
     T: Sync,
@@ -35,21 +47,52 @@ where
         return Vec::new();
     }
     let workers = workers.clamp(1, n);
-    let next = AtomicUsize::new(0);
+    // Chunk granularity: aim for ~8 steals' worth of slack per worker so
+    // the deques have something to steal, floor 1 so short lists still
+    // split.
+    let chunk = (n / (workers * 8)).max(1);
+    let deques: Vec<Mutex<VecDeque<Range<usize>>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    // Deal chunks round-robin so every worker starts with local work and
+    // the initial ownership is a pure function of (n, workers).
+    let mut start = 0usize;
+    let mut w = 0usize;
+    while start < n {
+        let end = (start + chunk).min(n);
+        // lint:allow(panic-in-lib): chunk deque mutexes cannot be poisoned before the scope spawns
+        deques[w].lock().expect("deque lock").push_back(start..end);
+        start = end;
+        w = (w + 1) % workers;
+    }
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
+        for me in 0..workers {
             let tx = tx.clone();
-            let next = &next;
+            let deques = &deques;
             let f = &f;
             scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+                // Own deque first (front: cache-warm FIFO order) …
+                // lint:allow(panic-in-lib): a poisoned deque lock means a sibling worker already panicked
+                let mut job = deques[me].lock().expect("own deque lock").pop_front();
+                if job.is_none() {
+                    // … then steal whole chunks from the back of the
+                    // victims, scanning neighbours in a fixed order.
+                    for step in 1..workers {
+                        let victim = (me + step) % workers;
+                        // lint:allow(panic-in-lib): a poisoned deque lock means a sibling worker already panicked
+                        let stolen = deques[victim].lock().expect("victim deque lock").pop_back();
+                        if stolen.is_some() {
+                            job = stolen;
+                            break;
+                        }
+                    }
                 }
-                let r = f(&items[i]);
-                // lint:allow(panic-in-lib): rx is dropped only after the scope joins every worker
-                tx.send((i, r)).expect("gather receiver outlives the scope");
+                let Some(range) = job else { break };
+                for i in range {
+                    let r = f(&items[i]);
+                    // lint:allow(panic-in-lib): rx is dropped only after the scope joins every worker
+                    tx.send((i, r)).expect("gather receiver outlives the scope");
+                }
             });
         }
     });
@@ -61,7 +104,7 @@ where
     }
     results
         .into_iter()
-        // lint:allow(panic-in-lib): the channel delivers each index exactly once before rx closes
+        // lint:allow(panic-in-lib): the deques cover 0..n exactly once, so every index arrives before rx closes
         .map(|r| r.expect("every item was processed"))
         .collect()
 }
@@ -105,5 +148,41 @@ mod tests {
         let items: Vec<usize> = (0..500).collect();
         let out = scoped_map(&items, |&i| i + 1);
         assert_eq!(out, (1..=500).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn skewed_item_costs_still_gather_in_order() {
+        // One pathologically slow item: stealing must redistribute the
+        // rest without perturbing the gathered order.
+        let items: Vec<usize> = (0..40).collect();
+        let out = scoped_map_with(&items, 4, |&i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * 3
+        });
+        assert_eq!(out, (0..40).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn chunk_dealing_covers_every_index_exactly_once() {
+        // Mirror the dealing loop: for a spread of (n, workers) shapes
+        // the round-robin chunk split must partition 0..n exactly.
+        for n in [1usize, 2, 7, 8, 9, 63, 64, 65, 500] {
+            for workers in [1usize, 2, 3, 8, 64] {
+                let workers = workers.clamp(1, n);
+                let chunk = (n / (workers * 8)).max(1);
+                let mut seen = vec![0u32; n];
+                let mut start = 0usize;
+                while start < n {
+                    let end = (start + chunk).min(n);
+                    for slot in &mut seen[start..end] {
+                        *slot += 1;
+                    }
+                    start = end;
+                }
+                assert!(seen.iter().all(|&c| c == 1), "n={n} workers={workers}");
+            }
+        }
     }
 }

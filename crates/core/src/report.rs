@@ -177,6 +177,17 @@ pub fn pct_opt(value: Option<f64>) -> String {
     value.map_or_else(|| "-".to_owned(), pct)
 }
 
+/// Formats `part` as a percentage of `whole` in the paper's two-decimal
+/// style (`-` when `whole` is zero), used by the population tables for
+/// served/shed frame shares.
+pub fn pct_of(part: u64, whole: u64) -> String {
+    if whole == 0 {
+        "-".to_owned()
+    } else {
+        pct(100.0 * part as f64 / whole as f64)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -207,6 +218,14 @@ mod tests {
         assert_eq!(pct(99.994), "99.99");
         assert_eq!(pct_opt(None), "-");
         assert_eq!(pct_opt(Some(0.13)), "0.13");
+    }
+
+    #[test]
+    fn pct_of_guards_zero_denominator() {
+        assert_eq!(pct_of(1, 0), "-");
+        assert_eq!(pct_of(0, 4), "0.00");
+        assert_eq!(pct_of(1, 4), "25.00");
+        assert_eq!(pct_of(4, 4), "100.00");
     }
 
     #[test]

@@ -55,7 +55,7 @@ use std::rc::Rc;
 ///
 /// assert_eq!(Stage::DmaWindow.name(), "dma_window");
 /// assert_eq!(Stage::from_name("infer"), Some(Stage::Infer));
-/// assert_eq!(Stage::ALL.len(), 6);
+/// assert_eq!(Stage::ALL.len(), 8);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
@@ -75,17 +75,25 @@ pub enum Stage {
     /// An admission-control decision (shed / readmit / migrate) in the
     /// serve harness; zero-width, stamped at decision time.
     Admission,
+    /// A cross-tenant admission decision (tenant shed / readmit) in the
+    /// population layer; zero-width, stamped at decision time.
+    TenantAdmission,
+    /// One admitted residency window of a tenant stream in the
+    /// population layer: from (re)admission to shed or stream end.
+    TenantWindow,
 }
 
 impl Stage {
     /// Every stage, in the canonical (merge and export) order.
-    pub const ALL: [Stage; 6] = [
+    pub const ALL: [Stage; 8] = [
         Stage::Featurise,
         Stage::Pack,
         Stage::Infer,
         Stage::DmaWindow,
         Stage::GatewayHop,
         Stage::Admission,
+        Stage::TenantAdmission,
+        Stage::TenantWindow,
     ];
 
     /// The static interned name for this stage.
@@ -101,6 +109,8 @@ impl Stage {
             Stage::DmaWindow => "dma_window",
             Stage::GatewayHop => "gateway_hop",
             Stage::Admission => "admission",
+            Stage::TenantAdmission => "tenant_admission",
+            Stage::TenantWindow => "tenant_window",
         }
     }
 
@@ -113,6 +123,8 @@ impl Stage {
             Stage::DmaWindow => 3,
             Stage::GatewayHop => 4,
             Stage::Admission => 5,
+            Stage::TenantAdmission => 6,
+            Stage::TenantWindow => 7,
         }
     }
 
@@ -695,8 +707,11 @@ impl TelemetryReport {
 
     /// Chrome-trace (`trace_events`) JSON: one complete (`"ph": "X"`)
     /// event per span, timestamps in microseconds on the virtual clock,
-    /// one `tid` track per shard. Load the output in `about:tracing` or
-    /// Perfetto.
+    /// one `tid` track per shard, plus one `thread_name` metadata event
+    /// per track — tracks carrying population tenant spans
+    /// ([`Stage::TenantAdmission`] / [`Stage::TenantWindow`]) are named
+    /// `tenant N`, all others `lane N`, so a population run renders as
+    /// per-tenant lanes. Load the output in `about:tracing` or Perfetto.
     ///
     /// ```
     /// let r = canids_core::telemetry::TelemetryReport::default();
@@ -717,6 +732,31 @@ impl TelemetryReport {
                 micros(s.start),
                 micros(s.duration()),
                 s.shard + 1
+            );
+        }
+        // Thread-name metadata, in ascending tid order (sorted + deduped
+        // Vec, so the event order is deterministic).
+        let mut shards: Vec<u32> = self.spans.iter().map(|s| s.shard).collect();
+        shards.sort_unstable();
+        shards.dedup();
+        let mut tenant_shards: Vec<u32> = self
+            .spans
+            .iter()
+            .filter(|s| matches!(s.stage, Stage::TenantAdmission | Stage::TenantWindow))
+            .map(|s| s.shard)
+            .collect();
+        tenant_shards.sort_unstable();
+        tenant_shards.dedup();
+        for sh in &shards {
+            let label = if tenant_shards.binary_search(sh).is_ok() {
+                "tenant"
+            } else {
+                "lane"
+            };
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{},\"args\":{{\"name\":\"{label} {sh}\"}}}}",
+                sh + 1
             );
         }
         out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
@@ -866,6 +906,28 @@ mod tests {
         assert!(trace.contains("\"ts\":1.500"));
         assert!(trace.contains("\"dur\":3.250"));
         assert!(trace.contains("\"tid\":3"));
+        // A plain serving span names its track "lane N".
+        assert!(trace.contains("\"ph\":\"M\""));
+        assert!(trace.contains("\"name\":\"lane 2\""));
+    }
+
+    #[test]
+    fn chrome_trace_names_tenant_tracks() {
+        let probe = Probe::new(&TelemetryConfig::default());
+        // Shard 0 carries a tenant window (population lane); shard 1 is a
+        // plain serving lane.
+        probe.record(
+            0,
+            Stage::TenantWindow,
+            SimTime::ZERO,
+            SimTime::from_micros(50),
+        );
+        probe.record(0, Stage::Infer, SimTime::ZERO, SimTime::from_micros(1));
+        probe.record(1, Stage::Infer, SimTime::ZERO, SimTime::from_micros(1));
+        let trace = probe.take_report().to_chrome_trace();
+        assert!(trace.contains("\"name\":\"tenant_window\""));
+        assert!(trace.contains("\"tid\":1,\"args\":{\"name\":\"tenant 0\"}"));
+        assert!(trace.contains("\"tid\":2,\"args\":{\"name\":\"lane 1\"}"));
     }
 
     #[test]
